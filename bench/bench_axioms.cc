@@ -1,0 +1,75 @@
+// EXP-AX: the decidable full-TD fragment (Sadri & Ullman's axiomatizable
+// class) via the terminating chase.
+//
+// Series: decision time vs. body size of the goal and vs. |D|. Everything
+// here terminates unconditionally — the contrast with EXP-A/EXP-GAP, where
+// embedded dependencies force budgets, is the point of the experiment.
+#include <benchmark/benchmark.h>
+
+#include "chase/full_td.h"
+#include "core/parser.h"
+
+namespace tdlib {
+namespace {
+
+void BM_FullTdDecision(benchmark::State& state) {
+  const int goal_rows = static_cast<int>(state.range(0));
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet d;
+  d.Add(std::move(
+            ParseDependency(schema, "R(a,b) & R(a2,b2) => R(a,b2)"))
+            .value(),
+        "cross");
+  // Goal: chain of `goal_rows` rows closed from the first to the last.
+  std::string text;
+  for (int i = 0; i < goal_rows; ++i) {
+    if (i > 0) text += " & ";
+    text += "R(a" + std::to_string(i) + ",b" + std::to_string(i) + ")";
+  }
+  text += " => R(a0,b" + std::to_string(goal_rows - 1) + ")";
+  Dependency goal = std::move(ParseDependency(schema, text)).value();
+  bool implied = false;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    ChaseResult stats;
+    implied = DecideFullTdImplication(d, goal, nullptr, &stats);
+    benchmark::DoNotOptimize(implied);
+    steps = stats.steps;
+  }
+  state.counters["goal_body_rows"] = goal_rows;
+  state.counters["implied"] = implied ? 1 : 0;
+  state.counters["chase_steps"] = static_cast<double>(steps);
+  state.counters["tuple_bound"] = static_cast<double>(FullChaseTupleBound(goal));
+}
+BENCHMARK(BM_FullTdDecision)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_FullTdManyPremises(benchmark::State& state) {
+  const int num_deps = static_cast<int>(state.range(0));
+  SchemaPtr schema = MakeSchema({"A", "B", "C"});
+  const char* pool[] = {
+      "R(a,b,c) & R(a,b2,c2) => R(a,b,c2)",
+      "R(a,b,c) & R(a,b2,c2) => R(a,b2,c)",
+      "R(a,b,c) & R(a2,b,c2) => R(a,b,c2)",
+      "R(a,b,c) & R(a2,b2,c) => R(a,b2,c)",
+  };
+  DependencySet d;
+  for (int i = 0; i < num_deps; ++i) {
+    d.Add(std::move(ParseDependency(schema, pool[i % 4])).value());
+  }
+  Dependency goal = std::move(ParseDependency(
+                                  schema,
+                                  "R(a,b,c) & R(a,b2,c2) & R(a,b3,c3) => "
+                                  "R(a,b,c3)"))
+                        .value();
+  bool implied = false;
+  for (auto _ : state) {
+    implied = DecideFullTdImplication(d, goal);
+    benchmark::DoNotOptimize(implied);
+  }
+  state.counters["num_premises"] = num_deps;
+  state.counters["implied"] = implied ? 1 : 0;
+}
+BENCHMARK(BM_FullTdManyPremises)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace tdlib

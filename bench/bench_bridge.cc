@@ -1,0 +1,68 @@
+// EXP-F2: the bridge structures of Fig. 2.
+//
+// Series: bridge construction time and size vs. word length k, plus the
+// embedding check (bridge tableau -> bridge instance). Structure is linear
+// in k (2k+1 nodes), so both series should scale near-linearly.
+#include <benchmark/benchmark.h>
+
+#include "logic/homomorphism.h"
+#include "reduction/bridge.h"
+#include "util/rng.h"
+
+namespace tdlib {
+namespace {
+
+Presentation TwoLetterPresentation() {
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddSymbol("B");
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+Word RandomWord(const Presentation& p, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  Word w;
+  for (int i = 0; i < k; ++i) {
+    w.push_back(static_cast<int>(rng.Below(p.num_symbols())));
+  }
+  return w;
+}
+
+void BM_BridgeBuildInstance(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Presentation p = TwoLetterPresentation();
+  ReductionSchema rs = std::move(ReductionSchema::Create(p)).value();
+  Word w = RandomWord(p, k, k);
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    BridgeInstance bridge = BuildBridgeInstance(rs, w);
+    benchmark::DoNotOptimize(bridge.instance.NumTuples());
+    tuples = bridge.instance.NumTuples();
+  }
+  state.counters["word_length"] = k;
+  state.counters["bridge_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_BridgeBuildInstance)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BridgeEmbeddingCheck(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Presentation p = TwoLetterPresentation();
+  ReductionSchema rs = std::move(ReductionSchema::Create(p)).value();
+  Word w = RandomWord(p, k, 7 * k + 1);
+  BridgeTableau tableau = BuildBridgeTableau(rs, w);
+  BridgeInstance instance = BuildBridgeInstance(rs, w);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    HomomorphismSearch search(tableau.tableau, instance.instance);
+    HomSearchStatus status = search.FindAny(nullptr);
+    benchmark::DoNotOptimize(status);
+    nodes = search.nodes_explored();
+  }
+  state.counters["word_length"] = k;
+  state.counters["search_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_BridgeEmbeddingCheck)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,139 @@
+// EXP-CHASE: chase throughput as the workload scales.
+//
+// Series reported: chase wall time and fired steps vs. (a) instance size for
+// a fixed full-TD set, (b) number of dependencies, (c) schema arity. The
+// paper's undecidability result is about the limit of this machine; these
+// series characterize the machine itself on terminating (full-TD) inputs.
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "core/parser.h"
+#include "util/rng.h"
+
+namespace tdlib {
+namespace {
+
+// A full-TD workload: the cross-product dependency on a 2-attribute schema,
+// seeded with `n` random tuples over a sqrt(n)-sized domain (so the closure
+// does real work without exploding).
+Instance SeedInstance(const SchemaPtr& schema, int n, int domain,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst(schema);
+  for (int attr = 0; attr < schema->arity(); ++attr) {
+    for (int v = 0; v < domain; ++v) inst.AddValue(attr);
+  }
+  for (int i = 0; i < n; ++i) {
+    Tuple t(schema->arity());
+    for (int attr = 0; attr < schema->arity(); ++attr) {
+      t[attr] = static_cast<int>(rng.Below(domain));
+    }
+    inst.AddTuple(t);
+  }
+  return inst;
+}
+
+void BM_ChaseCrossProductClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(
+               ParseDependency(schema, "R(a,b) & R(a2,b2) => R(a,b2)"))
+               .value(),
+           "cross");
+  std::uint64_t steps = 0;
+  std::uint64_t final_tuples = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Instance inst = SeedInstance(schema, n, std::max(2, n / 2), 42);
+    state.ResumeTiming();
+    ChaseConfig config;
+    config.max_steps = 0;
+    config.max_tuples = 0;
+    ChaseResult result = RunChase(&inst, deps, config);
+    benchmark::DoNotOptimize(result.steps);
+    steps = result.steps;
+    final_tuples = inst.NumTuples();
+  }
+  state.counters["seed_tuples"] = n;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+  state.counters["final_tuples"] = static_cast<double>(final_tuples);
+}
+BENCHMARK(BM_ChaseCrossProductClosure)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ChaseManyDependencies(benchmark::State& state) {
+  // Several joined full TDs over 3 attributes; measures per-pass cost as
+  // |D| grows.
+  const int num_deps = static_cast<int>(state.range(0));
+  SchemaPtr schema = MakeSchema({"A", "B", "C"});
+  const char* pool[] = {
+      "R(a,b,c) & R(a,b2,c2) => R(a,b,c2)",
+      "R(a,b,c) & R(a,b2,c2) => R(a,b2,c)",
+      "R(a,b,c) & R(a2,b,c2) => R(a,b,c2)",
+      "R(a,b,c) & R(a2,b2,c) => R(a,b2,c)",
+      "R(a,b,c) & R(a,b2,c2) & R(a2,b,c) => R(a2,b,c2)",
+      "R(a,b,c) & R(a2,b,c) & R(a2,b2,c2) => R(a,b2,c)",
+  };
+  DependencySet deps;
+  for (int i = 0; i < num_deps; ++i) {
+    deps.Add(std::move(ParseDependency(schema, pool[i % 6])).value());
+  }
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Instance inst = SeedInstance(schema, 8, 3, 7);
+    state.ResumeTiming();
+    ChaseConfig config;
+    config.max_steps = 0;
+    config.max_tuples = 0;
+    ChaseResult result = RunChase(&inst, deps, config);
+    benchmark::DoNotOptimize(result.passes);
+    steps = result.steps;
+  }
+  state.counters["num_deps"] = num_deps;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_ChaseManyDependencies)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ChaseWideSchema(benchmark::State& state) {
+  // Arity sweep: the same join-style dependency lifted to wider schemas —
+  // the regime the paper's reduction lives in (2n + 2 attributes).
+  const int arity = static_cast<int>(state.range(0));
+  SchemaPtr schema =
+      std::make_shared<const Schema>(Schema::Numbered(arity, "X"));
+  // Body: two rows agreeing on attribute 0; head: first row with last
+  // column from the second (a generalized join TD).
+  Dependency::Builder builder(schema);
+  Row r1(arity), r2(arity), head(arity);
+  int shared = builder.Var(0);
+  r1[0] = r2[0] = head[0] = shared;
+  for (int attr = 1; attr < arity; ++attr) {
+    r1[attr] = builder.Var(attr);
+    r2[attr] = builder.Var(attr);
+    head[attr] = attr + 1 == arity ? r2[attr] : r1[attr];
+  }
+  Dependency::Builder b2 = std::move(builder);
+  b2.AddBodyRow(r1);
+  b2.AddBodyRow(r2);
+  b2.AddHeadRow(head);
+  DependencySet deps;
+  deps.Add(std::move(b2).Build().value());
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Instance inst = SeedInstance(schema, 10, 3, 11);
+    state.ResumeTiming();
+    ChaseConfig config;
+    config.max_steps = 0;
+    config.max_tuples = 0;
+    ChaseResult result = RunChase(&inst, deps, config);
+    benchmark::DoNotOptimize(result.steps);
+    steps = result.steps;
+  }
+  state.counters["arity"] = arity;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_ChaseWideSchema)->Arg(2)->Arg(6)->Arg(12)->Arg(24);
+
+}  // namespace
+}  // namespace tdlib

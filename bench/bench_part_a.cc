@@ -1,0 +1,88 @@
+// EXP-A: Reduction Theorem direction (A), executed.
+//
+// Series: on the derivable chain family (A0 ->* 0 with derivations of
+// growing length), wall time and chase steps of (a) the scripted derivation
+// replay with bridge verification and (b) the black-box chase. The shape:
+// replay steps track the derivation length (each rewriting step costs 1 fire
+// for contractions, 3 for expansions); the black-box chase does strictly
+// more work because it explores gadget fires the derivation never needs.
+#include <benchmark/benchmark.h>
+
+#include "reduction/part_a.h"
+
+namespace tdlib {
+namespace {
+
+Presentation ChainPresentation(int k) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = B0");
+  for (int i = 0; i <= k; ++i) {
+    std::string eq = "B";
+    eq += std::to_string(i);
+    eq += " B";
+    eq += std::to_string(i);
+    eq += " = ";
+    if (i < k) {
+      eq += "B";
+      eq += std::to_string(i + 1);
+    } else {
+      eq += "0";
+    }
+    p.AddEquationFromText(eq);
+  }
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+void BM_PartAReplay(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Presentation p = ChainPresentation(k);
+  PartAConfig config;
+  config.word_problem.max_word_length = k + 4;
+  config.word_problem.max_states = 500000;
+  config.run_black_box_chase = false;
+  config.verify_bridges = true;
+  std::uint64_t replay_steps = 0;
+  std::size_t derivation = 0;
+  bool ok = true;
+  for (auto _ : state) {
+    PartAResult result = RunPartA(p, config);
+    benchmark::DoNotOptimize(result.replay_reached_goal);
+    replay_steps = result.replay_steps;
+    derivation = result.word_problem.derivation.size();
+    ok = ok && result.consistent;
+  }
+  state.counters["chain_k"] = k;
+  state.counters["derivation_length"] = static_cast<double>(derivation);
+  state.counters["replay_steps"] = static_cast<double>(replay_steps);
+  state.counters["consistent"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_PartAReplay)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PartABlackBoxChase(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Presentation p = ChainPresentation(k);
+  PartAConfig config;
+  config.word_problem.max_word_length = k + 4;
+  config.word_problem.max_states = 500000;
+  config.verify_bridges = false;
+  config.run_black_box_chase = true;
+  config.chase.max_steps = 200000;
+  config.chase.max_tuples = 200000;
+  std::uint64_t chase_steps = 0;
+  int implied = 0;
+  for (auto _ : state) {
+    PartAResult result = RunPartA(p, config);
+    benchmark::DoNotOptimize(result.black_box.verdict);
+    chase_steps = result.black_box.chase.steps;
+    implied = result.black_box.verdict == Implication::kImplied ? 1 : 0;
+  }
+  state.counters["chain_k"] = k;
+  state.counters["chase_steps"] = static_cast<double>(chase_steps);
+  state.counters["implied"] = implied;
+}
+BENCHMARK(BM_PartABlackBoxChase)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,77 @@
+// EXP-B: Reduction Theorem direction (B), executed.
+//
+// Series: model-search cost, database size (|P|, |Q|) and model-check time
+// for the part (B) counterexample pipeline, as the presentation's alphabet
+// grows. The databases stay small (the null-semigroup refuters are tiny)
+// while the model check grows with |D| = 4 * #equations — the verification,
+// not the construction, dominates.
+#include <benchmark/benchmark.h>
+
+#include "core/satisfaction.h"
+#include "reduction/part_b.h"
+
+namespace tdlib {
+namespace {
+
+Presentation RefutablePresentation(int extra_symbols) {
+  Presentation p;
+  for (int s = 0; s < extra_symbols; ++s) {
+    p.AddSymbol("S" + std::to_string(s));
+  }
+  // Every extra letter squares to 0: the null semigroup refutes A0 = 0.
+  for (int s = 0; s < extra_symbols; ++s) {
+    p.AddEquationFromText("S" + std::to_string(s) + " S" + std::to_string(s) +
+                          " = 0");
+  }
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+void BM_PartBPipeline(benchmark::State& state) {
+  const int extra = static_cast<int>(state.range(0));
+  Presentation p = RefutablePresentation(extra);
+  ModelSearchConfig search;
+  search.max_size = 3;
+  int p_size = 0, q_size = 0, verified = 0;
+  for (auto _ : state) {
+    PartBResult result = RunPartB(p, search);
+    benchmark::DoNotOptimize(result.verified);
+    if (result.db.has_value()) {
+      p_size = result.db->p_size;
+      q_size = result.db->q_size;
+    }
+    verified = result.verified ? 1 : 0;
+  }
+  state.counters["extra_symbols"] = extra;
+  state.counters["P_size"] = p_size;
+  state.counters["Q_size"] = q_size;
+  state.counters["verified"] = verified;
+}
+BENCHMARK(BM_PartBPipeline)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PartBModelCheckOnly(benchmark::State& state) {
+  // Isolates the model check (every gadget against the built database).
+  const int extra = static_cast<int>(state.range(0));
+  Presentation p = RefutablePresentation(extra);
+  PartBResult built = RunPartB(p);
+  if (!built.verified) {
+    state.SkipWithError("part B pipeline did not verify");
+    return;
+  }
+  NormalizationResult norm = NormalizeTo21(p);
+  GurevichLewisReduction red =
+      std::move(GurevichLewisReduction::Create(norm.normalized)).value();
+  int violated = 0;
+  for (auto _ : state) {
+    violated = FirstViolated(red.dependencies(), built.db->database);
+    benchmark::DoNotOptimize(violated);
+  }
+  state.counters["extra_symbols"] = extra;
+  state.counters["num_dependencies"] =
+      static_cast<double>(red.dependencies().items.size());
+  state.counters["first_violated"] = violated;  // must be -1
+}
+BENCHMARK(BM_PartBModelCheckOnly)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,76 @@
+// EXP-F3: constructing the Fig. 3 gadgets, and the paper's headline
+// parameter table.
+//
+// Series: reduction construction time vs. alphabet size n, with counters
+// confirming the claims "2n + 2 attributes", "|D| = 4 * #equations", and
+// "at most five antecedents" (the trade-off against Vardi's construction,
+// which bounds attributes but not antecedents).
+#include <benchmark/benchmark.h>
+
+#include "reduction/reduction.h"
+#include "semigroup/normalizer.h"
+
+namespace tdlib {
+namespace {
+
+Presentation PresentationWithSymbols(int extra_symbols) {
+  Presentation p;
+  for (int s = 0; s < extra_symbols; ++s) {
+    p.AddSymbol("S" + std::to_string(s));
+  }
+  // A ladder of equations so |E| grows with the alphabet.
+  for (int s = 0; s + 1 < extra_symbols; ++s) {
+    p.AddEquationFromText("S" + std::to_string(s) + " S" + std::to_string(s) +
+                          " = S" + std::to_string(s + 1));
+  }
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+void BM_ReductionBuild(benchmark::State& state) {
+  const int extra = static_cast<int>(state.range(0));
+  Presentation p = PresentationWithSymbols(extra);
+  NormalizationResult norm = NormalizeTo21(p);
+  int arity = 0, max_antecedents = 0;
+  std::size_t num_deps = 0;
+  for (auto _ : state) {
+    Result<GurevichLewisReduction> red =
+        GurevichLewisReduction::Create(norm.normalized);
+    benchmark::DoNotOptimize(red.ok());
+    arity = red.value().arity();
+    max_antecedents = red.value().MaxAntecedents();
+    num_deps = red.value().dependencies().items.size();
+  }
+  state.counters["symbols_n"] = norm.normalized.num_symbols();
+  state.counters["attributes_2n_plus_2"] = arity;
+  state.counters["max_antecedents"] = max_antecedents;
+  state.counters["num_dependencies"] = static_cast<double>(num_deps);
+  state.counters["equations"] =
+      static_cast<double>(norm.normalized.equations().size());
+}
+BENCHMARK(BM_ReductionBuild)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_NormalizationTo21(benchmark::State& state) {
+  // Normalization growth: equations of length `len` split into (2,1) form;
+  // introduced symbols ~ len - 2 per equation side.
+  const int len = static_cast<int>(state.range(0));
+  Presentation p;
+  p.AddSymbol("S");
+  Word lhs(len, p.SymbolId("S"));
+  p.AddEquation(lhs, Word{p.a0()});
+  p.AddAbsorptionEquations();
+  std::size_t introduced = 0, equations = 0;
+  for (auto _ : state) {
+    NormalizationResult norm = NormalizeTo21(p);
+    benchmark::DoNotOptimize(norm.normalized.num_symbols());
+    introduced = norm.introduced.size();
+    equations = norm.normalized.equations().size();
+  }
+  state.counters["input_lhs_length"] = len;
+  state.counters["introduced_symbols"] = static_cast<double>(introduced);
+  state.counters["output_equations"] = static_cast<double>(equations);
+}
+BENCHMARK(BM_NormalizationTo21)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,127 @@
+// EXP-LEMMA: the word-problem side of the Main Lemma.
+//
+// Series: breadth-first derivation search cost vs. chain depth on the
+// derivable family, and explored-state growth on the pumping (gap) family
+// where no derivation exists. Positive instances are certificates; negative
+// instances show the search's divergence — the computational face of
+// undecidability.
+#include <benchmark/benchmark.h>
+
+#include "semigroup/knuth_bendix.h"
+#include "semigroup/quotient.h"
+#include "semigroup/rewrite.h"
+
+namespace tdlib {
+namespace {
+
+Presentation DerivableChain(int k) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = B0");
+  for (int i = 0; i <= k; ++i) {
+    std::string eq = "B";
+    eq += std::to_string(i);
+    eq += " B";
+    eq += std::to_string(i);
+    eq += " = ";
+    if (i < k) {
+      eq += "B";
+      eq += std::to_string(i + 1);
+    } else {
+      eq += "0";
+    }
+    p.AddEquationFromText(eq);
+  }
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+void BM_WordProblemDerivable(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Presentation p = DerivableChain(k);
+  WordProblemConfig config;
+  config.max_word_length = k + 4;
+  config.max_states = 500000;
+  std::uint64_t states = 0;
+  std::size_t derivation = 0;
+  for (auto _ : state) {
+    WordProblemResult r = ProveA0IsZero(p, config);
+    benchmark::DoNotOptimize(r.status);
+    states = r.states_explored;
+    derivation = r.derivation.size();
+  }
+  state.counters["chain_k"] = k;
+  state.counters["states_explored"] = static_cast<double>(states);
+  state.counters["derivation_length"] = static_cast<double>(derivation);
+}
+BENCHMARK(BM_WordProblemDerivable)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_WordProblemDivergent(benchmark::State& state) {
+  // "A A0 = A0": not derivable; the search exhausts the length-bounded
+  // space (the reachable words are exactly A^k A0, so states grow linearly
+  // with the bound — divergence without an exploding frontier).
+  const int bound = static_cast<int>(state.range(0));
+  Presentation p;
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  WordProblemConfig config;
+  config.max_word_length = bound;
+  config.max_states = 2000000;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    WordProblemResult r = ProveA0IsZero(p, config);
+    benchmark::DoNotOptimize(r.status);
+    states = r.states_explored;
+  }
+  state.counters["length_bound"] = bound;
+  state.counters["states_explored"] = static_cast<double>(states);
+}
+BENCHMARK(BM_WordProblemDivergent)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_BoundedQuotient(benchmark::State& state) {
+  // Ground-truth congruence closure: cost vs. word-length bound.
+  const int bound = static_cast<int>(state.range(0));
+  Presentation p = DerivableChain(1);
+  std::size_t classes = 0, words = 0;
+  for (auto _ : state) {
+    BoundedQuotient q(p, bound);
+    benchmark::DoNotOptimize(q.num_classes());
+    classes = q.num_classes();
+    words = q.num_words();
+  }
+  state.counters["length_bound"] = bound;
+  state.counters["words"] = static_cast<double>(words);
+  state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_BoundedQuotient)->Arg(2)->Arg(3)->Arg(4);
+
+
+void BM_KnuthBendixVsBfs(benchmark::State& state) {
+  // Ablation: completion decides the underivable family that BFS can only
+  // exhaust bound-by-bound. Arg = 0: BFS at length bound 8; Arg = 1:
+  // completion + normal-form comparison.
+  const bool use_completion = state.range(0) == 1;
+  Presentation p;
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  int decided = 0;
+  for (auto _ : state) {
+    if (use_completion) {
+      bool equal = true;
+      decided = DecideA0IsZeroByCompletion(p, &equal) ? 1 : 0;
+      benchmark::DoNotOptimize(equal);
+    } else {
+      WordProblemConfig config;
+      config.max_word_length = 8;
+      WordProblemResult r = ProveA0IsZero(p, config);
+      benchmark::DoNotOptimize(r.status);
+      decided = 0;  // kExhausted is bounded evidence, not a decision
+    }
+  }
+  state.counters["engine_completion1"] = use_completion ? 1 : 0;
+  state.counters["decided"] = decided;
+}
+BENCHMARK(BM_KnuthBendixVsBfs)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tdlib

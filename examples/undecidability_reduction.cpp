@@ -1,0 +1,49 @@
+// The paper's construction, live: from a semigroup presentation to the
+// dependency set D and goal D0, then direction (A) executed — the word
+// problem derivation replayed as chase steps with the bridge invariant
+// verified at every stage.
+//
+//   $ ./build/examples/undecidability_reduction
+#include <iostream>
+
+#include "reduction/part_a.h"
+#include "reduction/reduction.h"
+#include "semigroup/normalizer.h"
+
+using namespace tdlib;
+
+int main() {
+  // A presentation where A0 = 0 is derivable:
+  //   A0 A0 = A0   (A0 is idempotent)
+  //   A0 A0 = 0    (and its square vanishes)
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  std::cout << "presentation phi:\n" << p.ToString() << "\n";
+
+  NormalizationResult norm = NormalizeTo21(p);
+  GurevichLewisReduction red =
+      std::move(GurevichLewisReduction::Create(norm.normalized)).value();
+  std::cout << "reduction: " << red.arity() << " attributes (2n+2), "
+            << red.dependencies().items.size() << " dependencies (4 per "
+            << "equation), max antecedents " << red.MaxAntecedents()
+            << " (the paper's bound: 5)\n\n";
+  std::cout << "goal D0: " << red.goal().ToString() << "\n\n";
+
+  PartAConfig config;
+  config.chase.max_steps = 50000;
+  PartAResult result = RunPartA(p, config);
+  std::cout << result.ToString() << "\n\n";
+
+  std::cout << "derivation replayed through the chase (u_j : bridge "
+               "verified : instance size):\n";
+  for (const BridgeStage& stage : result.stages) {
+    std::cout << "  " << norm.normalized.WordToString(stage.word) << " : "
+              << (stage.embedded ? "embedded" : "MISSING") << " : "
+              << stage.instance_tuples << " tuples\n";
+  }
+  std::cout << "\nblack-box chase agrees: " << result.black_box.ToString()
+            << "\n";
+  return result.consistent ? 0 : 1;
+}

@@ -1,0 +1,181 @@
+#include "chase/chase.h"
+
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace tdlib {
+namespace {
+
+// Returns true if `h` (a body match for dep) extends to dep's head in
+// `instance`; accumulates search nodes into *nodes.
+bool HeadWitnessed(const Dependency& dep, const Instance& instance,
+                   const Valuation& h, const HomSearchOptions& options,
+                   std::uint64_t* nodes, bool* budget_hit) {
+  HomomorphismSearch head_search(dep.head(), instance, options);
+  Valuation initial = Valuation::For(dep.head());
+  for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+    for (int v = 0; v < dep.head().NumVars(attr); ++v) {
+      if (dep.IsUniversal(attr, v)) initial.Set(attr, v, h.Get(attr, v));
+    }
+  }
+  head_search.SetInitial(initial);
+  HomSearchStatus status = head_search.FindAny(nullptr);
+  *nodes += head_search.nodes_explored();
+  if (status == HomSearchStatus::kBudget) *budget_hit = true;
+  return status == HomSearchStatus::kFound;
+}
+
+// Inserts dep's head rows under `h`, inventing labeled nulls for existential
+// variables. Returns ids of newly inserted tuples.
+std::vector<int> FireStep(const Dependency& dep, Instance* instance,
+                          const Valuation& h) {
+  // One fresh null per distinct existential variable that appears in the
+  // head (shared across head rows, as EID semantics requires).
+  Valuation extended = h;
+  for (const Row& row : dep.head().rows()) {
+    for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+      int var = row[attr];
+      if (!extended.Bound(attr, var)) {
+        int fresh = instance->AddValue(attr, "", /*labeled_null=*/true);
+        extended.Set(attr, var, fresh);
+      }
+    }
+  }
+  std::vector<int> new_ids;
+  for (const Row& row : dep.head().rows()) {
+    Tuple t(dep.schema().arity());
+    for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+      t[attr] = extended.Get(attr, row[attr]);
+    }
+    std::size_t before = instance->NumTuples();
+    if (instance->AddTuple(t)) {
+      new_ids.push_back(static_cast<int>(before));
+    }
+  }
+  return new_ids;
+}
+
+}  // namespace
+
+bool HasApplicableStep(const Dependency& dep, const Instance& instance,
+                       const HomSearchOptions& options) {
+  bool applicable = false;
+  bool budget_hit = false;
+  std::uint64_t nodes = 0;
+  HomomorphismSearch body_search(dep.body(), instance, options);
+  body_search.ForEach([&](const Valuation& h) {
+    if (!HeadWitnessed(dep, instance, h, options, &nodes, &budget_hit)) {
+      applicable = true;
+      return false;
+    }
+    return true;
+  });
+  return applicable;
+}
+
+ChaseResult RunChase(Instance* instance, const DependencySet& deps,
+                     const ChaseConfig& config, const ChaseGoal& goal) {
+  ChaseResult result;
+  Deadline deadline(config.deadline_seconds);
+  HomSearchOptions hom_options = config.HomOptions();
+  bool budget_hit = false;
+
+  if (goal && goal(*instance)) {
+    result.status = ChaseStatus::kGoal;
+    return result;
+  }
+
+  while (true) {
+    ++result.passes;
+    // Collect applicable steps against the pass-start instance. The
+    // valuations stay valid as tuples are only ever added.
+    std::vector<std::pair<int, Valuation>> pending;
+    for (std::size_t di = 0; di < deps.items.size(); ++di) {
+      const Dependency& dep = deps.items[di];
+      HomomorphismSearch body_search(dep.body(), *instance, hom_options);
+      HomSearchStatus status = body_search.ForEach([&](const Valuation& h) {
+        if (!HeadWitnessed(dep, *instance, h, hom_options, &result.hom_nodes,
+                           &budget_hit)) {
+          pending.emplace_back(static_cast<int>(di), h);
+        }
+        return !budget_hit;
+      });
+      result.hom_nodes += body_search.nodes_explored();
+      if (status == HomSearchStatus::kBudget) budget_hit = true;
+      if (budget_hit) {
+        result.status = ChaseStatus::kHomBudget;
+        return result;
+      }
+      if (deadline.Expired()) {
+        result.status = ChaseStatus::kTimeout;
+        return result;
+      }
+    }
+
+    if (pending.empty()) {
+      result.status = ChaseStatus::kFixpoint;
+      return result;
+    }
+
+    for (auto& [di, h] : pending) {
+      const Dependency& dep = deps.items[di];
+      // An earlier fire in this pass may have witnessed this head already.
+      if (HeadWitnessed(dep, *instance, h, hom_options, &result.hom_nodes,
+                        &budget_hit)) {
+        continue;
+      }
+      if (budget_hit) {
+        result.status = ChaseStatus::kHomBudget;
+        return result;
+      }
+      std::vector<int> new_ids = FireStep(dep, instance, h);
+      ++result.steps;
+      if (config.record_trace) {
+        result.trace.push_back(ChaseStep{di, h, std::move(new_ids)});
+      }
+      if (config.eager_goal_check && goal && goal(*instance)) {
+        result.status = ChaseStatus::kGoal;
+        return result;
+      }
+      if (config.max_steps > 0 && result.steps >= config.max_steps) {
+        result.status = ChaseStatus::kStepLimit;
+        return result;
+      }
+      if (config.max_tuples > 0 && instance->NumTuples() >= config.max_tuples) {
+        result.status = ChaseStatus::kTupleLimit;
+        return result;
+      }
+      if (deadline.Expired()) {
+        result.status = ChaseStatus::kTimeout;
+        return result;
+      }
+    }
+
+    if (!config.eager_goal_check && goal && goal(*instance)) {
+      result.status = ChaseStatus::kGoal;
+      return result;
+    }
+  }
+}
+
+std::string_view ChaseStatusName(ChaseStatus status) {
+  switch (status) {
+    case ChaseStatus::kFixpoint: return "fixpoint";
+    case ChaseStatus::kGoal: return "goal";
+    case ChaseStatus::kStepLimit: return "step-limit";
+    case ChaseStatus::kTupleLimit: return "tuple-limit";
+    case ChaseStatus::kTimeout: return "timeout";
+    case ChaseStatus::kHomBudget: return "hom-budget";
+  }
+  return "?";
+}
+
+std::string ChaseResult::ToString() const {
+  std::ostringstream oss;
+  oss << "chase: " << ChaseStatusName(status) << " after " << steps
+      << " steps in " << passes << " passes (" << hom_nodes << " hom nodes)";
+  return oss.str();
+}
+
+}  // namespace tdlib

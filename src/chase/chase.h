@@ -1,0 +1,109 @@
+// The chase: the canonical fixpoint procedure for implicational dependencies.
+//
+// A chase step takes a dependency body => head and a homomorphism h of the
+// body into the current instance such that h does not extend to the head; it
+// then inserts the head rows under h, inventing a fresh labeled null for
+// every existential variable. The chase repeats until no step applies
+// (fixpoint), a goal is reached, or a resource limit trips.
+//
+// This is the engine behind direction (A) of the paper's Reduction Theorem:
+// the paper's induction "check by induction on j = 0..m that [a bridge for
+// u_j exists]" is, operationally, a chase derivation, and tdlib executes it.
+// Because TD inference is undecidable (the paper's main result!), the chase
+// need not terminate; all entry points take explicit budgets.
+#ifndef TDLIB_CHASE_CHASE_H_
+#define TDLIB_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "logic/homomorphism.h"
+#include "logic/instance.h"
+
+namespace tdlib {
+
+/// Resource limits and knobs for a chase run.
+struct ChaseConfig {
+  /// Stop after this many chase steps (tuple-inserting fires). 0 = no limit.
+  std::uint64_t max_steps = 100000;
+
+  /// Stop once the instance holds this many tuples. 0 = no limit.
+  std::uint64_t max_tuples = 1000000;
+
+  /// Wall-clock budget in seconds. <= 0 = no limit.
+  double deadline_seconds = 0;
+
+  /// Budget for each homomorphism search (0 = unlimited).
+  std::uint64_t hom_max_nodes = 0;
+
+  /// Record a ChaseStep entry per fire (needed by the part (A) tracer).
+  bool record_trace = false;
+
+  /// Check the goal after every fire (true) or only after every pass.
+  bool eager_goal_check = true;
+
+  HomSearchOptions HomOptions() const {
+    HomSearchOptions o;
+    o.max_nodes = hom_max_nodes;
+    return o;
+  }
+};
+
+/// Why the chase stopped.
+enum class ChaseStatus {
+  kFixpoint,    ///< no dependency is applicable: the result is a universal model
+  kGoal,        ///< the caller-supplied goal predicate became true
+  kStepLimit,   ///< max_steps exhausted
+  kTupleLimit,  ///< max_tuples exhausted
+  kTimeout,     ///< deadline exceeded
+  kHomBudget,   ///< a homomorphism search ran out of nodes (result unreliable)
+};
+
+/// One fired chase step (recorded when ChaseConfig::record_trace is set).
+struct ChaseStep {
+  int dependency_index;          ///< which dependency fired
+  Valuation body_match;          ///< the triggering body homomorphism
+  std::vector<int> new_tuples;   ///< ids of inserted tuples
+};
+
+/// Outcome of a chase run.
+struct ChaseResult {
+  ChaseStatus status = ChaseStatus::kFixpoint;
+  std::uint64_t steps = 0;          ///< fires
+  std::uint64_t passes = 0;         ///< full scans over the dependency set
+  std::uint64_t hom_nodes = 0;      ///< total homomorphism search nodes
+  std::vector<ChaseStep> trace;     ///< populated when record_trace
+
+  std::string ToString() const;
+};
+
+/// A goal predicate evaluated against the evolving instance; the chase stops
+/// with kGoal when it returns true. May be empty.
+using ChaseGoal = std::function<bool(const Instance&)>;
+
+/// Runs the (standard/restricted) chase of `instance` with `deps` in place.
+///
+/// The pass strategy is breadth-first and fair: each pass enumerates all
+/// applicable (dependency, body-match) pairs against the pass-start instance,
+/// re-verifies applicability immediately before firing (an earlier fire in
+/// the same pass may have satisfied the head), then fires. Fixpoint is a
+/// pass with zero fires.
+ChaseResult RunChase(Instance* instance, const DependencySet& deps,
+                     const ChaseConfig& config, const ChaseGoal& goal = {});
+
+/// Returns true iff `dep` has a body match in `instance` that does not
+/// extend to its head (i.e. a chase step is applicable). Exposed for tests
+/// and the termination analyzer.
+bool HasApplicableStep(const Dependency& dep, const Instance& instance,
+                       const HomSearchOptions& options = {});
+
+/// Human-readable name of a status.
+std::string_view ChaseStatusName(ChaseStatus status);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_CHASE_H_

@@ -1,0 +1,106 @@
+#include "chase/core_computation.h"
+
+#include <unordered_set>
+
+#include "logic/tableau.h"
+#include "util/hash.h"
+
+namespace tdlib {
+namespace {
+
+// Views an instance as a tableau: one variable per domain value, one row per
+// tuple. Combined with a valuation pinning the non-null values to
+// themselves, homomorphism search over this tableau enumerates exactly the
+// constant-fixing endomorphisms.
+Tableau AsTableau(const Instance& instance) {
+  Tableau t(instance.schema_ptr());
+  for (int attr = 0; attr < instance.schema().arity(); ++attr) {
+    t.EnsureVariables(attr, instance.DomainSize(attr));
+  }
+  for (const Tuple& tuple : instance.tuples()) t.AddRow(tuple);
+  return t;
+}
+
+Valuation PinConstants(const Instance& source, const Tableau& tableau) {
+  Valuation v = Valuation::For(tableau);
+  for (int attr = 0; attr < source.schema().arity(); ++attr) {
+    for (int value = 0; value < source.DomainSize(attr); ++value) {
+      if (!source.IsLabeledNull(attr, value)) v.Set(attr, value, value);
+    }
+  }
+  return v;
+}
+
+// Builds the sub-instance induced by a tuple-id set, preserving domains.
+Instance SubInstance(const Instance& instance,
+                     const std::unordered_set<Tuple, VectorHash>& keep) {
+  Instance out(instance.schema_ptr());
+  for (int attr = 0; attr < instance.schema().arity(); ++attr) {
+    for (int value = 0; value < instance.DomainSize(attr); ++value) {
+      out.AddValue(attr, instance.ValueName(attr, value),
+                   instance.IsLabeledNull(attr, value));
+    }
+  }
+  for (const Tuple& t : instance.tuples()) {
+    if (keep.count(t) > 0) out.AddTuple(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+CoreResult ComputeCore(const Instance& instance, const CoreConfig& config) {
+  CoreResult result(instance);
+  HomSearchOptions options;
+  options.max_nodes = config.hom_max_nodes;
+
+  while (config.max_rounds == 0 || result.rounds < config.max_rounds) {
+    const Instance& current = result.core;
+    Tableau tableau = AsTableau(current);
+    HomomorphismSearch search(tableau, current, options);
+    search.SetInitial(PinConstants(current, tableau));
+
+    std::unordered_set<Tuple, VectorHash> image;
+    bool found_proper = false;
+    HomSearchStatus status = search.ForEach([&](const Valuation& h) {
+      image.clear();
+      for (const Tuple& t : current.tuples()) {
+        Tuple mapped(t.size());
+        for (int attr = 0; attr < current.schema().arity(); ++attr) {
+          mapped[attr] = h.Get(attr, t[attr]);
+        }
+        image.insert(std::move(mapped));
+      }
+      if (image.size() < current.NumTuples()) {
+        found_proper = true;
+        return false;  // retract through this endomorphism
+      }
+      return true;
+    });
+    if (status == HomSearchStatus::kBudget) {
+      result.hit_budget = true;
+      return result;
+    }
+    if (!found_proper) return result;  // fixpoint: this is the core
+
+    int before = static_cast<int>(result.core.NumTuples());
+    result.core = SubInstance(current, image);
+    result.tuples_removed += before - static_cast<int>(result.core.NumTuples());
+    ++result.rounds;
+  }
+  result.hit_budget = true;  // round limit
+  return result;
+}
+
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b,
+                               const HomSearchOptions& options) {
+  auto maps = [&](const Instance& from, const Instance& to) {
+    Tableau tableau = AsTableau(from);
+    HomomorphismSearch search(tableau, to, options);
+    search.SetInitial(PinConstants(from, tableau));
+    return search.FindAny(nullptr) == HomSearchStatus::kFound;
+  };
+  return maps(a, b) && maps(b, a);
+}
+
+}  // namespace tdlib

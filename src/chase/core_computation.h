@@ -1,0 +1,59 @@
+// Cores: minimal universal models.
+//
+// A terminal chase instance certifies non-implication, but it is usually not
+// minimal — labeled nulls can often be folded onto other values by an
+// endomorphism that fixes the original (non-null) values. The image of such
+// a retraction is a smaller instance with the same homomorphism type; the
+// least fixpoint of this process is the *core*, the canonical minimal
+// counterexample. (Core minimization is the standard companion of tableau
+// techniques in the TD literature — cf. Fagin, Maier, Ullman & Yannakakis,
+// "Tools for Template Dependencies", cited by the paper.)
+#ifndef TDLIB_CHASE_CORE_COMPUTATION_H_
+#define TDLIB_CHASE_CORE_COMPUTATION_H_
+
+#include <cstdint>
+
+#include "logic/homomorphism.h"
+#include "logic/instance.h"
+
+namespace tdlib {
+
+struct CoreConfig {
+  /// Budget for each retraction search (0 = unlimited).
+  std::uint64_t hom_max_nodes = 0;
+
+  /// Upper bound on folding rounds (0 = until fixpoint).
+  int max_rounds = 0;
+};
+
+struct CoreResult {
+  Instance core;
+
+  /// Number of retraction rounds applied.
+  int rounds = 0;
+
+  /// Tuples removed relative to the input.
+  int tuples_removed = 0;
+
+  /// True if a budget stopped minimization early (result is still a valid
+  /// retract, just possibly not the core).
+  bool hit_budget = false;
+
+  explicit CoreResult(Instance c) : core(std::move(c)) {}
+};
+
+/// Computes the core of `instance` treating labeled nulls as foldable
+/// variables and every other value as a rigid constant. The result is
+/// homomorphically equivalent to the input (each maps into the other), so
+/// it satisfies exactly the same template dependencies in the roles where
+/// universal models are used.
+CoreResult ComputeCore(const Instance& instance, const CoreConfig& config = {});
+
+/// True iff each instance maps homomorphically into the other, fixing
+/// non-null values (used to validate ComputeCore and by tests).
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b,
+                               const HomSearchOptions& options = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_CORE_COMPUTATION_H_

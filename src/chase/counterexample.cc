@@ -1,0 +1,131 @@
+#include "chase/counterexample.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "core/satisfaction.h"
+#include "util/timer.h"
+
+namespace tdlib {
+namespace {
+
+// Builds the instance whose column-agreement patterns are given by one
+// restricted growth string per attribute. Returns nullopt when two rows
+// coincide on every attribute (that candidate is isomorphic to a smaller
+// one, already enumerated).
+std::optional<Instance> BuildCandidate(
+    const SchemaPtr& schema, int num_tuples,
+    const std::vector<std::vector<int>>& partitions) {
+  Instance instance(schema);
+  for (int attr = 0; attr < schema->arity(); ++attr) {
+    int blocks = *std::max_element(partitions[attr].begin(),
+                                   partitions[attr].end()) + 1;
+    for (int b = 0; b < blocks; ++b) instance.AddValue(attr);
+  }
+  for (int i = 0; i < num_tuples; ++i) {
+    Tuple t(schema->arity());
+    for (int attr = 0; attr < schema->arity(); ++attr) {
+      t[attr] = partitions[attr][i];
+    }
+    if (!instance.AddTuple(t)) return std::nullopt;  // duplicate row
+  }
+  return instance;
+}
+
+}  // namespace
+
+bool ForEachSetPartition(
+    int n, const std::function<bool(const std::vector<int>&)>& visit) {
+  std::vector<int> rgs(n, 0);
+  // Standard restricted-growth-string enumeration.
+  std::function<bool(int, int)> rec = [&](int i, int max_used) -> bool {
+    if (i == n) return visit(rgs);
+    for (int v = 0; v <= max_used + 1 && v < n; ++v) {
+      rgs[i] = v;
+      if (!rec(i + 1, std::max(max_used, v))) return false;
+    }
+    return true;
+  };
+  if (n == 0) return visit(rgs);
+  rgs[0] = 0;
+  return rec(1, 0);
+}
+
+CounterexampleResult FindFiniteCounterexample(
+    const DependencySet& d, const Dependency& d0,
+    const CounterexampleConfig& config) {
+  CounterexampleResult result;
+  Deadline deadline(config.deadline_seconds);
+  const SchemaPtr& schema = d0.schema_ptr();
+  const int arity = schema->arity();
+
+  for (int n = 1; n <= config.max_tuples; ++n) {
+    // Pre-list partitions of [n] once; the candidate space is the
+    // arity-fold product, walked with an odometer.
+    std::vector<std::vector<int>> partitions;
+    ForEachSetPartition(n, [&](const std::vector<int>& p) {
+      partitions.push_back(p);
+      return true;
+    });
+    const std::size_t per_attr = partitions.size();
+    std::vector<std::size_t> odometer(arity, 0);
+    bool exhausted_level = false;
+    while (!exhausted_level) {
+      if (deadline.Expired() ||
+          (config.max_candidates > 0 &&
+           result.candidates_checked >= config.max_candidates)) {
+        result.status = CounterexampleStatus::kLimit;
+        return result;
+      }
+      std::vector<std::vector<int>> chosen(arity);
+      for (int attr = 0; attr < arity; ++attr) {
+        chosen[attr] = partitions[odometer[attr]];
+      }
+      std::optional<Instance> candidate = BuildCandidate(schema, n, chosen);
+      if (candidate.has_value()) {
+        ++result.candidates_checked;
+        // Cheap test first: D0 must be violated.
+        if (CheckSatisfaction(d0, *candidate).verdict ==
+            Satisfaction::kViolated) {
+          bool all_hold = true;
+          for (const Dependency& dep : d.items) {
+            if (CheckSatisfaction(dep, *candidate).verdict !=
+                Satisfaction::kSatisfied) {
+              all_hold = false;
+              break;
+            }
+          }
+          if (all_hold) {
+            result.status = CounterexampleStatus::kFound;
+            result.witness = std::move(candidate);
+            return result;
+          }
+        }
+      }
+      // Advance the odometer.
+      int pos = 0;
+      while (pos < arity) {
+        if (++odometer[pos] < per_attr) break;
+        odometer[pos] = 0;
+        ++pos;
+      }
+      if (pos == arity) exhausted_level = true;
+    }
+  }
+  result.status = CounterexampleStatus::kExhausted;
+  return result;
+}
+
+std::string CounterexampleResult::ToString() const {
+  std::ostringstream oss;
+  switch (status) {
+    case CounterexampleStatus::kFound: oss << "FOUND"; break;
+    case CounterexampleStatus::kExhausted: oss << "EXHAUSTED"; break;
+    case CounterexampleStatus::kLimit: oss << "LIMIT"; break;
+  }
+  oss << " after " << candidates_checked << " candidates";
+  return oss.str();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,70 @@
+// Finite counterexample search: the other half of the inference problem.
+//
+// The paper distinguishes the *true database interpretation* (R finite) from
+// the unrestricted one, and its Main Theorem makes the pair
+//   { (D, D0) : D0 holds in every database satisfying D }
+//   { (D, D0) : D0 fails in some FINITE database satisfying D }
+// effectively inseparable. Enumerating finite databases and model-checking
+// them semi-decides membership in the second set; this module is that
+// enumerator.
+//
+// Enumeration is complete up to isomorphism: a database over the typed
+// schema is determined (up to renaming of domain values) by the pattern of
+// value agreements inside each column, i.e. by one set partition of the
+// tuple indices per attribute. Candidates are therefore tuples of restricted
+// growth strings, enumerated by increasing tuple count.
+#ifndef TDLIB_CHASE_COUNTEREXAMPLE_H_
+#define TDLIB_CHASE_COUNTEREXAMPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "logic/instance.h"
+
+namespace tdlib {
+
+/// Limits for the enumeration.
+struct CounterexampleConfig {
+  /// Largest database (tuple count) to try.
+  int max_tuples = 3;
+
+  /// Abort after checking this many candidate databases (0 = unlimited).
+  std::uint64_t max_candidates = 0;
+
+  /// Wall-clock budget in seconds (<= 0 = none).
+  double deadline_seconds = 0;
+};
+
+/// Outcome of a search.
+enum class CounterexampleStatus {
+  kFound,      ///< witness holds: satisfies every member of D, violates D0
+  kExhausted,  ///< no counterexample with at most max_tuples tuples exists
+  kLimit,      ///< candidate/time budget hit first
+};
+
+struct CounterexampleResult {
+  CounterexampleStatus status = CounterexampleStatus::kLimit;
+  std::optional<Instance> witness;
+  std::uint64_t candidates_checked = 0;
+
+  std::string ToString() const;
+};
+
+/// Searches for a finite database satisfying all of `d` and violating `d0`.
+CounterexampleResult FindFiniteCounterexample(const DependencySet& d,
+                                              const Dependency& d0,
+                                              const CounterexampleConfig& config = {});
+
+/// Enumerates all set partitions of {0..n-1} as restricted growth strings
+/// (rgs[0] = 0; rgs[i] <= 1 + max(rgs[0..i-1])). `visit` returns false to
+/// stop. Exposed for tests and the EXP-GAP bench. Returns false iff stopped.
+bool ForEachSetPartition(int n,
+                         const std::function<bool(const std::vector<int>&)>& visit);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_COUNTEREXAMPLE_H_

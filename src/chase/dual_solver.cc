@@ -1,0 +1,53 @@
+#include "chase/dual_solver.h"
+
+#include <sstream>
+
+namespace tdlib {
+
+DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
+                            const DualSolverConfig& config) {
+  DualResult result;
+  for (int round = 0; round < config.rounds; ++round) {
+    result.rounds_used = round + 1;
+
+    ChaseConfig chase = config.base_chase;
+    std::uint64_t scale = 1ULL << round;
+    if (chase.max_steps > 0) chase.max_steps *= scale;
+    if (chase.max_tuples > 0) chase.max_tuples *= scale;
+    result.implication = ChaseImplies(d, d0, chase);
+    if (result.implication.verdict == Implication::kImplied) {
+      result.verdict = DualVerdict::kImplied;
+      return result;
+    }
+    if (result.implication.verdict == Implication::kNotImplied) {
+      // Chase fixpoint: its terminal instance is itself a finite
+      // counterexample, so both semantics are refuted at once.
+      result.verdict = DualVerdict::kRefutedByFixpoint;
+      return result;
+    }
+
+    CounterexampleConfig cex = config.base_counterexample;
+    cex.max_tuples += round;
+    result.counterexample = FindFiniteCounterexample(d, d0, cex);
+    if (result.counterexample.status == CounterexampleStatus::kFound) {
+      result.verdict = DualVerdict::kRefutedFinite;
+      return result;
+    }
+  }
+  result.verdict = DualVerdict::kUnknown;
+  return result;
+}
+
+std::string DualResult::ToString() const {
+  std::ostringstream oss;
+  switch (verdict) {
+    case DualVerdict::kImplied: oss << "IMPLIED"; break;
+    case DualVerdict::kRefutedFinite: oss << "REFUTED-FINITE"; break;
+    case DualVerdict::kRefutedByFixpoint: oss << "REFUTED-FIXPOINT"; break;
+    case DualVerdict::kUnknown: oss << "UNKNOWN"; break;
+  }
+  oss << " in " << rounds_used << " round(s)";
+  return oss.str();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,59 @@
+// The dual solver: effective inseparability made operational.
+//
+// The Main Theorem exhibits two disjoint r.e. sets of (D, D0) pairs —
+// "implied everywhere" and "refuted by some finite database" — that no
+// recursive set separates. Each side has its own semi-decision procedure:
+// the chase (for implication) and finite-model enumeration (for finite
+// refutation). The dual solver interleaves the two with growing budgets.
+//
+// On instances produced by the paper's reduction from the word problem, one
+// of the two sides halts whenever the underlying word-problem instance lies
+// in one of the Main Lemma's promise sets. Instances in the gap — D0 holds
+// in all finite databases but fails in an infinite one, the phenomenon of
+// Fagin et al. (1981) recalled in the introduction — are exactly where both
+// sides run forever; with budgets, that surfaces as kUnknown.
+#ifndef TDLIB_CHASE_DUAL_SOLVER_H_
+#define TDLIB_CHASE_DUAL_SOLVER_H_
+
+#include <string>
+
+#include "chase/counterexample.h"
+#include "chase/implication.h"
+
+namespace tdlib {
+
+/// Budgets for the interleaved procedure.
+struct DualSolverConfig {
+  /// Number of escalation rounds. Round k multiplies the base budgets by
+  /// 2^k (chase steps) and adds k to the counterexample tuple bound.
+  int rounds = 3;
+
+  ChaseConfig base_chase;                  ///< chase budgets for round 0
+  CounterexampleConfig base_counterexample;  ///< model-search budgets for round 0
+};
+
+/// What the dual solver concluded.
+enum class DualVerdict {
+  kImplied,             ///< the chase reached D0's conclusion
+  kRefutedFinite,       ///< a finite database satisfies D, violates D0
+  kRefutedByFixpoint,   ///< chase fixpoint: the (finite) universal model refutes
+  kUnknown,             ///< all rounds exhausted
+};
+
+struct DualResult {
+  DualVerdict verdict = DualVerdict::kUnknown;
+  int rounds_used = 0;
+  ImplicationResult implication;       ///< last chase attempt
+  CounterexampleResult counterexample; ///< last model-search attempt
+
+  std::string ToString() const;
+};
+
+/// Runs chase and finite-model search in alternation with escalating
+/// budgets until either side produces a certificate.
+DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
+                            const DualSolverConfig& config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_DUAL_SOLVER_H_

@@ -1,0 +1,104 @@
+#include "chase/equivalence.h"
+
+namespace tdlib {
+
+ThreeValued FromImplication(Implication verdict) {
+  switch (verdict) {
+    case Implication::kImplied: return ThreeValued::kYes;
+    case Implication::kNotImplied: return ThreeValued::kNo;
+    case Implication::kUnknown: return ThreeValued::kUnknown;
+  }
+  return ThreeValued::kUnknown;
+}
+
+int FirstUnimplied(const DependencySet& d, const DependencySet& e,
+                   const ChaseConfig& config) {
+  bool unknown = false;
+  for (std::size_t i = 0; i < e.items.size(); ++i) {
+    ImplicationResult r = ChaseImplies(d, e.items[i], config);
+    if (r.verdict == Implication::kNotImplied) return static_cast<int>(i);
+    if (r.verdict == Implication::kUnknown) unknown = true;
+  }
+  return unknown ? -2 : -1;
+}
+
+ThreeValued ImpliesAll(const DependencySet& d, const DependencySet& e,
+                       const ChaseConfig& config) {
+  int first = FirstUnimplied(d, e, config);
+  if (first >= 0) return ThreeValued::kNo;
+  return first == -1 ? ThreeValued::kYes : ThreeValued::kUnknown;
+}
+
+ThreeValued SetsEquivalent(const DependencySet& d, const DependencySet& e,
+                           const ChaseConfig& config) {
+  ThreeValued forward = ImpliesAll(d, e, config);
+  if (forward == ThreeValued::kNo) return ThreeValued::kNo;
+  ThreeValued backward = ImpliesAll(e, d, config);
+  if (backward == ThreeValued::kNo) return ThreeValued::kNo;
+  if (forward == ThreeValued::kYes && backward == ThreeValued::kYes) {
+    return ThreeValued::kYes;
+  }
+  return ThreeValued::kUnknown;
+}
+
+namespace {
+
+DependencySet WithoutMember(const DependencySet& d, int index) {
+  DependencySet rest;
+  for (std::size_t i = 0; i < d.items.size(); ++i) {
+    if (static_cast<int>(i) == index) continue;
+    rest.Add(d.items[i], i < d.names.size() ? d.names[i] : "");
+  }
+  return rest;
+}
+
+}  // namespace
+
+ThreeValued MemberRedundant(const DependencySet& d, int index,
+                            const ChaseConfig& config) {
+  DependencySet rest = WithoutMember(d, index);
+  return FromImplication(ChaseImplies(rest, d.items[index], config).verdict);
+}
+
+ThreeValued SetRedundant(const DependencySet& d, const ChaseConfig& config) {
+  bool unknown = false;
+  for (std::size_t i = 0; i < d.items.size(); ++i) {
+    ThreeValued r = MemberRedundant(d, static_cast<int>(i), config);
+    if (r == ThreeValued::kYes) return ThreeValued::kYes;
+    if (r == ThreeValued::kUnknown) unknown = true;
+  }
+  return unknown ? ThreeValued::kUnknown : ThreeValued::kNo;
+}
+
+MinimizationResult MinimizeSet(const DependencySet& d,
+                               const ChaseConfig& config) {
+  MinimizationResult result;
+  result.minimized = d;
+  // Scan left to right against the *current* (shrinking) set so that the
+  // result never removes two members that only imply each other.
+  int i = 0;
+  while (i < static_cast<int>(result.minimized.items.size())) {
+    ThreeValued r = MemberRedundant(result.minimized, i, config);
+    if (r == ThreeValued::kYes) {
+      // Recover the original index for reporting: count survivors.
+      int removed_count = static_cast<int>(result.removed.size());
+      // Original index = current index + number of removals at or before it.
+      // Track by name-independent arithmetic: removals so far that had
+      // original index <= current original position shift it.
+      int original = i;
+      for (int r_idx : result.removed) {
+        if (r_idx <= original) ++original;
+      }
+      (void)removed_count;
+      result.removed.push_back(original);
+      result.minimized = WithoutMember(result.minimized, i);
+      // Do not advance: the next member slid into slot i.
+    } else {
+      if (r == ThreeValued::kUnknown) result.hit_budget = true;
+      ++i;
+    }
+  }
+  return result;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,70 @@
+// Set-level consequences of the inference problem.
+//
+// "A solution to the inference problem carries with it the ability to
+//  determine whether two sets of dependencies are equivalent, whether a set
+//  of dependencies is redundant, etc."  — the paper's introduction.
+//
+// These operations inherit the inference problem's undecidability, so every
+// answer is three-valued and budgeted: kYes / kNo are certificates, kUnknown
+// means a budget tripped somewhere inside.
+#ifndef TDLIB_CHASE_EQUIVALENCE_H_
+#define TDLIB_CHASE_EQUIVALENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/implication.h"
+#include "core/dependency.h"
+
+namespace tdlib {
+
+/// Three-valued answer for the set-level questions.
+enum class ThreeValued { kYes, kNo, kUnknown };
+
+/// Converts an implication verdict.
+ThreeValued FromImplication(Implication verdict);
+
+/// Does `d` imply every member of `e`? (kNo pinpoints nothing; use
+/// FirstUnimplied for diagnostics.)
+ThreeValued ImpliesAll(const DependencySet& d, const DependencySet& e,
+                       const ChaseConfig& config = {});
+
+/// Index of the first member of `e` NOT implied by `d` (certificate), or
+/// -1 when all are implied, or -2 when a budget made some check unknown.
+int FirstUnimplied(const DependencySet& d, const DependencySet& e,
+                   const ChaseConfig& config = {});
+
+/// Are the two sets logically equivalent (each implies the other)?
+ThreeValued SetsEquivalent(const DependencySet& d, const DependencySet& e,
+                           const ChaseConfig& config = {});
+
+/// Is member `index` implied by the other members (i.e. redundant)?
+ThreeValued MemberRedundant(const DependencySet& d, int index,
+                            const ChaseConfig& config = {});
+
+/// Is the set redundant — does ANY member follow from the others?
+ThreeValued SetRedundant(const DependencySet& d,
+                         const ChaseConfig& config = {});
+
+/// Result of greedy minimization.
+struct MinimizationResult {
+  DependencySet minimized;
+
+  /// Indices (into the input) of removed members, in removal order.
+  std::vector<int> removed;
+
+  /// True if some redundancy check came back kUnknown — the result is then
+  /// sound (only certified-redundant members were removed) but possibly not
+  /// minimal.
+  bool hit_budget = false;
+};
+
+/// Greedily removes members certified redundant (scanning left to right,
+/// re-checking against the shrinking set). Sound for any budget; complete
+/// only when no check hits its budget.
+MinimizationResult MinimizeSet(const DependencySet& d,
+                               const ChaseConfig& config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_EQUIVALENCE_H_

@@ -1,0 +1,49 @@
+#include "chase/full_td.h"
+
+#include <cassert>
+
+#include "chase/implication.h"
+
+namespace tdlib {
+
+bool AllFull(const DependencySet& d, const Dependency& d0) {
+  if (!d0.IsFull()) return false;
+  for (const Dependency& dep : d.items) {
+    if (!dep.IsFull()) return false;
+  }
+  return true;
+}
+
+std::uint64_t FullChaseTupleBound(const Dependency& d0) {
+  std::uint64_t bound = 1;
+  for (int attr = 0; attr < d0.schema().arity(); ++attr) {
+    std::uint64_t vars = static_cast<std::uint64_t>(d0.body().NumVars(attr));
+    if (vars == 0) vars = 1;
+    // Saturate rather than overflow on wide schemas.
+    if (bound > (1ULL << 62) / (vars + 1)) return ~0ULL;
+    bound *= vars;
+  }
+  return bound;
+}
+
+bool DecideFullTdImplication(const DependencySet& d, const Dependency& d0,
+                             std::string* error, ChaseResult* stats) {
+  if (!AllFull(d, d0)) {
+    if (error != nullptr) {
+      *error = "DecideFullTdImplication requires full dependencies";
+    }
+    return false;
+  }
+  if (error != nullptr) error->clear();
+  // Full chase terminates on its own; disable step/tuple limits.
+  ChaseConfig config;
+  config.max_steps = 0;
+  config.max_tuples = 0;
+  config.deadline_seconds = 0;
+  ImplicationResult result = ChaseImplies(d, d0, config);
+  if (stats != nullptr) *stats = result.chase;
+  assert(result.verdict != Implication::kUnknown);
+  return result.verdict == Implication::kImplied;
+}
+
+}  // namespace tdlib

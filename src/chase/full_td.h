@@ -1,0 +1,37 @@
+// Decision procedure for FULL template dependencies.
+//
+// The undecidability frontier runs between full and embedded dependencies:
+// for full TDs ("a*, b*, ..., c* all appear among the antecedents") the
+// chase invents no new values, so it adds at most (values per column)^arity
+// tuples and always terminates — implication of a full TD by full TDs is
+// decidable. Sadri & Ullman (1980) gave a complete axiomatization for this
+// class; the terminating chase below is the standard equivalent decision
+// procedure, and serves as the library's decidable baseline (EXP-AX).
+#ifndef TDLIB_CHASE_FULL_TD_H_
+#define TDLIB_CHASE_FULL_TD_H_
+
+#include <string>
+
+#include "chase/chase.h"
+#include "core/dependency.h"
+
+namespace tdlib {
+
+/// Returns true iff every dependency in `d` and `d0` itself is full.
+bool AllFull(const DependencySet& d, const Dependency& d0);
+
+/// Decides D ⊨ D0 for full dependencies. Always terminates; the boolean is
+/// a definitive answer. Precondition: AllFull(d, d0) (checked; violations
+/// are reported through `error`, and the return value is then meaningless).
+bool DecideFullTdImplication(const DependencySet& d, const Dependency& d0,
+                             std::string* error = nullptr,
+                             ChaseResult* stats = nullptr);
+
+/// Upper bound on the number of tuples a full-TD chase of `d0`'s frozen
+/// body can reach (product over attributes of body-variable counts). Used
+/// by tests to confirm termination happens within the guaranteed budget.
+std::uint64_t FullChaseTupleBound(const Dependency& d0);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_FULL_TD_H_

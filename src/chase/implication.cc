@@ -1,0 +1,55 @@
+#include "chase/implication.h"
+
+#include <sstream>
+
+namespace tdlib {
+
+ChaseGoal ConclusionGoal(const Dependency& d0, HomSearchOptions options) {
+  return [&d0, options](const Instance& instance) {
+    // The frozen body assigned value id v to universal variable (attr, v);
+    // those ids are stable because the chase only appends values.
+    HomomorphismSearch search(d0.head(), instance, options);
+    Valuation initial = Valuation::For(d0.head());
+    for (int attr = 0; attr < d0.schema().arity(); ++attr) {
+      for (int v = 0; v < d0.head().NumVars(attr); ++v) {
+        if (d0.IsUniversal(attr, v)) initial.Set(attr, v, v);
+      }
+    }
+    search.SetInitial(initial);
+    return search.FindAny(nullptr) == HomSearchStatus::kFound;
+  };
+}
+
+ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
+                               const ChaseConfig& config) {
+  ImplicationResult result;
+  Instance instance = d0.body().Freeze();
+  ChaseGoal goal = ConclusionGoal(d0, config.HomOptions());
+  result.chase = RunChase(&instance, d, config, goal);
+  switch (result.chase.status) {
+    case ChaseStatus::kGoal:
+      result.verdict = Implication::kImplied;
+      break;
+    case ChaseStatus::kFixpoint:
+      result.verdict = Implication::kNotImplied;
+      result.counterexample = std::move(instance);
+      break;
+    default:
+      result.verdict = Implication::kUnknown;
+      break;
+  }
+  return result;
+}
+
+std::string ImplicationResult::ToString() const {
+  std::ostringstream oss;
+  switch (verdict) {
+    case Implication::kImplied: oss << "IMPLIED"; break;
+    case Implication::kNotImplied: oss << "NOT-IMPLIED"; break;
+    case Implication::kUnknown: oss << "UNKNOWN"; break;
+  }
+  oss << " (" << chase.ToString() << ")";
+  return oss.str();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,61 @@
+// Chase-based implication testing (the inference problem itself).
+//
+// "Given a finite set D of dependencies and a single dependency D0, to
+//  determine whether D0 is true in every database in which each member of D
+//  is true."  — the problem this paper proves undecidable.
+//
+// The chase gives a *semi-decision* procedure for the unrestricted version:
+// freeze D0's antecedents into an instance, chase with D, and watch for a
+// match of D0's conclusion. If the chase reaches a fixpoint without one, the
+// terminal instance is a (finite!) universal model witnessing
+// non-implication — in both the unrestricted and the finite sense. Because
+// the problem is undecidable, the third verdict kUnknown is unavoidable.
+#ifndef TDLIB_CHASE_IMPLICATION_H_
+#define TDLIB_CHASE_IMPLICATION_H_
+
+#include <optional>
+#include <string>
+
+#include "chase/chase.h"
+#include "core/dependency.h"
+
+namespace tdlib {
+
+/// Three-valued implication verdict.
+enum class Implication {
+  kImplied,     ///< D ⊨ D0 over all (finite and infinite) databases
+  kNotImplied,  ///< a counterexample database exists (finite, in fact)
+  kUnknown,     ///< resource limits hit before either certificate appeared
+};
+
+/// Result of an implication test.
+struct ImplicationResult {
+  Implication verdict = Implication::kUnknown;
+
+  /// The chase outcome underlying the verdict.
+  ChaseResult chase;
+
+  /// When kNotImplied: the terminal chase instance (a universal model of D
+  /// containing D0's frozen body but no conclusion match).
+  std::optional<Instance> counterexample;
+
+  std::string ToString() const;
+};
+
+/// Tests D ⊨ D0 by chasing D0's frozen body with D.
+///
+/// kImplied and kNotImplied are certificates; kUnknown means the budget in
+/// `config` ran out (raise it and retry, or accept undecidability).
+ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
+                               const ChaseConfig& config = {});
+
+/// Returns a goal predicate that is true when `d0`'s conclusion is matched
+/// in an instance whose first values per attribute are the frozen body
+/// variables of `d0` (i.e. the instance began as d0.body().Freeze()).
+/// Exposed for callers that drive RunChase directly (the part (A) tracer).
+ChaseGoal ConclusionGoal(const Dependency& d0,
+                         HomSearchOptions options = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_IMPLICATION_H_

@@ -1,0 +1,96 @@
+#include "chase/termination.h"
+
+#include <sstream>
+
+#include "util/union_find.h"
+
+namespace tdlib {
+
+PositionGraph BuildPositionGraph(const DependencySet& deps) {
+  PositionGraph graph;
+  if (deps.items.empty()) return graph;
+  graph.num_positions = deps.items[0].schema().arity();
+  graph.edges.resize(graph.num_positions);
+
+  for (const Dependency& dep : deps.items) {
+    const int arity = dep.schema().arity();
+    // Head positions carrying an existential variable (per dependency).
+    std::vector<bool> head_has_existential(arity, false);
+    // head_positions_of[attr][var] = true if universal var occurs in head.
+    std::vector<std::vector<bool>> var_in_head(arity);
+    for (int attr = 0; attr < arity; ++attr) {
+      var_in_head[attr].assign(dep.head().NumVars(attr), false);
+    }
+    for (const Row& row : dep.head().rows()) {
+      for (int attr = 0; attr < arity; ++attr) {
+        if (dep.IsUniversal(attr, row[attr])) {
+          var_in_head[attr][row[attr]] = true;
+        } else {
+          head_has_existential[attr] = true;
+        }
+      }
+    }
+    // In the single-relation typed setting a variable at body position
+    // `attr` can only reappear in the head at the same position, so regular
+    // edges are attr -> attr; special edges go to every position holding an
+    // existential variable, from every body position whose variable is
+    // propagated to the head.
+    for (const Row& row : dep.body().rows()) {
+      for (int attr = 0; attr < arity; ++attr) {
+        int var = row[attr];
+        if (var_in_head[attr][var]) {
+          graph.edges[attr].emplace_back(attr, /*special=*/false);
+          for (int q = 0; q < arity; ++q) {
+            if (head_has_existential[q]) {
+              graph.edges[attr].emplace_back(q, /*special=*/true);
+            }
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+bool HasSpecialCycle(const PositionGraph& graph) {
+  // A special edge p => q lies on a cycle iff q reaches p. Compute pairwise
+  // reachability (positions are few; O(V * E) suffices).
+  const int n = graph.num_positions;
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (int start = 0; start < n; ++start) {
+    std::vector<int> stack{start};
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (const auto& [v, special] : graph.edges[u]) {
+        if (!reach[start][v]) {
+          reach[start][v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  for (int p = 0; p < n; ++p) {
+    for (const auto& [q, special] : graph.edges[p]) {
+      if (special && (q == p || reach[q][p])) return true;
+    }
+  }
+  return false;
+}
+
+bool IsWeaklyAcyclic(const DependencySet& deps) {
+  return !HasSpecialCycle(BuildPositionGraph(deps));
+}
+
+std::string PositionGraph::ToString(const Schema& schema) const {
+  std::ostringstream oss;
+  for (int p = 0; p < num_positions; ++p) {
+    for (const auto& [q, special] : edges[p]) {
+      oss << schema.name(p) << (special ? " => " : " -> ") << schema.name(q)
+          << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace tdlib

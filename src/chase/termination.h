@@ -1,0 +1,49 @@
+// Chase-termination analysis: weak acyclicity.
+//
+// Implication of TDs is undecidable (this paper), so no analysis can decide
+// chase termination in general — but *sufficient* conditions exist. The
+// classic one is weak acyclicity (Fagin, Kolaitis, Miller & Popa): build a
+// graph over relation positions; a body variable occurring at position p
+// contributes (a) a regular edge p -> q for every head occurrence of the
+// same variable at q, and (b) a special edge p => q' for every position q'
+// holding an existential head variable in a head atom of that dependency.
+// The set is weakly acyclic iff no cycle passes through a special edge, and
+// then every chase sequence terminates in polynomially many steps.
+//
+// In tdlib's single-relation setting positions are simply attributes. A
+// satisfying check: the Gurevich-Lewis reduction's dependency set is NOT
+// weakly acyclic (its D2/D3 gadgets pump fresh midpoints through E'), which
+// is exactly as it must be — a weakly acyclic reduction would contradict the
+// paper's theorem.
+#ifndef TDLIB_CHASE_TERMINATION_H_
+#define TDLIB_CHASE_TERMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+
+namespace tdlib {
+
+/// The position dependency graph of a dependency set.
+struct PositionGraph {
+  int num_positions = 0;
+  /// adjacency[p] lists (q, special?) edges.
+  std::vector<std::vector<std::pair<int, bool>>> edges;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Builds the position graph of `deps`.
+PositionGraph BuildPositionGraph(const DependencySet& deps);
+
+/// True iff the graph has a cycle containing at least one special edge.
+bool HasSpecialCycle(const PositionGraph& graph);
+
+/// True iff `deps` is weakly acyclic (sufficient for chase termination on
+/// every input instance).
+bool IsWeaklyAcyclic(const DependencySet& deps);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_TERMINATION_H_

@@ -1,0 +1,32 @@
+// Human-readable rendering of chase traces.
+//
+// A recorded ChaseStep stores the dependency index and the body valuation;
+// this module turns a trace into the derivation-log form used by the
+// examples and by debugging sessions: which dependency fired, under which
+// variable bindings, producing which tuples.
+#ifndef TDLIB_CHASE_TRACE_H_
+#define TDLIB_CHASE_TRACE_H_
+
+#include <string>
+
+#include "chase/chase.h"
+#include "core/dependency.h"
+#include "logic/instance.h"
+
+namespace tdlib {
+
+/// Renders one step like:
+///   fire D2(A B = C): a0 -> v3@A', ... => tuple 17
+/// `instance` must be the (final) instance the chase produced, so tuple ids
+/// and value names resolve.
+std::string FormatChaseStep(const ChaseStep& step, const DependencySet& deps,
+                            const Instance& instance);
+
+/// Renders the whole trace, one line per step, numbered.
+std::string FormatChaseTrace(const ChaseResult& result,
+                             const DependencySet& deps,
+                             const Instance& instance);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CHASE_TRACE_H_

@@ -1,0 +1,124 @@
+#include "core/diagram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/union_find.h"
+
+namespace tdlib {
+
+Diagram::Diagram(SchemaPtr schema, int num_antecedents)
+    : schema_(std::move(schema)), num_antecedents_(num_antecedents) {}
+
+void Diagram::AddEdge(int attr, int u, int v) {
+  edges_.push_back(Edge{attr, u, v});
+}
+
+bool Diagram::AddEdgeByName(const std::string& attr_name, int u, int v) {
+  int attr = schema_->IndexOf(attr_name);
+  if (attr < 0) return false;
+  AddEdge(attr, u, v);
+  return true;
+}
+
+std::vector<int> Diagram::Classes(int attr) const {
+  UnionFind uf(num_nodes());
+  for (const Edge& e : edges_) {
+    if (e.attr == attr) uf.Union(e.u, e.v);
+  }
+  return uf.DenseClassIds();
+}
+
+bool Diagram::Agree(int attr, int u, int v) const {
+  std::vector<int> classes = Classes(attr);
+  return classes[u] == classes[v];
+}
+
+Result<Dependency> Diagram::ToDependency() const {
+  if (std::string err = CheckInvariants(); !err.empty()) {
+    return Result<Dependency>::Error(err);
+  }
+  Dependency::Builder builder(schema_);
+  // vars[attr][class] -> variable id
+  std::vector<std::vector<int>> node_var(schema_->arity(),
+                                         std::vector<int>(num_nodes(), -1));
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    std::vector<int> classes = Classes(attr);
+    int num_classes = 0;
+    for (int c : classes) num_classes = std::max(num_classes, c + 1);
+    std::vector<int> class_var(num_classes, -1);
+    for (int node = 0; node < num_nodes(); ++node) {
+      int c = classes[node];
+      if (class_var[c] < 0) class_var[c] = builder.Var(attr);
+      node_var[attr][node] = class_var[c];
+    }
+  }
+  for (int node = 0; node < num_antecedents_; ++node) {
+    Row row(schema_->arity());
+    for (int attr = 0; attr < schema_->arity(); ++attr) {
+      row[attr] = node_var[attr][node];
+    }
+    builder.AddBodyRow(std::move(row));
+  }
+  Row conclusion(schema_->arity());
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    conclusion[attr] = node_var[attr][conclusion_node()];
+  }
+  builder.AddHeadRow(std::move(conclusion));
+  return std::move(builder).Build();
+}
+
+Result<Diagram> Diagram::FromDependency(const Dependency& dep) {
+  if (!dep.IsTd()) {
+    return Result<Diagram>::Error(
+        "diagrams represent template dependencies (single conclusion atom)");
+  }
+  Diagram diagram(dep.schema_ptr(), dep.body().num_rows());
+  // Nodes: body row i -> node i; head row -> conclusion node.
+  // For each attribute, group nodes by variable and add a spanning path.
+  for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+    std::vector<int> last_node_with_var(dep.body().NumVars(attr), -1);
+    auto link = [&](int node, int var) {
+      if (last_node_with_var[var] >= 0) {
+        diagram.AddEdge(attr, last_node_with_var[var], node);
+      }
+      last_node_with_var[var] = node;
+    };
+    for (int i = 0; i < dep.body().num_rows(); ++i) {
+      link(i, dep.body().row(i)[attr]);
+    }
+    link(diagram.conclusion_node(), dep.head().row(0)[attr]);
+  }
+  return diagram;
+}
+
+std::string Diagram::CheckInvariants() const {
+  for (const Edge& e : edges_) {
+    if (e.attr < 0 || e.attr >= schema_->arity()) return "edge attr out of range";
+    if (e.u < 0 || e.u >= num_nodes() || e.v < 0 || e.v >= num_nodes()) {
+      return "edge endpoint out of range";
+    }
+  }
+  if (num_antecedents_ <= 0) return "diagram needs at least one antecedent";
+  return "";
+}
+
+std::string Diagram::ToDot() const {
+  std::ostringstream oss;
+  oss << "graph dependency {\n";
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (node == conclusion_node()) {
+      oss << "  n" << node << " [label=\"*\", shape=doublecircle];\n";
+    } else {
+      oss << "  n" << node << " [label=\"" << (node + 1) << "\"];\n";
+    }
+  }
+  for (const Edge& e : edges_) {
+    oss << "  n" << e.u << " -- n" << e.v << " [label=\""
+        << schema_->name(e.attr) << "\"];\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,87 @@
+// Fagin-style dependency diagrams (the notation of the paper's figures).
+//
+// "A dependency with k antecedents and one conclusion is represented by an
+//  undirected graph with k + 1 nodes. The nodes represent tuples in the
+//  relation, and the labels of edges are attributes on which those tuples
+//  agree. ... A numbered node is an antecedent, and the node labelled * is
+//  the conclusion."
+//
+// Each attribute's edges generate an equivalence relation on nodes; implied
+// edges may be omitted. Diagram <-> Dependency conversions are exact up to
+// variable renaming and implied-edge closure.
+#ifndef TDLIB_CORE_DIAGRAM_H_
+#define TDLIB_CORE_DIAGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "logic/schema.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// An undirected, attribute-labeled multigraph over k+1 tuple nodes, one of
+/// which is the conclusion node "*".
+class Diagram {
+ public:
+  struct Edge {
+    int attr;  ///< attribute whose value the two tuples share
+    int u;     ///< node id
+    int v;     ///< node id
+  };
+
+  /// Creates a diagram with `num_antecedents` antecedent nodes (ids
+  /// 0..num_antecedents-1) and one conclusion node (id num_antecedents).
+  Diagram(SchemaPtr schema, int num_antecedents);
+
+  const Schema& schema() const { return *schema_; }
+  int num_nodes() const { return num_antecedents_ + 1; }
+  int num_antecedents() const { return num_antecedents_; }
+
+  /// The conclusion node's id (the paper's "*").
+  int conclusion_node() const { return num_antecedents_; }
+
+  /// Adds an agreement edge: nodes `u` and `v` share their `attr` value.
+  void AddEdge(int attr, int u, int v);
+
+  /// Adds an edge by attribute name. Returns false if the name is unknown.
+  bool AddEdgeByName(const std::string& attr_name, int u, int v);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True iff `u` and `v` are in the same `attr`-equivalence class (follows
+  /// implied edges, i.e. the transitive closure).
+  bool Agree(int attr, int u, int v) const;
+
+  /// Dense equivalence-class ids of all nodes under `attr` (class ids are
+  /// in order of first node appearance).
+  std::vector<int> Classes(int attr) const;
+
+  /// Converts to a template dependency: one variable per (attribute,
+  /// equivalence class); the conclusion node's variable is existential when
+  /// its class contains no antecedent node.
+  Result<Dependency> ToDependency() const;
+
+  /// Builds the diagram of a TD (head must have exactly one row): one node
+  /// per body row plus the conclusion node; edges connect nodes whose rows
+  /// share a variable (a spanning path per class, not the full clique —
+  /// "implied edges may be omitted in diagrams to avoid clutter").
+  static Result<Diagram> FromDependency(const Dependency& dep);
+
+  /// Structural validation ("" = OK).
+  std::string CheckInvariants() const;
+
+  /// GraphViz rendering (undirected; node "*" for the conclusion), for
+  /// documentation and debugging.
+  std::string ToDot() const;
+
+ private:
+  SchemaPtr schema_;
+  int num_antecedents_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CORE_DIAGRAM_H_

@@ -1,0 +1,55 @@
+#include "core/generators.h"
+
+namespace tdlib {
+
+Dependency RandomDependency(Rng* rng, const TdGeneratorOptions& options,
+                            SchemaPtr schema) {
+  if (schema == nullptr) {
+    schema = std::make_shared<const Schema>(
+        Schema::Numbered(options.arity, "X"));
+  }
+  const int arity = schema->arity();
+  Dependency::Builder builder(schema);
+  std::vector<std::vector<int>> pool(arity);
+  auto var = [&](int attr, bool reuse_only) {
+    if (!pool[attr].empty() && (reuse_only || rng->Chance(1, 2))) {
+      return pool[attr][rng->Below(pool[attr].size())];
+    }
+    int v = builder.Var(attr);
+    pool[attr].push_back(v);
+    return v;
+  };
+  for (int r = 0; r < options.body_rows; ++r) {
+    Row row(arity);
+    for (int attr = 0; attr < arity; ++attr) {
+      row[attr] = var(attr, /*reuse_only=*/false);
+    }
+    builder.AddBodyRow(std::move(row));
+  }
+  for (int r = 0; r < options.head_rows; ++r) {
+    Row row(arity);
+    for (int attr = 0; attr < arity; ++attr) {
+      row[attr] = var(attr, options.force_full);
+    }
+    builder.AddHeadRow(std::move(row));
+  }
+  return std::move(builder).Build().value();
+}
+
+Instance RandomInstance(Rng* rng, const SchemaPtr& schema, int domain,
+                        int tuples) {
+  Instance inst(schema);
+  for (int attr = 0; attr < schema->arity(); ++attr) {
+    for (int v = 0; v < domain; ++v) inst.AddValue(attr);
+  }
+  for (int t = 0; t < tuples; ++t) {
+    Tuple tuple(schema->arity());
+    for (int attr = 0; attr < schema->arity(); ++attr) {
+      tuple[attr] = static_cast<int>(rng->Below(domain));
+    }
+    inst.AddTuple(tuple);
+  }
+  return inst;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,35 @@
+// Workload generators shared by tests and benchmarks.
+//
+// All generators are deterministic functions of the Rng seed (EXPERIMENTS.md
+// records seeds), and the distributions are intentionally simple: variable
+// reuse with probability 1/2 makes agreements (the interesting structure of
+// typed TDs) common without hand-tuning.
+#ifndef TDLIB_CORE_GENERATORS_H_
+#define TDLIB_CORE_GENERATORS_H_
+
+#include "core/dependency.h"
+#include "logic/instance.h"
+#include "util/rng.h"
+
+namespace tdlib {
+
+struct TdGeneratorOptions {
+  int arity = 3;
+  int body_rows = 2;
+  int head_rows = 1;        ///< >1 generates EIDs
+  bool force_full = false;  ///< head draws only from body variables
+};
+
+/// Generates a random dependency over a fresh numbered schema (or over
+/// `schema` when provided; its arity then overrides options.arity).
+Dependency RandomDependency(Rng* rng, const TdGeneratorOptions& options,
+                            SchemaPtr schema = nullptr);
+
+/// Generates a random instance: `domain` values per attribute, `tuples`
+/// uniform draws (duplicates collapse, so the result may be smaller).
+Instance RandomInstance(Rng* rng, const SchemaPtr& schema, int domain,
+                        int tuples);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CORE_GENERATORS_H_

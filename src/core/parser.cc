@@ -1,0 +1,221 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tdlib {
+namespace {
+
+// A tiny hand-rolled tokenizer over the dependency grammar.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  // Token kinds: identifier, punctuation ('(', ')', ',', '&'), arrow "=>",
+  // or end. Returned as strings; "" means end of input.
+  std::string Next() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return "";
+    char c = text_[pos_];
+    if (c == '(' || c == ')' || c == ',' || c == '&') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '=' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      return "=>";
+    }
+    if (IsIdentStart(c)) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+      return std::string(text_.substr(start, pos_ - start));
+    }
+    ++pos_;
+    return std::string(1, c);  // unknown char; parser will reject it
+  }
+
+  std::string Peek() {
+    std::size_t save = pos_;
+    std::string tok = Next();
+    pos_ = save;
+    return tok;
+  }
+
+ private:
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '\'' || c == '*';
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+struct AtomList {
+  std::vector<std::vector<std::string>> atoms;  // variable names per column
+};
+
+// Parses "R(v,...) & R(v,...) & ..." until `stop` or end.
+Result<AtomList> ParseAtoms(Lexer* lex, const Schema& schema,
+                            const std::string& stop) {
+  AtomList list;
+  while (true) {
+    std::string tok = lex->Next();
+    if (tok != "R") {
+      return Result<AtomList>::Error("expected atom 'R(...)', got '" + tok + "'");
+    }
+    if (lex->Next() != "(") return Result<AtomList>::Error("expected '('");
+    std::vector<std::string> vars;
+    while (true) {
+      std::string v = lex->Next();
+      if (v.empty() || v == "," || v == ")" || v == "&" || v == "=>") {
+        return Result<AtomList>::Error("expected variable name");
+      }
+      vars.push_back(v);
+      std::string sep = lex->Next();
+      if (sep == ")") break;
+      if (sep != ",") return Result<AtomList>::Error("expected ',' or ')'");
+    }
+    if (static_cast<int>(vars.size()) != schema.arity()) {
+      return Result<AtomList>::Error(
+          "atom has " + std::to_string(vars.size()) + " columns, schema has " +
+          std::to_string(schema.arity()));
+    }
+    list.atoms.push_back(std::move(vars));
+    std::string next = lex->Peek();
+    if (next == "&") {
+      lex->Next();
+      continue;
+    }
+    if (next == stop || next.empty()) return list;
+    return Result<AtomList>::Error("unexpected token '" + next + "'");
+  }
+}
+
+}  // namespace
+
+Result<Dependency> ParseDependency(const SchemaPtr& schema,
+                                   std::string_view text) {
+  Lexer lex(text);
+  Result<AtomList> body = ParseAtoms(&lex, *schema, "=>");
+  if (!body.ok()) return Result<Dependency>::Error(body.error());
+  if (lex.Next() != "=>") {
+    return Result<Dependency>::Error("expected '=>'");
+  }
+  Result<AtomList> head = ParseAtoms(&lex, *schema, "");
+  if (!head.ok()) return Result<Dependency>::Error(head.error());
+
+  Dependency::Builder builder(schema);
+  // name -> (attr, var id); enforces the typing restriction.
+  std::map<std::string, std::pair<int, int>> vars;
+  auto intern = [&](const std::string& name, int attr) -> Result<int> {
+    auto it = vars.find(name);
+    if (it != vars.end()) {
+      if (it->second.first != attr) {
+        return Result<int>::Error(
+            "variable '" + name + "' appears in two different columns ('" +
+            schema->name(it->second.first) + "' and '" + schema->name(attr) +
+            "'), violating the typing restriction");
+      }
+      return it->second.second;
+    }
+    int id = builder.Var(attr, name);
+    vars.emplace(name, std::make_pair(attr, id));
+    return id;
+  };
+  auto add_rows = [&](const AtomList& list, bool is_body) -> std::string {
+    for (const auto& atom : list.atoms) {
+      Row row(schema->arity());
+      for (int attr = 0; attr < schema->arity(); ++attr) {
+        Result<int> v = intern(atom[attr], attr);
+        if (!v.ok()) return v.error();
+        row[attr] = v.value();
+      }
+      if (is_body) {
+        builder.AddBodyRow(std::move(row));
+      } else {
+        builder.AddHeadRow(std::move(row));
+      }
+    }
+    return "";
+  };
+  if (std::string err = add_rows(body.value(), true); !err.empty()) {
+    return Result<Dependency>::Error(err);
+  }
+  if (std::string err = add_rows(head.value(), false); !err.empty()) {
+    return Result<Dependency>::Error(err);
+  }
+  return std::move(builder).Build();
+}
+
+std::string FormatDependency(const Dependency& dep) { return dep.ToString(); }
+
+Result<DependencySet> ParseDependencyProgram(std::string_view text,
+                                             SchemaPtr* schema_out) {
+  DependencySet set;
+  SchemaPtr schema;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fail = [&](const std::string& msg) {
+      return Result<DependencySet>::Error("line " + std::to_string(line_no) +
+                                          ": " + msg);
+    };
+    if (StartsWith(trimmed, "schema")) {
+      if (schema != nullptr) return fail("duplicate schema line");
+      std::vector<std::string> parts = SplitAndTrim(trimmed.substr(6), ' ');
+      std::vector<std::string> names;
+      for (auto& p : parts) {
+        if (!p.empty()) names.push_back(std::move(p));
+      }
+      Schema s(std::move(names));
+      if (std::string err = s.Validate(); !err.empty()) return fail(err);
+      schema = std::make_shared<const Schema>(std::move(s));
+      continue;
+    }
+    if (StartsWith(trimmed, "td")) {
+      if (schema == nullptr) return fail("'td' before 'schema'");
+      std::string_view rest = Trim(trimmed.substr(2));
+      std::string name;
+      std::size_t colon = rest.find(':');
+      if (colon != std::string_view::npos) {
+        name = std::string(Trim(rest.substr(0, colon)));
+        rest = Trim(rest.substr(colon + 1));
+      }
+      Result<Dependency> dep = ParseDependency(schema, rest);
+      if (!dep.ok()) return fail(dep.error());
+      set.Add(std::move(dep).value(), std::move(name));
+      continue;
+    }
+    return fail("unrecognized directive: '" + std::string(trimmed) + "'");
+  }
+  if (schema == nullptr) {
+    return Result<DependencySet>::Error("missing 'schema' line");
+  }
+  if (schema_out != nullptr) *schema_out = schema;
+  return set;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,48 @@
+// Text format for dependencies.
+//
+// Grammar (whitespace-insensitive, '#' starts a line comment):
+//
+//   dependency  := atoms "=>" atoms
+//   atoms       := atom ("&" atom)*
+//   atom        := "R" "(" var ("," var)* ")"
+//   var         := [A-Za-z_][A-Za-z0-9_'*]*
+//
+// The relation symbol is always R (the paper's single-relation setting).
+// Variable typing is positional: the same variable name in two different
+// columns is a parse error, enforcing the paper's typing restriction.
+// Variables that appear only after "=>" are existential.
+//
+// Example (the paper's Fig. 1):
+//   R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)
+#ifndef TDLIB_CORE_PARSER_H_
+#define TDLIB_CORE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// Parses one dependency over the given schema.
+Result<Dependency> ParseDependency(const SchemaPtr& schema,
+                                   std::string_view text);
+
+/// Renders a dependency in the grammar above; round-trips through
+/// ParseDependency up to whitespace.
+std::string FormatDependency(const Dependency& dep);
+
+/// Parses a multi-line program:
+///
+///   schema A B C
+///   td name1: R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)
+///   td name2: ...
+///
+/// Returns the set; the schema line must come first.
+Result<DependencySet> ParseDependencyProgram(std::string_view text,
+                                             SchemaPtr* schema_out);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CORE_PARSER_H_

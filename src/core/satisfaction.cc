@@ -1,0 +1,64 @@
+#include "core/satisfaction.h"
+
+#include <cassert>
+
+namespace tdlib {
+
+SatisfactionResult CheckSatisfaction(const Dependency& dep,
+                                     const Instance& instance,
+                                     HomSearchOptions options) {
+  SatisfactionResult result;
+  bool budget_hit = false;
+
+  HomomorphismSearch body_search(dep.body(), instance, options);
+  HomSearchStatus body_status = body_search.ForEach([&](const Valuation& h) {
+    ++result.body_matches;
+    // Try to extend h to the head: universal variables keep their binding,
+    // existential variables are free.
+    HomomorphismSearch head_search(dep.head(), instance, options);
+    Valuation initial = Valuation::For(dep.head());
+    for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+      for (int v = 0; v < dep.head().NumVars(attr); ++v) {
+        if (dep.IsUniversal(attr, v)) initial.Set(attr, v, h.Get(attr, v));
+      }
+    }
+    head_search.SetInitial(initial);
+    HomSearchStatus head_status = head_search.FindAny(nullptr);
+    result.nodes += head_search.nodes_explored();
+    if (head_status == HomSearchStatus::kBudget) {
+      budget_hit = true;
+      return false;
+    }
+    if (head_status == HomSearchStatus::kExhausted) {
+      result.counterexample = h;
+      return false;  // found a violation; stop
+    }
+    return true;
+  });
+  result.nodes += body_search.nodes_explored();
+
+  if (budget_hit || body_status == HomSearchStatus::kBudget) {
+    result.verdict = Satisfaction::kUnknown;
+    result.counterexample.reset();
+  } else if (result.counterexample.has_value()) {
+    result.verdict = Satisfaction::kViolated;
+  } else {
+    result.verdict = Satisfaction::kSatisfied;
+  }
+  return result;
+}
+
+bool Satisfies(const Instance& instance, const Dependency& dep) {
+  return CheckSatisfaction(dep, instance).verdict == Satisfaction::kSatisfied;
+}
+
+int FirstViolated(const DependencySet& deps, const Instance& instance) {
+  for (std::size_t i = 0; i < deps.items.size(); ++i) {
+    SatisfactionResult r = CheckSatisfaction(deps.items[i], instance);
+    assert(r.verdict != Satisfaction::kUnknown);
+    if (r.verdict == Satisfaction::kViolated) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,52 @@
+// Dependency satisfaction over finite instances (model checking).
+//
+// This is the "logical consequence" primitive of the paper's *true database
+// interpretation*: a dependency holds in a finite database M iff every
+// homomorphic match of its antecedents extends to a match of its conclusion.
+// The part (B) verification ("this structure is a model for each dependency
+// in D but not for D0") is exactly this check.
+#ifndef TDLIB_CORE_SATISFACTION_H_
+#define TDLIB_CORE_SATISFACTION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/dependency.h"
+#include "logic/homomorphism.h"
+#include "logic/instance.h"
+
+namespace tdlib {
+
+/// Three-valued satisfaction verdict. kUnknown only occurs when a node
+/// budget is configured and exhausted.
+enum class Satisfaction { kSatisfied, kViolated, kUnknown };
+
+/// Outcome details of a satisfaction check.
+struct SatisfactionResult {
+  Satisfaction verdict = Satisfaction::kUnknown;
+
+  /// When kViolated: a body valuation with no head extension.
+  std::optional<Valuation> counterexample;
+
+  /// Number of body homomorphisms enumerated.
+  std::uint64_t body_matches = 0;
+
+  /// Total search nodes across body and head searches.
+  std::uint64_t nodes = 0;
+};
+
+/// Checks whether `instance` satisfies `dep`.
+SatisfactionResult CheckSatisfaction(const Dependency& dep,
+                                     const Instance& instance,
+                                     HomSearchOptions options = {});
+
+/// Convenience: true iff the check returns kSatisfied.
+bool Satisfies(const Instance& instance, const Dependency& dep);
+
+/// Checks a set; returns the index of the first violated dependency, or -1
+/// if all are satisfied. (Asserts if any check hits a budget.)
+int FirstViolated(const DependencySet& deps, const Instance& instance);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CORE_SATISFACTION_H_

@@ -1,0 +1,181 @@
+#include "logic/homomorphism.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tdlib {
+
+Valuation Valuation::For(const Tableau& t) {
+  Valuation v;
+  v.values.resize(t.schema().arity());
+  for (int attr = 0; attr < t.schema().arity(); ++attr) {
+    v.values[attr].assign(t.NumVars(attr), -1);
+  }
+  return v;
+}
+
+HomomorphismSearch::HomomorphismSearch(const Tableau& source,
+                                       const Instance& target,
+                                       HomSearchOptions options)
+    : source_(source),
+      target_(target),
+      options_(options),
+      valuation_(Valuation::For(source)),
+      row_done_(source.num_rows(), false) {}
+
+void HomomorphismSearch::SetInitial(const Valuation& initial) {
+  valuation_ = initial;
+}
+
+HomSearchStatus HomomorphismSearch::FindAny(Valuation* result) {
+  HomSearchStatus status = ForEach([&](const Valuation& v) {
+    if (result != nullptr) *result = v;
+    return false;  // stop at the first hit
+  });
+  // ForEach reports kFound when the visitor stopped it.
+  return status;
+}
+
+HomSearchStatus HomomorphismSearch::ForEach(
+    const std::function<bool(const Valuation&)>& visit) {
+  nodes_ = 0;
+  budget_hit_ = false;
+  std::fill(row_done_.begin(), row_done_.end(), false);
+  bool stopped = false;
+  Backtrack(0, visit, &stopped);
+  if (stopped) return HomSearchStatus::kFound;
+  return budget_hit_ ? HomSearchStatus::kBudget : HomSearchStatus::kExhausted;
+}
+
+int HomomorphismSearch::PickNextRow() const {
+  if (!options_.use_dynamic_order) {
+    for (int i = 0; i < source_.num_rows(); ++i) {
+      if (!row_done_[i]) return i;
+    }
+    return -1;
+  }
+  // Most-constrained-first: prefer the row whose smallest bound-position
+  // candidate list is shortest; rows with no bound position score the whole
+  // instance size.
+  int best = -1;
+  std::size_t best_score = std::numeric_limits<std::size_t>::max();
+  for (int i = 0; i < source_.num_rows(); ++i) {
+    if (row_done_[i]) continue;
+    std::size_t score = target_.NumTuples();
+    const Row& r = source_.row(i);
+    for (int attr = 0; attr < source_.schema().arity(); ++attr) {
+      int bound = valuation_.Get(attr, r[attr]);
+      if (bound >= 0) {
+        score = std::min(score, target_.TuplesWith(attr, bound).size());
+      }
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool HomomorphismSearch::RowCandidates(int row_idx,
+                                       std::vector<int>* candidates) const {
+  const Row& r = source_.row(row_idx);
+  if (options_.use_index) {
+    // Use the shortest index list among bound positions.
+    int best_attr = -1;
+    std::size_t best_size = std::numeric_limits<std::size_t>::max();
+    for (int attr = 0; attr < source_.schema().arity(); ++attr) {
+      int bound = valuation_.Get(attr, r[attr]);
+      if (bound >= 0 && target_.TuplesWith(attr, bound).size() < best_size) {
+        best_size = target_.TuplesWith(attr, bound).size();
+        best_attr = attr;
+      }
+    }
+    if (best_attr >= 0) {
+      *candidates = target_.TuplesWith(best_attr, valuation_.Get(best_attr, r[best_attr]));
+      return true;
+    }
+  }
+  candidates->resize(target_.NumTuples());
+  for (std::size_t i = 0; i < target_.NumTuples(); ++i) {
+    (*candidates)[i] = static_cast<int>(i);
+  }
+  return true;
+}
+
+bool HomomorphismSearch::TryBindRow(int row_idx, const Tuple& tuple,
+                                    std::vector<std::pair<int, int>>* undo) {
+  const Row& r = source_.row(row_idx);
+  for (int attr = 0; attr < source_.schema().arity(); ++attr) {
+    int var = r[attr];
+    int bound = valuation_.Get(attr, var);
+    if (bound >= 0) {
+      if (bound != tuple[attr]) {
+        UndoBindings(*undo);
+        undo->clear();
+        return false;
+      }
+    } else {
+      valuation_.Set(attr, var, tuple[attr]);
+      undo->emplace_back(attr, var);
+    }
+  }
+  return true;
+}
+
+void HomomorphismSearch::UndoBindings(
+    const std::vector<std::pair<int, int>>& undo) {
+  for (auto [attr, var] : undo) valuation_.Set(attr, var, -1);
+}
+
+bool HomomorphismSearch::Backtrack(
+    int depth, const std::function<bool(const Valuation&)>& visit,
+    bool* stopped) {
+  if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
+    budget_hit_ = true;
+    return false;
+  }
+  ++nodes_;
+  if (depth == source_.num_rows()) {
+    // All rows matched. Complete the valuation on variables that appear in
+    // no row (possible when the variable space is wider than the rows): they
+    // are unconstrained, so leave them unbound; visitors treat -1 as "any".
+    if (!visit(valuation_)) {
+      *stopped = true;
+      return false;
+    }
+    return true;
+  }
+  int row_idx = PickNextRow();
+  std::vector<int> candidates;
+  RowCandidates(row_idx, &candidates);
+  row_done_[row_idx] = true;
+  std::vector<std::pair<int, int>> undo;
+  for (int tuple_id : candidates) {
+    undo.clear();
+    if (!TryBindRow(row_idx, target_.tuple(tuple_id), &undo)) continue;
+    bool keep_going = Backtrack(depth + 1, visit, stopped);
+    UndoBindings(undo);
+    if (!keep_going && (*stopped || budget_hit_)) {
+      row_done_[row_idx] = false;
+      return false;
+    }
+  }
+  row_done_[row_idx] = false;
+  return true;
+}
+
+HomSearchStatus ExistsHomomorphism(const Tableau& source,
+                                   const Instance& target,
+                                   HomSearchOptions options) {
+  HomomorphismSearch search(source, target, options);
+  return search.FindAny(nullptr);
+}
+
+HomSearchStatus MapsInto(const Tableau& from, const Tableau& to,
+                         HomSearchOptions options) {
+  Instance frozen = to.Freeze();
+  return ExistsHomomorphism(from, frozen, options);
+}
+
+}  // namespace tdlib

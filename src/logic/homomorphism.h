@@ -1,0 +1,110 @@
+// Homomorphism search: embedding tableaux into instances.
+//
+// A homomorphism maps each variable of a tableau to a domain value of the
+// same attribute such that every row becomes a tuple of the instance. This
+// is the computational heart of the library: dependency satisfaction, chase
+// applicability, tableau containment and the part (B) model check are all
+// homomorphism problems. The search is backtracking with a most-constrained-
+// row-first heuristic and candidate lists drawn from the instance's inverted
+// index; an optional node budget keeps worst-case (NP-hard) searches bounded.
+#ifndef TDLIB_LOGIC_HOMOMORPHISM_H_
+#define TDLIB_LOGIC_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "logic/instance.h"
+#include "logic/tableau.h"
+
+namespace tdlib {
+
+/// A (partial) assignment of domain values to typed variables:
+/// values[attr][var] is a value id of `attr`, or -1 when unbound.
+struct Valuation {
+  std::vector<std::vector<int>> values;
+
+  /// Creates an all-unbound valuation shaped like `t`'s variable space.
+  static Valuation For(const Tableau& t);
+
+  int Get(int attr, int var) const { return values[attr][var]; }
+  void Set(int attr, int var, int value) { values[attr][var] = value; }
+  bool Bound(int attr, int var) const { return values[attr][var] >= 0; }
+};
+
+/// Tuning and budget knobs for the search.
+struct HomSearchOptions {
+  /// Abort after exploring this many search-tree nodes (0 = unlimited).
+  std::uint64_t max_nodes = 0;
+
+  /// Disable the inverted-index candidate pruning; used by the EXP-CHASE
+  /// ablation benchmark to quantify what the index buys.
+  bool use_index = true;
+
+  /// Disable the most-constrained-row-first dynamic ordering (rows are then
+  /// matched in tableau order).
+  bool use_dynamic_order = true;
+};
+
+/// Outcome of a search that may exhaust its budget.
+enum class HomSearchStatus {
+  kFound,      ///< a homomorphism exists (and was produced)
+  kExhausted,  ///< the full space was searched; no homomorphism exists
+  kBudget,     ///< the node budget ran out before the space was exhausted
+};
+
+/// Backtracking search for homomorphisms `source -> target`.
+class HomomorphismSearch {
+ public:
+  /// Both referents must outlive the search object.
+  HomomorphismSearch(const Tableau& source, const Instance& target,
+                     HomSearchOptions options = {});
+
+  /// Pre-binds variables (e.g. the universal variables of a dependency head
+  /// when testing whether a body match is already witnessed). The valuation
+  /// must be shaped like `source`'s variable space.
+  void SetInitial(const Valuation& initial);
+
+  /// Finds one homomorphism extending the initial valuation.
+  HomSearchStatus FindAny(Valuation* result);
+
+  /// Enumerates homomorphisms; `visit` returns false to stop early. Every
+  /// total extension of the initial valuation that maps all rows into the
+  /// target is visited exactly once.
+  HomSearchStatus ForEach(const std::function<bool(const Valuation&)>& visit);
+
+  /// Search-tree nodes explored by the last call.
+  std::uint64_t nodes_explored() const { return nodes_; }
+
+ private:
+  bool Backtrack(int depth, const std::function<bool(const Valuation&)>& visit,
+                 bool* stopped);
+  int PickNextRow() const;
+  bool RowCandidates(int row_idx, std::vector<int>* candidates) const;
+  bool TryBindRow(int row_idx, const Tuple& tuple, std::vector<std::pair<int, int>>* undo);
+  void UndoBindings(const std::vector<std::pair<int, int>>& undo);
+
+  const Tableau& source_;
+  const Instance& target_;
+  HomSearchOptions options_;
+  Valuation valuation_;
+  std::vector<bool> row_done_;
+  std::uint64_t nodes_ = 0;
+  bool budget_hit_ = false;
+};
+
+/// Convenience wrapper: is there any homomorphism source -> target?
+/// Returns kFound / kExhausted / kBudget.
+HomSearchStatus ExistsHomomorphism(const Tableau& source,
+                                   const Instance& target,
+                                   HomSearchOptions options = {});
+
+/// Tableau containment: does `from` map homomorphically into `to` frozen?
+/// (Classic tableau-containment test; used for triviality and equivalence.)
+HomSearchStatus MapsInto(const Tableau& from, const Tableau& to,
+                         HomSearchOptions options = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_LOGIC_HOMOMORPHISM_H_

@@ -1,0 +1,111 @@
+#include "logic/instance.h"
+
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace tdlib {
+
+Instance::Instance(SchemaPtr schema)
+    : schema_(std::move(schema)),
+      value_names_(schema_->arity()),
+      is_null_(schema_->arity()),
+      index_(schema_->arity()) {}
+
+int Instance::AddValue(int attr, std::string name, bool labeled_null) {
+  int id = static_cast<int>(value_names_[attr].size());
+  if (name.empty()) {
+    name = (labeled_null ? "_n" : "v") + std::to_string(id) + "@" +
+           schema_->name(attr);
+  }
+  value_names_[attr].push_back(std::move(name));
+  is_null_[attr].push_back(labeled_null);
+  index_[attr].emplace_back();
+  return id;
+}
+
+int Instance::InternValue(int attr, const std::string& name) {
+  for (std::size_t v = 0; v < value_names_[attr].size(); ++v) {
+    if (value_names_[attr][v] == name) return static_cast<int>(v);
+  }
+  return AddValue(attr, name);
+}
+
+int Instance::NullCount() const {
+  int n = 0;
+  for (const auto& column : is_null_) {
+    for (bool b : column) n += b ? 1 : 0;
+  }
+  return n;
+}
+
+bool Instance::AddTuple(const Tuple& t) {
+  if (!tuple_set_.insert(t).second) return false;
+  int id = static_cast<int>(tuples_.size());
+  tuples_.push_back(t);
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    index_[attr][t[attr]].push_back(id);
+  }
+  return true;
+}
+
+bool Instance::Contains(const Tuple& t) const {
+  return tuple_set_.count(t) > 0;
+}
+
+int Instance::FindTuple(const Tuple& t) const {
+  if (!Contains(t)) return -1;
+  // Scan the shortest index list among the tuple's components.
+  int best_attr = 0;
+  for (int attr = 1; attr < schema_->arity(); ++attr) {
+    if (TuplesWith(attr, t[attr]).size() <
+        TuplesWith(best_attr, t[best_attr]).size()) {
+      best_attr = attr;
+    }
+  }
+  for (int id : TuplesWith(best_attr, t[best_attr])) {
+    if (tuples_[id] == t) return id;
+  }
+  return -1;
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> headers;
+  for (int a = 0; a < schema_->arity(); ++a) headers.push_back(schema_->name(a));
+  TablePrinter table(headers);
+  for (const auto& t : tuples_) {
+    std::vector<std::string> row;
+    for (int a = 0; a < schema_->arity(); ++a) {
+      row.push_back(value_names_[a][t[a]]);
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+std::string Instance::CheckInvariants() const {
+  for (const auto& t : tuples_) {
+    if (static_cast<int>(t.size()) != schema_->arity()) {
+      return "tuple arity mismatch";
+    }
+    for (int a = 0; a < schema_->arity(); ++a) {
+      if (t[a] < 0 || t[a] >= DomainSize(a)) return "tuple value out of range";
+    }
+  }
+  if (tuple_set_.size() != tuples_.size()) return "duplicate tuples";
+  for (int a = 0; a < schema_->arity(); ++a) {
+    std::size_t indexed = 0;
+    for (const auto& ids : index_[a]) {
+      indexed += ids.size();
+      for (int id : ids) {
+        if (id < 0 || id >= static_cast<int>(tuples_.size())) {
+          return "index refers to missing tuple";
+        }
+      }
+    }
+    if (indexed != tuples_.size()) return "index cardinality mismatch";
+  }
+  return "";
+}
+
+}  // namespace tdlib

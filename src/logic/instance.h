@@ -1,0 +1,104 @@
+// Finite relation instances (the paper's "databases").
+//
+// An Instance is a finite set of tuples over a Schema. Domain values are
+// dense integers *per attribute* — the typing restriction ("the domains of
+// the various attributes are disjoint") is therefore structural: a value id
+// is meaningless without its attribute. Values may optionally carry names
+// (for examples and debugging) and a labeled-null flag (for chase-invented
+// values, which matters when reading a chase result as a universal model).
+#ifndef TDLIB_LOGIC_INSTANCE_H_
+#define TDLIB_LOGIC_INSTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/schema.h"
+#include "util/hash.h"
+
+namespace tdlib {
+
+/// A tuple is one domain-value id per attribute, in schema order.
+using Tuple = std::vector<int>;
+
+/// A finite set of tuples over a fixed schema, with per-attribute domains.
+///
+/// Tuples are deduplicated on insertion. An inverted index (attribute,
+/// value) -> tuple ids is maintained incrementally; homomorphism search
+/// relies on it.
+class Instance {
+ public:
+  explicit Instance(SchemaPtr schema);
+
+  const Schema& schema() const { return *schema_; }
+  const SchemaPtr& schema_ptr() const { return schema_; }
+
+  // ---- Domains -------------------------------------------------------------
+
+  /// Adds a fresh domain value for `attr`, optionally named, and returns its
+  /// id. Ids are dense per attribute.
+  int AddValue(int attr, std::string name = "", bool labeled_null = false);
+
+  /// Adds (or finds) the value named `name` in `attr`'s domain.
+  int InternValue(int attr, const std::string& name);
+
+  /// Number of values in `attr`'s domain.
+  int DomainSize(int attr) const {
+    return static_cast<int>(value_names_[attr].size());
+  }
+
+  /// Name of value `v` in attribute `attr` (auto-generated if none given).
+  const std::string& ValueName(int attr, int v) const {
+    return value_names_[attr][v];
+  }
+
+  /// True iff value `v` of `attr` was created as a labeled null.
+  bool IsLabeledNull(int attr, int v) const { return is_null_[attr][v]; }
+
+  /// Total number of labeled nulls across all attributes.
+  int NullCount() const;
+
+  // ---- Tuples --------------------------------------------------------------
+
+  /// Inserts `t` (one value id per attribute; each must be a valid domain
+  /// id). Returns true if the tuple was new.
+  bool AddTuple(const Tuple& t);
+
+  /// Returns true iff `t` is present.
+  bool Contains(const Tuple& t) const;
+
+  /// Returns the id of tuple `t`, or -1 if absent.
+  int FindTuple(const Tuple& t) const;
+
+  std::size_t NumTuples() const { return tuples_.size(); }
+  const Tuple& tuple(int i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Tuple ids whose `attr` component equals `value`.
+  const std::vector<int>& TuplesWith(int attr, int value) const {
+    return index_[attr][value];
+  }
+
+  // ---- Debugging -----------------------------------------------------------
+
+  /// Renders the instance as an aligned table of value names.
+  std::string ToString() const;
+
+  /// Internal-consistency check; returns an empty string or a description of
+  /// the first violation (bad ids, index mismatch, duplicate tuples).
+  std::string CheckInvariants() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::vector<std::string>> value_names_;  // [attr][value]
+  std::vector<std::vector<bool>> is_null_;             // [attr][value]
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, VectorHash> tuple_set_;
+  std::vector<std::vector<std::vector<int>>> index_;   // [attr][value] -> ids
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_LOGIC_INSTANCE_H_

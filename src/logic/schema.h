@@ -1,0 +1,61 @@
+// Relation schemas with typed (disjoint-domain) attributes.
+//
+// The paper works with "a single relation R with a fixed number of columns or
+// attributes A, B, ..., C" under a typing restriction: "the domains of the
+// various attributes are disjoint". A Schema is that column list; typing is
+// enforced structurally because every variable and every domain value in
+// tdlib is indexed *per attribute*.
+#ifndef TDLIB_LOGIC_SCHEMA_H_
+#define TDLIB_LOGIC_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdlib {
+
+/// An ordered list of attribute names. Attributes are referred to by index
+/// (0-based) everywhere in the library; names exist for parsing and printing.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Creates a schema with the given attribute names. Names must be unique
+  /// and non-empty; violations are reported by `Validate`.
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Number of attributes (the paper's "fixed number of columns").
+  int arity() const { return static_cast<int>(names_.size()); }
+
+  /// Name of attribute `attr`. Precondition: 0 <= attr < arity().
+  const std::string& name(int attr) const { return names_[attr]; }
+
+  /// Index of the attribute called `name`, or -1.
+  int IndexOf(std::string_view name) const;
+
+  /// Returns an empty string if the schema is well formed, otherwise a
+  /// human-readable description of the first problem.
+  std::string Validate() const;
+
+  /// Schemas are equal iff they have the same attribute names in order.
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_;
+  }
+
+  /// Convenience: builds a schema with attributes "A0", "A1", ... .
+  static Schema Numbered(int arity, std::string_view prefix = "A");
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Schemas are shared immutably between instances and dependencies.
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Creates a shared schema.
+SchemaPtr MakeSchema(std::vector<std::string> attribute_names);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_LOGIC_SCHEMA_H_

@@ -1,0 +1,83 @@
+#include "logic/tableau.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace tdlib {
+
+Tableau::Tableau(SchemaPtr schema)
+    : schema_(std::move(schema)), var_names_(schema_->arity()) {}
+
+int Tableau::NewVariable(int attr, std::string name) {
+  int id = static_cast<int>(var_names_[attr].size());
+  if (name.empty()) {
+    // Default names are lowercase attribute name + index: a0, a1, ... This
+    // matches the paper's convention of using the attribute letter for its
+    // variables (a, a', a'', ...).
+    std::string base = schema_->name(attr);
+    for (auto& c : base) c = static_cast<char>(std::tolower(c));
+    name = base + std::to_string(id);
+  }
+  var_names_[attr].push_back(std::move(name));
+  return id;
+}
+
+void Tableau::EnsureVariables(int attr, int count) {
+  while (NumVars(attr) < count) NewVariable(attr);
+}
+
+void Tableau::AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+int Tableau::TotalVars() const {
+  int total = 0;
+  for (const auto& names : var_names_) total += static_cast<int>(names.size());
+  return total;
+}
+
+Instance Tableau::Freeze() const {
+  Instance frozen(schema_);
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    for (int v = 0; v < NumVars(attr); ++v) {
+      frozen.AddValue(attr, var_names_[attr][v]);
+    }
+  }
+  for (const auto& r : rows_) frozen.AddTuple(r);
+  return frozen;
+}
+
+std::string Tableau::ToString() const {
+  std::ostringstream oss;
+  for (const auto& r : rows_) {
+    oss << "R(";
+    for (int attr = 0; attr < schema_->arity(); ++attr) {
+      if (attr > 0) oss << ", ";
+      oss << var_names_[attr][r[attr]];
+    }
+    oss << ")\n";
+  }
+  return oss.str();
+}
+
+std::string Tableau::CheckInvariants() const {
+  for (const auto& r : rows_) {
+    if (static_cast<int>(r.size()) != schema_->arity()) {
+      return "row arity mismatch";
+    }
+    for (int attr = 0; attr < schema_->arity(); ++attr) {
+      if (r[attr] < 0 || r[attr] >= NumVars(attr)) {
+        return "row uses unknown variable";
+      }
+    }
+  }
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    std::unordered_set<std::string> seen;
+    for (const auto& n : var_names_[attr]) {
+      if (!seen.insert(n).second) {
+        return "duplicate variable name in attribute " + schema_->name(attr);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace tdlib

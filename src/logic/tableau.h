@@ -1,0 +1,87 @@
+// Tableaux: finite sets of atoms R(x, y, ...) over typed variables.
+//
+// A tableau is the syntactic object underlying both the antecedents and the
+// conclusions of template dependencies: a list of rows, each row holding one
+// *typed variable* per attribute. Variables are identified by (attribute,
+// index); because the index space is per-attribute, "no variable can appear
+// in two different columns" (the paper's typing restriction) holds by
+// construction.
+#ifndef TDLIB_LOGIC_TABLEAU_H_
+#define TDLIB_LOGIC_TABLEAU_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/instance.h"
+#include "logic/schema.h"
+
+namespace tdlib {
+
+/// A row assigns one variable id per attribute (schema order).
+using Row = std::vector<int>;
+
+/// A set of rows over a shared, per-attribute variable space.
+///
+/// The variable space may be larger than what the rows mention (a dependency
+/// keeps body and head rows in one numbering; head-only variables are the
+/// existentially quantified ones).
+class Tableau {
+ public:
+  explicit Tableau(SchemaPtr schema);
+
+  const Schema& schema() const { return *schema_; }
+  const SchemaPtr& schema_ptr() const { return schema_; }
+
+  /// Allocates a fresh variable for `attr`; returns its id (dense per attr).
+  int NewVariable(int attr, std::string name = "");
+
+  /// Ensures at least `count` variables exist for `attr`.
+  void EnsureVariables(int attr, int count);
+
+  /// Appends a row. Every entry must be an existing variable id of its
+  /// attribute; rows are NOT deduplicated (callers may rely on row indices).
+  void AddRow(Row row);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const Row& row(int i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Number of variables allocated for `attr`.
+  int NumVars(int attr) const {
+    return static_cast<int>(var_names_[attr].size());
+  }
+
+  /// Total number of variables across attributes.
+  int TotalVars() const;
+
+  /// Display name of variable (attr, v).
+  const std::string& VarName(int attr, int v) const {
+    return var_names_[attr][v];
+  }
+
+  /// Renames variable (attr, v); name must be unique per attribute for
+  /// parse/print round-trips, which `CheckInvariants` verifies.
+  void SetVarName(int attr, int v, std::string name) {
+    var_names_[attr][v] = std::move(name);
+  }
+
+  /// The frozen instance: each variable becomes a distinct constant, each
+  /// row a tuple. Homomorphism tests into frozen tableaux implement tableau
+  /// containment; the chase starts from a frozen antecedent.
+  Instance Freeze() const;
+
+  /// Renders rows as R(x, y, z) lines.
+  std::string ToString() const;
+
+  /// Returns "" or a description of the first structural violation.
+  std::string CheckInvariants() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Row> rows_;
+  std::vector<std::vector<std::string>> var_names_;  // [attr][var]
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_LOGIC_TABLEAU_H_

@@ -1,0 +1,115 @@
+#include "reduction/bridge.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/union_find.h"
+
+namespace tdlib {
+namespace {
+
+// Computes, for each attribute, the node partition of the 2k+1 bridge nodes
+// (nodes 0..k are b0..bk, nodes k+1..2k are t1..tk).
+std::vector<std::vector<int>> BridgeClasses(const ReductionSchema& rs,
+                                            const Word& word) {
+  const int k = static_cast<int>(word.size());
+  const int num_nodes = 2 * k + 1;
+  auto base = [](int i) { return i; };
+  auto apex = [k](int i) { return k + i; };  // i in 1..k
+
+  std::vector<std::vector<int>> classes(rs.arity());
+  for (int attr = 0; attr < rs.arity(); ++attr) {
+    UnionFind uf(num_nodes);
+    if (attr == rs.E()) {
+      for (int i = 1; i <= k; ++i) uf.Union(base(0), base(i));
+    } else if (attr == rs.EPrime()) {
+      for (int i = 2; i <= k; ++i) uf.Union(apex(1), apex(i));
+    } else {
+      for (int i = 1; i <= k; ++i) {
+        int letter = word[i - 1];
+        if (attr == rs.Prime(letter)) uf.Union(base(i - 1), apex(i));
+        if (attr == rs.DoublePrime(letter)) uf.Union(base(i), apex(i));
+      }
+    }
+    classes[attr] = uf.DenseClassIds();
+  }
+  return classes;
+}
+
+}  // namespace
+
+BridgeTableau BuildBridgeTableau(const ReductionSchema& rs, const Word& word) {
+  assert(!word.empty());
+  const int k = static_cast<int>(word.size());
+  BridgeTableau bridge(rs.schema());
+  std::vector<std::vector<int>> classes = BridgeClasses(rs, word);
+
+  // One variable per (attribute, class).
+  std::vector<std::vector<int>> class_var(rs.arity());
+  for (int attr = 0; attr < rs.arity(); ++attr) {
+    int num_classes = 0;
+    for (int c : classes[attr]) num_classes = std::max(num_classes, c + 1);
+    class_var[attr].resize(num_classes);
+    for (int c = 0; c < num_classes; ++c) {
+      class_var[attr][c] = bridge.tableau.NewVariable(attr);
+    }
+  }
+  auto row_for = [&](int node) {
+    Row row(rs.arity());
+    for (int attr = 0; attr < rs.arity(); ++attr) {
+      row[attr] = class_var[attr][classes[attr][node]];
+    }
+    return row;
+  };
+  for (int i = 0; i <= k; ++i) {
+    bridge.base_rows.push_back(bridge.tableau.num_rows());
+    bridge.tableau.AddRow(row_for(i));
+  }
+  for (int i = 1; i <= k; ++i) {
+    bridge.apex_rows.push_back(bridge.tableau.num_rows());
+    bridge.tableau.AddRow(row_for(k + i));
+  }
+  return bridge;
+}
+
+BridgeInstance BuildBridgeInstance(const ReductionSchema& rs,
+                                   const Word& word) {
+  assert(!word.empty());
+  const int k = static_cast<int>(word.size());
+  BridgeInstance bridge(rs.schema());
+  std::vector<std::vector<int>> classes = BridgeClasses(rs, word);
+
+  for (int attr = 0; attr < rs.arity(); ++attr) {
+    int num_classes = 0;
+    for (int c : classes[attr]) num_classes = std::max(num_classes, c + 1);
+    for (int c = 0; c < num_classes; ++c) bridge.instance.AddValue(attr);
+  }
+  auto tuple_for = [&](int node) {
+    Tuple t(rs.arity());
+    for (int attr = 0; attr < rs.arity(); ++attr) {
+      t[attr] = classes[attr][node];
+    }
+    return t;
+  };
+  for (int i = 0; i <= k; ++i) {
+    Tuple t = tuple_for(i);
+    int id = bridge.instance.FindTuple(t);
+    if (id < 0) {
+      id = static_cast<int>(bridge.instance.NumTuples());
+      bridge.instance.AddTuple(t);
+    }
+    bridge.base_tuples.push_back(id);
+  }
+  for (int i = 1; i <= k; ++i) {
+    Tuple t = tuple_for(k + i);
+    int id = bridge.instance.FindTuple(t);
+    if (id < 0) {
+      id = static_cast<int>(bridge.instance.NumTuples());
+      bridge.instance.AddTuple(t);
+    }
+    bridge.apex_tuples.push_back(id);
+  }
+  return bridge;
+}
+
+}  // namespace tdlib

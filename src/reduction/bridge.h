@@ -1,0 +1,62 @@
+// Bridges: the word-encoding structures of the paper's Fig. 2.
+//
+// "The basic idea is to represent a word A1 A2 ... Ak over S by the
+//  structure of Fig. 2. Let us call such a structure a bridge for
+//  A1 A2 ... Ak. All the elements across the bottom of a bridge are
+//  E-equivalent, all those across the top are E'-equivalent, and each
+//  symbol Ai of the word is represented by a triangle with the apex having
+//  relations Ai' and Ai'' to the two points on the base."
+//
+// A bridge for a k-letter word has k+1 base tuples b0..bk and k apex tuples
+// t1..tk, with Ai'(b_{i-1}, t_i) and Ai''(b_i, t_i). Bridges exist in two
+// forms here: as a Tableau (to assert, via homomorphism, that a bridge is
+// embedded in a chase instance — the part (A) loop invariant) and as a
+// standalone Instance (for structural tests and the Fig. 2 bench).
+#ifndef TDLIB_REDUCTION_BRIDGE_H_
+#define TDLIB_REDUCTION_BRIDGE_H_
+
+#include <vector>
+
+#include "logic/instance.h"
+#include "logic/tableau.h"
+#include "reduction/reduction_schema.h"
+#include "semigroup/word.h"
+
+namespace tdlib {
+
+/// A bridge as a tableau over the reduction schema.
+struct BridgeTableau {
+  Tableau tableau;
+
+  /// Row indices of the base tuples b0..bk (size k+1).
+  std::vector<int> base_rows;
+
+  /// Row indices of the apex tuples t1..tk (size k).
+  std::vector<int> apex_rows;
+
+  explicit BridgeTableau(SchemaPtr schema) : tableau(std::move(schema)) {}
+};
+
+/// Builds the bridge tableau for `word` (non-empty).
+BridgeTableau BuildBridgeTableau(const ReductionSchema& rs, const Word& word);
+
+/// A bridge as a concrete instance (each node one tuple; attribute values
+/// are the equivalence classes of Fig. 2).
+struct BridgeInstance {
+  Instance instance;
+
+  /// Tuple ids of b0..bk.
+  std::vector<int> base_tuples;
+
+  /// Tuple ids of t1..tk.
+  std::vector<int> apex_tuples;
+
+  explicit BridgeInstance(SchemaPtr schema) : instance(std::move(schema)) {}
+};
+
+/// Builds the bridge instance for `word` (non-empty).
+BridgeInstance BuildBridgeInstance(const ReductionSchema& rs, const Word& word);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_REDUCTION_BRIDGE_H_

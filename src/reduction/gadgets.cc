@@ -1,0 +1,108 @@
+#include "reduction/gadgets.h"
+
+#include <cassert>
+
+namespace tdlib {
+
+Diagram GadgetDiagram(const ReductionSchema& rs, GadgetKind kind, int a,
+                      int b, int c) {
+  const int E = rs.E();
+  const int Ep = rs.EPrime();
+  const int Ap = rs.Prime(a), App = rs.DoublePrime(a);
+  const int Bp = rs.Prime(b), Bpp = rs.DoublePrime(b);
+  const int Cp = rs.Prime(c), Cpp = rs.DoublePrime(c);
+
+  switch (kind) {
+    case GadgetKind::kD1: {
+      // Nodes: 0 = t1, 1 = t2, 2 = t3 (base); 3 = t4 (A-apex over t1,t2);
+      // 4 = t5 (B-apex over t2,t3); 5 = * (C-apex over t1,t3).
+      Diagram d(rs.schema(), /*num_antecedents=*/5);
+      d.AddEdge(E, 0, 1);
+      d.AddEdge(E, 1, 2);
+      d.AddEdge(Ap, 0, 3);
+      d.AddEdge(App, 1, 3);
+      d.AddEdge(Bp, 1, 4);
+      d.AddEdge(Bpp, 2, 4);
+      d.AddEdge(Ep, 3, 4);
+      d.AddEdge(Cp, 0, d.conclusion_node());
+      d.AddEdge(Cpp, 2, d.conclusion_node());
+      d.AddEdge(Ep, 3, d.conclusion_node());
+      return d;
+    }
+    case GadgetKind::kD2: {
+      // Nodes: 0 = t1, 1 = t2 (base); 2 = t3 (C-apex); 3 = * (A-apex
+      // anchored at t1; its A''-value is existential — the fresh midpoint).
+      Diagram d(rs.schema(), /*num_antecedents=*/3);
+      d.AddEdge(E, 0, 1);
+      d.AddEdge(Cp, 0, 2);
+      d.AddEdge(Cpp, 1, 2);
+      d.AddEdge(Ap, 0, d.conclusion_node());
+      d.AddEdge(Ep, 2, d.conclusion_node());
+      return d;
+    }
+    case GadgetKind::kD3: {
+      // Mirror of D2: a B-apex anchored at t2; its B'-value is existential.
+      Diagram d(rs.schema(), /*num_antecedents=*/3);
+      d.AddEdge(E, 0, 1);
+      d.AddEdge(Cp, 0, 2);
+      d.AddEdge(Cpp, 1, 2);
+      d.AddEdge(Bpp, 1, d.conclusion_node());
+      d.AddEdge(Ep, 2, d.conclusion_node());
+      return d;
+    }
+    case GadgetKind::kD4: {
+      // Nodes: 0 = t1, 1 = t2 (base); 2 = t3 (C-apex); 3 = t4 (A-apex from
+      // t1, far end dangling); 4 = t5 (B-apex into t2, far end dangling);
+      // 5 = * — the shared midpoint base tuple, which exists because in the
+      // part (B) models t4 = (t1, A, m1), t5 = (m2, B, t2) force
+      // m1 = m2 by cancellation.
+      Diagram d(rs.schema(), /*num_antecedents=*/5);
+      d.AddEdge(E, 0, 1);
+      d.AddEdge(Cp, 0, 2);
+      d.AddEdge(Cpp, 1, 2);
+      d.AddEdge(Ap, 0, 3);
+      d.AddEdge(Ep, 2, 3);
+      d.AddEdge(Bpp, 1, 4);
+      d.AddEdge(Ep, 2, 4);
+      d.AddEdge(App, 3, d.conclusion_node());
+      d.AddEdge(Bp, 4, d.conclusion_node());
+      d.AddEdge(E, 0, d.conclusion_node());
+      return d;
+    }
+  }
+  assert(false && "unreachable");
+  return Diagram(rs.schema(), 1);
+}
+
+Dependency BuildGadget(const ReductionSchema& rs, GadgetKind kind,
+                       const Equation& eq) {
+  assert(eq.lhs.size() == 2 && eq.rhs.size() == 1 &&
+         "gadgets require (2,1)-normalized equations");
+  Diagram d = GadgetDiagram(rs, kind, eq.lhs[0], eq.lhs[1], eq.rhs[0]);
+  Result<Dependency> dep = d.ToDependency();
+  assert(dep.ok());
+  return std::move(dep).value();
+}
+
+Diagram GoalDiagram(const ReductionSchema& rs, int a0_symbol,
+                    int zero_symbol) {
+  // Nodes: 0 = a, 1 = b (base); 2 = d0 (A0-apex); 3 = * = d1 (0-apex over
+  // the same base, E'-connected to d0).
+  Diagram d(rs.schema(), /*num_antecedents=*/3);
+  d.AddEdge(rs.E(), 0, 1);
+  d.AddEdge(rs.Prime(a0_symbol), 0, 2);
+  d.AddEdge(rs.DoublePrime(a0_symbol), 1, 2);
+  d.AddEdge(rs.EPrime(), 2, d.conclusion_node());
+  d.AddEdge(rs.Prime(zero_symbol), 0, d.conclusion_node());
+  d.AddEdge(rs.DoublePrime(zero_symbol), 1, d.conclusion_node());
+  return d;
+}
+
+Dependency BuildGoal(const ReductionSchema& rs, int a0_symbol,
+                     int zero_symbol) {
+  Result<Dependency> dep = GoalDiagram(rs, a0_symbol, zero_symbol).ToDependency();
+  assert(dep.ok());
+  return std::move(dep).value();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,58 @@
+// The dependency gadgets of the reduction (the paper's Fig. 3).
+//
+// "For each equation r: AB = C in the antecedents of phi, construct the four
+//  dependencies D_i(r) (i = 1, 2, 3, 4) illustrated in Fig. 3. Let D be the
+//  set of all these dependencies. Also, let D0 be as shown."
+//
+// The figure itself is described through the proof's case analysis; the
+// shapes implemented here are the ones that make both directions of the
+// Reduction Theorem go through (see DESIGN.md §3 for the reconstruction and
+// the two independent machine validations):
+//
+//   D1(r) — contract: an A-triangle followed by a B-triangle over a common
+//           base midpoint yields a C-triangle over the outer base points.
+//   D2(r) — expand, left leg: a C-triangle spawns an A-apex anchored at the
+//           left base point (its far base value is existential).
+//   D3(r) — expand, right leg: mirror image, a B-apex anchored at the right
+//           base point.
+//   D4(r) — merge: given the C-triangle plus both legs, a shared midpoint
+//           base tuple exists (sound precisely because the part (B) models
+//           are built from semigroups with the cancellation property).
+//   D0    — the goal: an A0-triangle implies a 0-triangle over the same
+//           base, E'-connected to the A0-apex.
+//
+// All gadgets are produced through the Diagram API, so the figures of the
+// paper are literally the source representation.
+#ifndef TDLIB_REDUCTION_GADGETS_H_
+#define TDLIB_REDUCTION_GADGETS_H_
+
+#include "core/dependency.h"
+#include "core/diagram.h"
+#include "reduction/reduction_schema.h"
+#include "semigroup/presentation.h"
+
+namespace tdlib {
+
+/// Which of the four per-equation gadgets.
+enum class GadgetKind { kD1 = 1, kD2 = 2, kD3 = 3, kD4 = 4 };
+
+/// Builds the diagram of gadget `kind` for equation AB = C given as symbol
+/// ids (a, b, c). Exposed so tests and the documentation generator can
+/// render each figure; BuildGadget converts it to the dependency.
+Diagram GadgetDiagram(const ReductionSchema& rs, GadgetKind kind, int a,
+                      int b, int c);
+
+/// Builds gadget `kind` for the (2,1) equation `eq` (lhs = {a,b}, rhs = {c}).
+Dependency BuildGadget(const ReductionSchema& rs, GadgetKind kind,
+                       const Equation& eq);
+
+/// The goal dependency D0's diagram (an A0-triangle implying a 0-triangle).
+Diagram GoalDiagram(const ReductionSchema& rs, int a0_symbol, int zero_symbol);
+
+/// The goal dependency D0.
+Dependency BuildGoal(const ReductionSchema& rs, int a0_symbol,
+                     int zero_symbol);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_REDUCTION_GADGETS_H_

@@ -1,0 +1,82 @@
+// Direction (A) of the Reduction Theorem, executed.
+//
+// "Suppose that phi holds in every S-generated semigroup. Then there is a
+//  sequence of m+1 >= 1 strings u0, u1, ..., um, where u0 is A0, um is 0,
+//  and u_{i+1} results from u_i by replacement of a single occurrence of
+//  some x_i by y_i or vice versa. ... Check by induction on j = 0..m that
+//  [a bridge for u_j is embedded]."
+//
+// The driver makes that induction a computation:
+//   1. normalize the presentation to (2,1) form;
+//   2. search for the rewriting derivation A0 ->* 0 (the Main Lemma side);
+//   3. build the reduction (D, D0);
+//   4. replay the derivation as chase steps — one D1 fire per contraction,
+//      a D2, D3, D4 fire per expansion — maintaining an explicit embedding
+//      of the current bridge, and independently re-verifying each bridge by
+//      homomorphism search (the paper's loop invariant);
+//   5. confirm that D0's conclusion is matched at the end, and that the
+//      generic black-box chase (ChaseImplies) agrees.
+#ifndef TDLIB_REDUCTION_PART_A_H_
+#define TDLIB_REDUCTION_PART_A_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/implication.h"
+#include "reduction/reduction.h"
+#include "semigroup/normalizer.h"
+#include "semigroup/rewrite.h"
+
+namespace tdlib {
+
+struct PartAConfig {
+  WordProblemConfig word_problem;
+
+  /// Budgets for the independent black-box chase run (step 5).
+  ChaseConfig chase;
+
+  /// Re-verify the bridge invariant by homomorphism search at every stage.
+  bool verify_bridges = true;
+
+  /// Also run the generic ChaseImplies as a cross-check.
+  bool run_black_box_chase = true;
+};
+
+/// One stage of the replay.
+struct BridgeStage {
+  Word word;           ///< u_j
+  bool embedded;       ///< bridge-for-u_j verified in the chase instance
+  int instance_tuples; ///< instance size after this stage
+};
+
+struct PartAResult {
+  NormalizationResult normalization;
+  WordProblemResult word_problem;
+
+  /// True iff the scripted replay reached a 0-bridge and D0's conclusion is
+  /// matched in the replay instance. Meaningful only when the word problem
+  /// returned kEqual.
+  bool replay_reached_goal = false;
+
+  /// Bridge verification per derivation stage (empty if not verifying).
+  std::vector<BridgeStage> stages;
+
+  /// Chase steps fired by the replay.
+  std::uint64_t replay_steps = 0;
+
+  /// The independent black-box implication run (if enabled).
+  ImplicationResult black_box;
+
+  /// Overall: every enabled check agreed with direction (A).
+  bool consistent = false;
+
+  std::string ToString() const;
+};
+
+/// Runs the full part (A) pipeline on `input` (any presentation; it is
+/// normalized internally).
+PartAResult RunPartA(const Presentation& input, const PartAConfig& config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_REDUCTION_PART_A_H_

@@ -1,0 +1,185 @@
+#include "reduction/part_b.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "core/satisfaction.h"
+#include "util/union_find.h"
+
+namespace tdlib {
+namespace {
+
+// An element of the universe P ∪ Q.
+struct UniverseElement {
+  bool is_triple = false;
+  int p_elem = -1;             // when !is_triple: the G' element
+  int a = -1, sym = -1, b = -1;  // when is_triple: (a, A, b)
+};
+
+}  // namespace
+
+Result<PartBDatabase> BuildCounterexampleDatabase(
+    const Presentation& p, const SemigroupWitness& witness,
+    const ReductionSchema& rs) {
+  if (std::string err = witness.Verify(p); !err.empty()) {
+    return Result<PartBDatabase>::Error("witness invalid: " + err);
+  }
+
+  // G' = G with an identity adjoined; ids of G are unchanged.
+  MultiplicationTable g_prime = witness.table.AdjoinIdentity();
+  const int identity = witness.table.size();
+  const int a0_elem = witness.assignment[p.a0()];
+
+  // P = { a : exists b with ab = A0 }.
+  std::vector<int> p_elems;
+  std::vector<int> p_index(g_prime.size(), -1);
+  for (int a = 0; a < g_prime.size(); ++a) {
+    for (int b = 0; b < g_prime.size(); ++b) {
+      if (g_prime.Product(a, b) == a0_elem) {
+        p_index[a] = static_cast<int>(p_elems.size());
+        p_elems.push_back(a);
+        break;
+      }
+    }
+  }
+
+  // Q = { (a, A, b) : a, b in P and a . elem(A) = b }.
+  std::vector<UniverseElement> universe;
+  universe.reserve(p_elems.size() * (1 + p.num_symbols()));
+  for (int a : p_elems) {
+    UniverseElement e;
+    e.p_elem = a;
+    universe.push_back(e);
+  }
+  std::map<std::tuple<int, int, int>, int> triple_index;
+  for (int a : p_elems) {
+    for (int sym = 0; sym < p.num_symbols(); ++sym) {
+      int b = g_prime.Product(a, witness.assignment[sym]);
+      if (p_index[b] < 0) continue;
+      UniverseElement e;
+      e.is_triple = true;
+      e.a = a;
+      e.sym = sym;
+      e.b = b;
+      triple_index[{a, sym, b}] = static_cast<int>(universe.size());
+      universe.push_back(e);
+    }
+  }
+  const int n = static_cast<int>(universe.size());
+  const int q_count = n - static_cast<int>(p_elems.size());
+
+  // Equivalence relations (1)-(4) as one union-find per attribute.
+  std::vector<UnionFind> classes;
+  classes.reserve(rs.arity());
+  for (int attr = 0; attr < rs.arity(); ++attr) classes.emplace_back(n);
+  for (int i = 0; i < n; ++i) {
+    const UniverseElement& e = universe[i];
+    if (e.is_triple) {
+      classes[rs.Prime(e.sym)].Union(i, p_index[e.a]);
+      classes[rs.DoublePrime(e.sym)].Union(i, p_index[e.b]);
+      if (i > static_cast<int>(p_elems.size())) {
+        classes[rs.EPrime()].Union(i, static_cast<int>(p_elems.size()));
+      }
+    } else if (i > 0) {
+      classes[rs.E()].Union(i, 0);
+    }
+  }
+
+  PartBDatabase db;
+  db.database = Instance(rs.schema());
+  std::vector<std::vector<int>> class_ids;
+  for (int attr = 0; attr < rs.arity(); ++attr) {
+    class_ids.push_back(classes[attr].DenseClassIds());
+    int num = static_cast<int>(classes[attr].num_sets());
+    for (int c = 0; c < num; ++c) db.database.AddValue(attr);
+  }
+  for (int i = 0; i < n; ++i) {
+    Tuple t(rs.arity());
+    for (int attr = 0; attr < rs.arity(); ++attr) t[attr] = class_ids[attr][i];
+    if (!db.database.AddTuple(t)) {
+      return Result<PartBDatabase>::Error(
+          "two universe elements produced identical tuples (construction "
+          "invariant violated)");
+    }
+    const UniverseElement& e = universe[i];
+    std::ostringstream name;
+    if (e.is_triple) {
+      name << "q:(" << e.a << "," << p.SymbolName(e.sym) << "," << e.b << ")";
+    } else {
+      name << "p:" << (e.p_elem == identity ? std::string("I")
+                                            : std::to_string(e.p_elem));
+    }
+    db.element_names.push_back(name.str());
+  }
+  db.p_size = static_cast<int>(p_elems.size());
+  db.q_size = q_count;
+  db.tuple_of_identity = p_index[identity];
+  db.tuple_of_a0 = p_index[a0_elem];
+  auto it = triple_index.find({identity, p.a0(), a0_elem});
+  db.tuple_of_identity_a0_triple = it == triple_index.end() ? -1 : it->second;
+  return db;
+}
+
+std::string VerifyPartB(const GurevichLewisReduction& reduction,
+                        const PartBDatabase& db) {
+  if (std::string err = db.database.CheckInvariants(); !err.empty()) {
+    return "database invariants: " + err;
+  }
+  // The paper's distinguished elements must exist: I, A0 in P and the triple
+  // (I, A0, A0) in Q — they witness (NOT D0).
+  if (db.tuple_of_identity < 0) return "identity element missing from P";
+  if (db.tuple_of_a0 < 0) return "A0 missing from P";
+  if (db.tuple_of_identity_a0_triple < 0) {
+    return "(I, A0, A0) missing from Q";
+  }
+  for (std::size_t i = 0; i < reduction.dependencies().items.size(); ++i) {
+    SatisfactionResult r =
+        CheckSatisfaction(reduction.dependencies().items[i], db.database);
+    if (r.verdict != Satisfaction::kSatisfied) {
+      return "dependency " + reduction.dependencies().names[i] +
+             " is not satisfied by the constructed database";
+    }
+  }
+  SatisfactionResult goal = CheckSatisfaction(reduction.goal(), db.database);
+  if (goal.verdict != Satisfaction::kViolated) {
+    return "D0 is not violated by the constructed database";
+  }
+  return "";
+}
+
+PartBResult RunPartB(const Presentation& input,
+                     const ModelSearchConfig& search_config) {
+  PartBResult result;
+  result.normalization = NormalizeTo21(input);
+  const Presentation& p = result.normalization.normalized;
+
+  result.model_search = FindRefutingSemigroup(p, search_config);
+  if (result.model_search.status != ModelSearchStatus::kFound) {
+    result.message =
+        result.model_search.status == ModelSearchStatus::kExhausted
+            ? "no refuting semigroup within the size bound"
+            : "model search hit its budget";
+    return result;
+  }
+
+  Result<GurevichLewisReduction> reduction = GurevichLewisReduction::Create(p);
+  if (!reduction.ok()) {
+    result.message = reduction.error();
+    return result;
+  }
+  Result<PartBDatabase> db = BuildCounterexampleDatabase(
+      p, *result.model_search.witness,
+      reduction.value().reduction_schema());
+  if (!db.ok()) {
+    result.message = db.error();
+    return result;
+  }
+  result.db = std::move(db).value();
+  std::string err = VerifyPartB(reduction.value(), *result.db);
+  result.verified = err.empty();
+  result.message = err.empty() ? "verified" : err;
+  return result;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,80 @@
+// Direction (B) of the Reduction Theorem: the finite counterexample.
+//
+// "Now suppose that phi fails in some finite semigroup G without identity
+//  having the cancellation property. Adjoin to G an identity element I ...
+//  Let P = {a in G' : there is some b in G' such that ab = A0}. ... For
+//  every triple a, A, b such that a, b in P, A in S, and a ->_A b, introduce
+//  a new element (a, A, b), and let Q be the set of these new elements. The
+//  universe of the model for D is the union of P and Q."
+//
+// Equivalence relations (the attribute values):
+//   (1) ~A'  joins (a, A, b) with a;
+//   (2) ~A'' joins (a, A, b) with b;
+//   (3) ~E   relates all of P (and is trivial on Q);
+//   (4) ~E'  relates all of Q (and is trivial on P).
+//
+// BuildCounterexampleDatabase materializes this structure as an Instance
+// (one tuple per element of P ∪ Q; the value of tuple t at attribute X is
+// t's ~X class), and VerifyPartB model-checks the paper's claim: every
+// member of D holds, D0 fails.
+#ifndef TDLIB_REDUCTION_PART_B_H_
+#define TDLIB_REDUCTION_PART_B_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/instance.h"
+#include "reduction/reduction.h"
+#include "semigroup/model_search.h"
+#include "semigroup/normalizer.h"
+
+namespace tdlib {
+
+/// The constructed model plus bookkeeping for tests and examples.
+struct PartBDatabase {
+  Instance database;
+
+  /// Human-readable element names parallel to tuple ids ("p:I", "q:(a,A,b)").
+  std::vector<std::string> element_names;
+
+  int p_size = 0;  ///< |P|
+  int q_size = 0;  ///< |Q|
+
+  /// Tuple ids of the distinguished elements used in the paper's (NOT D0)
+  /// argument: t1 = I, t2 = A0, t3 = (I, A0, A0).
+  int tuple_of_identity = -1;
+  int tuple_of_a0 = -1;
+  int tuple_of_identity_a0_triple = -1;
+
+  PartBDatabase() : database(MakeSchema({"placeholder"})) {}
+};
+
+/// Builds the part (B) database from a refutation witness. The witness must
+/// verify (SemigroupWitness::Verify) against `p`, and `p` must be the
+/// normalized presentation the reduction was built from.
+Result<PartBDatabase> BuildCounterexampleDatabase(
+    const Presentation& p, const SemigroupWitness& witness,
+    const ReductionSchema& rs);
+
+/// Model-checks the Reduction Theorem (B) claim; returns "" on success or a
+/// description of the first failed check.
+std::string VerifyPartB(const GurevichLewisReduction& reduction,
+                        const PartBDatabase& db);
+
+/// End-to-end pipeline: normalize, search for a refuting semigroup, build
+/// the database, verify. Returns "" on success (or a reason the pipeline
+/// could not complete, e.g. no semigroup found within bounds).
+struct PartBResult {
+  NormalizationResult normalization;
+  ModelSearchResult model_search;
+  std::optional<PartBDatabase> db;
+  bool verified = false;
+  std::string message;
+};
+PartBResult RunPartB(const Presentation& input,
+                     const ModelSearchConfig& search_config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_REDUCTION_PART_B_H_

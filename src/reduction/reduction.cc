@@ -1,0 +1,64 @@
+#include "reduction/reduction.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdlib {
+
+Result<GurevichLewisReduction> GurevichLewisReduction::Create(
+    const Presentation& p) {
+  if (std::string err = p.CheckInvariants(); !err.empty()) {
+    return Result<GurevichLewisReduction>::Error(err);
+  }
+  if (!p.IsNormalized()) {
+    return Result<GurevichLewisReduction>::Error(
+        "presentation is not (2,1)-normalized; run NormalizeTo21 first");
+  }
+  if (!p.HasAbsorptionEquations()) {
+    return Result<GurevichLewisReduction>::Error(
+        "presentation lacks the absorption equations the Main Lemma requires "
+        "among the antecedents; call AddAbsorptionEquations()");
+  }
+  Result<ReductionSchema> schema = ReductionSchema::Create(p);
+  if (!schema.ok()) {
+    return Result<GurevichLewisReduction>::Error(schema.error());
+  }
+  const ReductionSchema& rs = schema.value();
+
+  DependencySet d;
+  for (const Equation& eq : p.equations()) {
+    for (GadgetKind kind : {GadgetKind::kD1, GadgetKind::kD2, GadgetKind::kD3,
+                            GadgetKind::kD4}) {
+      std::string name = "D";
+      name += std::to_string(static_cast<int>(kind));
+      name += "(";
+      name += p.WordToString(eq.lhs);
+      name += " = ";
+      name += p.WordToString(eq.rhs);
+      name += ")";
+      d.Add(BuildGadget(rs, kind, eq), std::move(name));
+    }
+  }
+  Dependency d0 = BuildGoal(rs, p.a0(), p.zero());
+  return GurevichLewisReduction(std::move(schema).value(), std::move(d),
+                                std::move(d0));
+}
+
+int GurevichLewisReduction::MaxAntecedents() const {
+  int max_rows = d0_.body().num_rows();
+  for (const Dependency& dep : d_.items) {
+    max_rows = std::max(max_rows, dep.body().num_rows());
+  }
+  return max_rows;
+}
+
+std::string GurevichLewisReduction::ToString() const {
+  std::ostringstream oss;
+  oss << "schema (" << arity() << " attributes):";
+  for (int a = 0; a < arity(); ++a) oss << " " << schema()->name(a);
+  oss << "\n" << d_.ToString();
+  oss << "D0: " << d0_.ToString() << "\n";
+  return oss.str();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,68 @@
+// The full Gurevich-Lewis reduction: presentation phi  |->  (D, D0).
+//
+// REDUCTION THEOREM.
+//  (A) If phi holds in every S-generated semigroup, then D0 holds in every
+//      database in which each member of D holds.
+//  (B) If phi fails in some finite S-generated semigroup having the
+//      cancellation property, then there is a finite database in which each
+//      member of D holds but D0 does not.
+//
+// This class performs the *construction*; parts (A) and (B) are executed by
+// part_a.h / part_b.h. The headline parameters, testable here: |D| =
+// 4 * #equations, every member of D has at most five antecedents, and the
+// schema has 2n + 2 attributes — "our proof yields dependencies with a
+// bounded number of antecedents (five at most) but an unbounded number of
+// attributes" (the complement of Vardi's construction).
+#ifndef TDLIB_REDUCTION_REDUCTION_H_
+#define TDLIB_REDUCTION_REDUCTION_H_
+
+#include <string>
+
+#include "core/dependency.h"
+#include "reduction/gadgets.h"
+#include "reduction/reduction_schema.h"
+#include "semigroup/presentation.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// The reduction output for one presentation.
+class GurevichLewisReduction {
+ public:
+  /// Builds (D, D0) from a (2,1)-normalized presentation. Fails when the
+  /// presentation is not normalized (run NormalizeTo21 first), lacks the
+  /// absorption equations, or has a symbol colliding with attribute names.
+  static Result<GurevichLewisReduction> Create(const Presentation& p);
+
+  const ReductionSchema& reduction_schema() const { return schema_; }
+  const SchemaPtr& schema() const { return schema_.schema(); }
+
+  /// The dependency set D: gadgets D1..D4 per equation, in equation order,
+  /// named like "D3(A B = C)".
+  const DependencySet& dependencies() const { return d_; }
+
+  /// The goal dependency D0.
+  const Dependency& goal() const { return d0_; }
+
+  /// Largest antecedent (body row) count across D and D0; the paper proves
+  /// this is at most 5.
+  int MaxAntecedents() const;
+
+  /// Attribute count, 2n + 2.
+  int arity() const { return schema_.arity(); }
+
+  std::string ToString() const;
+
+ private:
+  GurevichLewisReduction(ReductionSchema schema, DependencySet d,
+                         Dependency d0)
+      : schema_(std::move(schema)), d_(std::move(d)), d0_(std::move(d0)) {}
+
+  ReductionSchema schema_;
+  DependencySet d_;
+  Dependency d0_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_REDUCTION_REDUCTION_H_

@@ -1,0 +1,24 @@
+#include "reduction/reduction_schema.h"
+
+namespace tdlib {
+
+Result<ReductionSchema> ReductionSchema::Create(const Presentation& p) {
+  std::vector<std::string> names;
+  names.push_back("E");
+  names.push_back("E'");
+  for (int s = 0; s < p.num_symbols(); ++s) {
+    names.push_back(p.SymbolName(s) + "'");
+    names.push_back(p.SymbolName(s) + "''");
+  }
+  Schema schema(std::move(names));
+  if (std::string err = schema.Validate(); !err.empty()) {
+    return Result<ReductionSchema>::Error(
+        "reduction schema: " + err +
+        " (a presentation symbol named 'E' collides with the reduction's "
+        "distinguished attributes; rename it)");
+  }
+  return ReductionSchema(std::make_shared<const Schema>(std::move(schema)),
+                         p.num_symbols());
+}
+
+}  // namespace tdlib

@@ -1,0 +1,47 @@
+// The attribute schema of the Gurevich-Lewis reduction.
+//
+// "For each A in S, the relations A' and A''; and additional relations E and
+//  E'. (These equivalence relations are the attributes of the dependencies,
+//  so if S contains n symbols, the relation will have 2n + 2 attributes.)"
+#ifndef TDLIB_REDUCTION_REDUCTION_SCHEMA_H_
+#define TDLIB_REDUCTION_REDUCTION_SCHEMA_H_
+
+#include <string>
+
+#include "logic/schema.h"
+#include "semigroup/presentation.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// Maps a presentation's symbols to the 2n+2 reduction attributes:
+/// attribute 0 is E, attribute 1 is E', and symbol s occupies attributes
+/// 2+2s (named S') and 3+2s (named S'').
+class ReductionSchema {
+ public:
+  /// Fails if a symbol name would collide with E / E' attribute names.
+  static Result<ReductionSchema> Create(const Presentation& p);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int num_symbols() const { return num_symbols_; }
+
+  /// Attribute ids.
+  int E() const { return 0; }
+  int EPrime() const { return 1; }
+  int Prime(int symbol) const { return 2 + 2 * symbol; }         ///< A'
+  int DoublePrime(int symbol) const { return 3 + 2 * symbol; }   ///< A''
+
+  /// Total attribute count: 2n + 2.
+  int arity() const { return 2 * num_symbols_ + 2; }
+
+ private:
+  ReductionSchema(SchemaPtr schema, int num_symbols)
+      : schema_(std::move(schema)), num_symbols_(num_symbols) {}
+
+  SchemaPtr schema_;
+  int num_symbols_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_REDUCTION_REDUCTION_SCHEMA_H_

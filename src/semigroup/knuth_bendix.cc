@@ -1,0 +1,149 @@
+#include "semigroup/knuth_bendix.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace tdlib {
+
+bool ShortlexLess(const Word& a, const Word& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+bool RewriteSystem::AddEquation(Word a, Word b) {
+  if (a == b) return false;
+  if (ShortlexLess(a, b)) std::swap(a, b);
+  // Skip exact duplicates.
+  for (const RewriteRule& r : rules_) {
+    if (r.lhs == a && r.rhs == b) return false;
+  }
+  rules_.push_back(RewriteRule{std::move(a), std::move(b)});
+  return true;
+}
+
+Word RewriteSystem::NormalForm(const Word& w) const {
+  Word current = w;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const RewriteRule& rule : rules_) {
+      std::vector<int> occurrences = FindOccurrences(current, rule.lhs);
+      if (!occurrences.empty()) {
+        current = ReplaceAt(current, occurrences[0], rule.lhs, rule.rhs);
+        changed = true;
+        break;  // restart from the first rule (leftmost-innermost-ish)
+      }
+    }
+  }
+  return current;
+}
+
+std::string RewriteSystem::ToString(const Presentation& p) const {
+  std::ostringstream oss;
+  for (const RewriteRule& r : rules_) {
+    oss << p.WordToString(r.lhs) << " -> " << p.WordToString(r.rhs) << "\n";
+  }
+  return oss.str();
+}
+
+namespace {
+
+// Appends all critical pairs between rules r1 and r2 (overlaps of r1.lhs
+// with r2.lhs) to *pairs. Two overlap shapes:
+//   (a) suffix of r1.lhs = prefix of r2.lhs (proper overlap),
+//   (b) r2.lhs occurs inside r1.lhs (containment).
+void CriticalPairs(const RewriteRule& r1, const RewriteRule& r2,
+                   std::vector<std::pair<Word, Word>>* pairs) {
+  const Word& l1 = r1.lhs;
+  const Word& l2 = r2.lhs;
+  // (a) proper overlaps: l1 = x u, l2 = u y with u non-empty, x or y
+  // non-empty. Superposition word: x u y.
+  for (std::size_t overlap = 1;
+       overlap < l1.size() && overlap <= l2.size(); ++overlap) {
+    bool match = true;
+    for (std::size_t i = 0; i < overlap; ++i) {
+      if (l1[l1.size() - overlap + i] != l2[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    // Superposition: l1 followed by l2's tail.
+    Word super(l1.begin(), l1.end());
+    super.insert(super.end(), l2.begin() + overlap, l2.end());
+    // Reduce via r1 (at offset 0) and via r2 (at offset |l1| - overlap).
+    Word via1 = ReplaceAt(super, 0, l1, r1.rhs);
+    Word via2 = ReplaceAt(super, static_cast<int>(l1.size() - overlap), l2,
+                          r2.rhs);
+    pairs->emplace_back(std::move(via1), std::move(via2));
+  }
+  // (b) containment: l2 inside l1 (strictly, to avoid the trivial overlap
+  // when the rules are identical words).
+  if (l2.size() < l1.size()) {
+    for (int offset : FindOccurrences(l1, l2)) {
+      Word via1 = r1.rhs;
+      Word via2 = ReplaceAt(l1, offset, l2, r2.rhs);
+      pairs->emplace_back(via1, std::move(via2));
+    }
+  }
+}
+
+}  // namespace
+
+CompletionResult Complete(const Presentation& p,
+                          const CompletionConfig& config) {
+  CompletionResult result;
+  Deadline deadline(config.deadline_seconds);
+  for (const Equation& eq : p.equations()) {
+    result.system.AddEquation(eq.lhs, eq.rhs);
+  }
+
+  // Naive completion: repeatedly examine all rule pairs; join each critical
+  // pair by normal forms; if a pair does not join, orient it as a new rule
+  // and start over. Terminates when no critical pair is unjoinable.
+  bool saturated = false;
+  while (!saturated) {
+    saturated = true;
+    const auto& rules = result.system.rules();
+    for (std::size_t i = 0; i < rules.size() && saturated; ++i) {
+      for (std::size_t j = 0; j < rules.size() && saturated; ++j) {
+        if (deadline.Expired() ||
+            (config.max_rules > 0 &&
+             static_cast<int>(rules.size()) > config.max_rules)) {
+          result.status = CompletionStatus::kLimit;
+          return result;
+        }
+        std::vector<std::pair<Word, Word>> pairs;
+        CriticalPairs(rules[i], rules[j], &pairs);
+        for (auto& [u, v] : pairs) {
+          ++result.critical_pairs_examined;
+          Word nu = result.system.NormalForm(u);
+          Word nv = result.system.NormalForm(v);
+          if (nu == nv) continue;
+          if (static_cast<int>(std::max(nu.size(), nv.size())) >
+              config.max_word_length) {
+            result.status = CompletionStatus::kLimit;
+            return result;
+          }
+          result.system.AddEquation(std::move(nu), std::move(nv));
+          saturated = false;  // rule set changed: rescan
+          break;
+        }
+      }
+    }
+  }
+  result.status = CompletionStatus::kConfluent;
+  return result;
+}
+
+bool DecideA0IsZeroByCompletion(const Presentation& p, bool* equal,
+                                const CompletionConfig& config) {
+  CompletionResult completion = Complete(p, config);
+  if (completion.status != CompletionStatus::kConfluent) return false;
+  *equal = completion.system.SameNormalForm(Word{p.a0()}, Word{p.zero()});
+  return true;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,90 @@
+// Knuth-Bendix completion for semigroup presentations.
+//
+// The breadth-first search in rewrite.h semi-decides the word problem but
+// never decides a negative instance. Completion is the complementary tool:
+// orient the equations into length-reducing (shortlex) rewrite rules and
+// saturate critical pairs; if the process terminates, the resulting system
+// is confluent and the word problem becomes DECIDABLE for that presentation
+// — two words are equal iff their normal forms coincide. The Main Lemma
+// guarantees completion cannot always succeed (otherwise the word problem —
+// and by this paper, TD inference — would be decidable), so the procedure
+// carries explicit budgets.
+#ifndef TDLIB_SEMIGROUP_KNUTH_BENDIX_H_
+#define TDLIB_SEMIGROUP_KNUTH_BENDIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semigroup/presentation.h"
+
+namespace tdlib {
+
+/// An oriented rewrite rule lhs -> rhs with lhs > rhs in shortlex order.
+struct RewriteRule {
+  Word lhs;
+  Word rhs;
+};
+
+/// True iff `a` precedes `b` in shortlex order (shorter first, then
+/// lexicographic by symbol id).
+bool ShortlexLess(const Word& a, const Word& b);
+
+/// A set of shortlex-oriented rules with normal-form computation.
+class RewriteSystem {
+ public:
+  /// Adds an equation as a rule (larger side becomes lhs). Equations whose
+  /// sides are identical are dropped. Returns false if dropped.
+  bool AddEquation(Word a, Word b);
+
+  const std::vector<RewriteRule>& rules() const { return rules_; }
+
+  /// Rewrites `w` to its normal form (leftmost-innermost; terminates
+  /// because every rule is shortlex-decreasing).
+  Word NormalForm(const Word& w) const;
+
+  /// True iff the two words have the same normal form. A sound equality
+  /// test always; COMPLETE exactly when the system is confluent.
+  bool SameNormalForm(const Word& a, const Word& b) const {
+    return NormalForm(a) == NormalForm(b);
+  }
+
+  std::string ToString(const Presentation& p) const;
+
+ private:
+  std::vector<RewriteRule> rules_;
+};
+
+struct CompletionConfig {
+  /// Abort when the rule set exceeds this size (0 = unlimited).
+  int max_rules = 256;
+
+  /// Critical pairs whose sides exceed this length are not pursued.
+  int max_word_length = 32;
+
+  double deadline_seconds = 0;
+};
+
+enum class CompletionStatus {
+  kConfluent,  ///< all critical pairs joinable: word problem decided
+  kLimit,      ///< a budget tripped; the system is sound but maybe incomplete
+};
+
+struct CompletionResult {
+  CompletionStatus status = CompletionStatus::kLimit;
+  RewriteSystem system;
+  std::uint64_t critical_pairs_examined = 0;
+};
+
+/// Runs Knuth-Bendix completion on `p`'s equations.
+CompletionResult Complete(const Presentation& p,
+                          const CompletionConfig& config = {});
+
+/// Convenience: decides A0 = 0 when completion succeeds. Returns
+/// kYes/kNo via `equal` with true return; false return = inconclusive.
+bool DecideA0IsZeroByCompletion(const Presentation& p, bool* equal,
+                                const CompletionConfig& config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_KNUTH_BENDIX_H_

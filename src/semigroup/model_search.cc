@@ -1,0 +1,129 @@
+#include "semigroup/model_search.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/timer.h"
+
+namespace tdlib {
+namespace {
+
+// Enumerates all assignments symbol -> element with assignment[0] pinned to
+// `zero`, calling `visit` for each; visit returns false to stop. Returns
+// false iff stopped early.
+bool ForEachAssignment(int num_symbols, int num_elements, int zero,
+                       const std::function<bool(const std::vector<int>&)>& visit) {
+  std::vector<int> assignment(num_symbols, 0);
+  assignment[0] = zero;
+  std::function<bool(int)> rec = [&](int sym) -> bool {
+    if (sym == num_symbols) return visit(assignment);
+    for (int e = 0; e < num_elements; ++e) {
+      assignment[sym] = e;
+      if (!rec(sym + 1)) return false;
+    }
+    return true;
+  };
+  return rec(1);
+}
+
+// Checks one candidate table against the presentation; fills in *result on
+// success.
+bool TryTable(const Presentation& p, const MultiplicationTable& table,
+              ModelSearchResult* result, const Deadline& deadline) {
+  // Structural filters first (cheap relative to assignment enumeration).
+  std::optional<int> zero = table.ZeroElement();
+  if (!zero.has_value() || *zero != 0) return false;
+  if (!table.IsAssociative()) return false;
+  if (table.IdentityElement().has_value()) return false;
+  if (!table.SatisfiesCancellationI(0)) return false;
+  if (!table.SatisfiesCancellationII(0)) return false;
+  ++result->tables_checked;
+
+  bool found = false;
+  ForEachAssignment(
+      p.num_symbols(), table.size(), 0, [&](const std::vector<int>& a) {
+        ++result->assignments_checked;
+        if (deadline.Expired()) return false;
+        if (a[p.a0()] == 0) return true;  // need A0 != 0
+        if (!table.SatisfiesPresentation(p, a)) return true;
+        result->witness = SemigroupWitness{table, a};
+        found = true;
+        return false;
+      });
+  return found;
+}
+
+}  // namespace
+
+std::string SemigroupWitness::Verify(const Presentation& p) const {
+  if (!table.IsAssociative()) return "table is not associative";
+  std::optional<int> zero = table.ZeroElement();
+  if (!zero.has_value()) return "table has no zero element";
+  if (table.IdentityElement().has_value()) return "table has an identity";
+  if (!table.SatisfiesCancellationI(*zero)) return "cancellation (i) fails";
+  if (!table.SatisfiesCancellationII(*zero)) return "cancellation (ii) fails";
+  if (static_cast<int>(assignment.size()) != p.num_symbols()) {
+    return "assignment arity mismatch";
+  }
+  if (assignment[p.zero()] != *zero) return "symbol 0 not mapped to the zero";
+  if (assignment[p.a0()] == *zero) return "A0 mapped to zero (not a refuter)";
+  for (const Equation& eq : p.equations()) {
+    if (!table.SatisfiesEquation(eq, assignment)) {
+      return "equation fails: " + p.WordToString(eq.lhs) + " = " +
+             p.WordToString(eq.rhs);
+    }
+  }
+  return "";
+}
+
+ModelSearchResult FindRefutingSemigroup(const Presentation& p,
+                                        const ModelSearchConfig& config) {
+  ModelSearchResult result;
+  Deadline deadline(config.deadline_seconds);
+
+  if (config.use_seeds) {
+    for (int n = 2; n <= std::max(2, config.max_size); ++n) {
+      if (TryTable(p, MultiplicationTable::Null(n), &result, deadline)) {
+        result.status = ModelSearchStatus::kFound;
+        return result;
+      }
+      if (deadline.Expired()) {
+        result.status = ModelSearchStatus::kLimit;
+        return result;
+      }
+    }
+  }
+
+  // Brute force: tables with row/column 0 pinned to the zero element.
+  for (int n = 2; n <= config.max_size; ++n) {
+    const int free_cells = (n - 1) * (n - 1);
+    std::vector<int> cells(free_cells, 0);
+    bool exhausted = false;
+    while (!exhausted) {
+      if (deadline.Expired()) {
+        result.status = ModelSearchStatus::kLimit;
+        return result;
+      }
+      MultiplicationTable table(n);
+      int k = 0;
+      for (int a = 1; a < n; ++a) {
+        for (int b = 1; b < n; ++b) table.SetProduct(a, b, cells[k++]);
+      }
+      if (TryTable(p, table, &result, deadline)) {
+        result.status = ModelSearchStatus::kFound;
+        return result;
+      }
+      int pos = 0;
+      while (pos < free_cells) {
+        if (++cells[pos] < n) break;
+        cells[pos] = 0;
+        ++pos;
+      }
+      if (pos == free_cells) exhausted = true;
+    }
+  }
+  result.status = ModelSearchStatus::kExhausted;
+  return result;
+}
+
+}  // namespace tdlib

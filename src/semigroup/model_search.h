@@ -1,0 +1,66 @@
+// Finite semigroup model finder.
+//
+// Part (B) of the Reduction Theorem consumes "a finite S-generated semigroup
+// without identity having the cancellation property" in which the
+// presentation's equations hold but A0 != 0. This module searches for such
+// witnesses:
+//
+//   * a seeded family check (null semigroups — the simplest structures
+//     satisfying the paper's conditions), and
+//   * brute-force enumeration of small multiplication tables with element 0
+//     pinned as the zero, with associativity / no-identity / cancellation
+//     filters, crossed with all symbol assignments.
+//
+// The Main Lemma guarantees no *total* such procedure exists; bounds are
+// explicit and exhaustion below a bound is reported as such.
+#ifndef TDLIB_SEMIGROUP_MODEL_SEARCH_H_
+#define TDLIB_SEMIGROUP_MODEL_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "semigroup/presentation.h"
+#include "semigroup/table.h"
+
+namespace tdlib {
+
+/// A refutation witness: a finite cancellation semigroup without identity,
+/// plus a symbol assignment, under which every equation of the presentation
+/// holds while A0 maps to a non-zero element.
+struct SemigroupWitness {
+  MultiplicationTable table;
+  std::vector<int> assignment;  ///< symbol id -> element; assignment[0] = zero
+
+  /// Re-verifies every required property; "" or the first failure.
+  std::string Verify(const Presentation& p) const;
+};
+
+struct ModelSearchConfig {
+  /// Largest table size for brute-force enumeration.
+  int max_size = 4;
+
+  /// Try the seeded families before brute force.
+  bool use_seeds = true;
+
+  /// Wall clock (<= 0 = none).
+  double deadline_seconds = 0;
+};
+
+enum class ModelSearchStatus { kFound, kExhausted, kLimit };
+
+struct ModelSearchResult {
+  ModelSearchStatus status = ModelSearchStatus::kLimit;
+  std::optional<SemigroupWitness> witness;
+  std::uint64_t tables_checked = 0;
+  std::uint64_t assignments_checked = 0;
+};
+
+/// Searches for a witness refuting "A0 = 0 follows from p's equations" in
+/// the class of finite identity-free cancellation semigroups with zero.
+ModelSearchResult FindRefutingSemigroup(const Presentation& p,
+                                        const ModelSearchConfig& config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_MODEL_SEARCH_H_

@@ -1,0 +1,126 @@
+#include "semigroup/normalizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/union_find.h"
+
+namespace tdlib {
+namespace {
+
+// Applies a symbol substitution to a word.
+Word Substitute(const Word& w, const std::vector<int>& subst) {
+  Word out;
+  out.reserve(w.size());
+  for (int s : w) out.push_back(subst[s]);
+  return out;
+}
+
+}  // namespace
+
+NormalizationResult NormalizeTo21(const Presentation& input) {
+  NormalizationResult result;
+
+  // ---- Phase 1: resolve (1,1) alias equations by substitution. -------------
+  UnionFind uf(input.num_symbols());
+  std::vector<Equation> work = input.equations();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Representative = smallest id in class, so the distinguished symbols
+    // (0 has id 0, A0 has id 1) always survive aliasing.
+    std::vector<int> subst(input.num_symbols());
+    std::vector<int> smallest(input.num_symbols(), -1);
+    for (int s = 0; s < input.num_symbols(); ++s) {
+      int root = uf.Find(s);
+      if (smallest[root] < 0) smallest[root] = s;
+      subst[s] = smallest[root];
+    }
+    std::vector<Equation> next;
+    for (Equation e : work) {
+      e.lhs = Substitute(e.lhs, subst);
+      e.rhs = Substitute(e.rhs, subst);
+      if (e.lhs == e.rhs) continue;  // trivially satisfied
+      if (e.lhs.size() == 1 && e.rhs.size() == 1) {
+        uf.Union(e.lhs[0], e.rhs[0]);
+        changed = true;
+        continue;
+      }
+      next.push_back(std::move(e));
+    }
+    work = std::move(next);
+  }
+  bool a0_aliased_to_zero = false;
+  {
+    std::vector<int> subst(input.num_symbols());
+    std::vector<int> smallest(input.num_symbols(), -1);
+    for (int s = 0; s < input.num_symbols(); ++s) {
+      int root = uf.Find(s);
+      if (smallest[root] < 0) smallest[root] = s;
+      subst[s] = smallest[root];
+    }
+    for (int s = 0; s < input.num_symbols(); ++s) {
+      if (subst[s] != s) result.aliases.emplace_back(s, subst[s]);
+    }
+    for (Equation& e : work) {
+      e.lhs = Substitute(e.lhs, subst);
+      e.rhs = Substitute(e.rhs, subst);
+    }
+    // Aliasing A0 into 0's class would silently drop the fact the Main
+    // Lemma's goal asks about. Re-encode "A0 = 0" in (2,1) form below.
+    a0_aliased_to_zero = subst[1] == 0;
+  }
+
+  // ---- Phase 2: name subwords until every equation is (2,1). ---------------
+  Presentation& out = result.normalized;
+  for (int s = 0; s < input.num_symbols(); ++s) {
+    out.AddSymbol(input.SymbolName(s));  // ids are preserved
+  }
+  // Memoize pair -> naming symbol so repeated subwords share one name (the
+  // paper introduces E for AB once, not per occurrence).
+  std::map<std::pair<int, int>, int> pair_symbol;
+  int fresh_counter = 0;
+  auto name_pair = [&](int a, int b) {
+    auto it = pair_symbol.find({a, b});
+    if (it != pair_symbol.end()) return it->second;
+    std::string name;
+    do {
+      name = "_W" + std::to_string(fresh_counter++);
+    } while (out.SymbolId(name) >= 0);
+    int id = out.AddSymbol(name);
+    pair_symbol[{a, b}] = id;
+    out.AddEquation(Word{a, b}, Word{id});
+    result.introduced.emplace_back(id, Word{a, b});
+    return id;
+  };
+  // Compresses a word's leading pair until the target length is reached.
+  auto compress_to = [&](Word w, std::size_t target) {
+    while (w.size() > target) {
+      int named = name_pair(w[0], w[1]);
+      Word shorter;
+      shorter.push_back(named);
+      shorter.insert(shorter.end(), w.begin() + 2, w.end());
+      w = std::move(shorter);
+    }
+    return w;
+  };
+
+  for (Equation e : work) {
+    if (e.lhs.size() < e.rhs.size()) std::swap(e.lhs, e.rhs);
+    // Here |lhs| >= 2 (aliases were eliminated in phase 1) and |rhs| >= 1.
+    e.rhs = compress_to(std::move(e.rhs), 1);
+    e.lhs = compress_to(std::move(e.lhs), 2);
+    out.AddEquation(std::move(e.lhs), std::move(e.rhs));
+  }
+
+  // ---- Phase 3: restore a dropped A0 = 0, then absorption. -----------------
+  if (a0_aliased_to_zero) {
+    // "A0 0 = A0" plus the absorption equation "A0 0 = 0" make A0 = 0
+    // derivable again: A0 <- A0 0 -> 0.
+    out.AddEquation(Word{out.a0(), out.zero()}, Word{out.a0()});
+  }
+  out.AddAbsorptionEquations();
+  return result;
+}
+
+}  // namespace tdlib

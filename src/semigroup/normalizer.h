@@ -1,0 +1,46 @@
+// Normalization of presentations to the paper's (2,1) form.
+//
+// "We restrict the strings x_i and y_i appearing in the antecedents of phi
+//  to be of length 2 and 1, respectively. Imposing this restriction is a
+//  simple matter; if phi contains a conjunct ABC = DA, for example, we
+//  introduce new symbols E and F into S, add the equations AB = E and
+//  DA = F, and replace the equation ABC = DA by EC = F."
+//
+// The normalizer implements exactly that subword-naming scheme. Equations
+// whose two sides both reduce to single symbols (aliases A = B) cannot take
+// the (2,1) shape; they are eliminated by symbol substitution, which only
+// changes the presentation, not the presented semigroup.
+#ifndef TDLIB_SEMIGROUP_NORMALIZER_H_
+#define TDLIB_SEMIGROUP_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "semigroup/presentation.h"
+
+namespace tdlib {
+
+/// Result of normalization.
+struct NormalizationResult {
+  Presentation normalized;
+
+  /// Fresh symbols introduced for subwords (paper's E, F, ...), as
+  /// (symbol id in `normalized`, the subword it abbreviates).
+  std::vector<std::pair<int, Word>> introduced;
+
+  /// Symbols eliminated by aliasing, as (old id, replacement id), relative
+  /// to the ORIGINAL presentation's ids.
+  std::vector<std::pair<int, int>> aliases;
+};
+
+/// Produces an equivalent presentation in which every equation has
+/// |lhs| = 2 and |rhs| = 1. Absorption equations are re-added for the final
+/// (possibly extended) alphabet. The distinguished symbols 0 and A0 are
+/// never eliminated by aliasing.
+///
+/// Precondition: `input.CheckInvariants()` is empty.
+NormalizationResult NormalizeTo21(const Presentation& input);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_NORMALIZER_H_

@@ -1,0 +1,126 @@
+#include "semigroup/presentation.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tdlib {
+
+Presentation::Presentation() {
+  names_.push_back("0");
+  names_.push_back("A0");
+}
+
+int Presentation::AddSymbol(std::string_view name) {
+  int existing = SymbolId(name);
+  if (existing >= 0) return existing;
+  names_.emplace_back(name);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+int Presentation::SymbolId(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Presentation::AddEquation(Word lhs, Word rhs) {
+  equations_.push_back(Equation{std::move(lhs), std::move(rhs)});
+}
+
+bool Presentation::AddEquationFromText(std::string_view text) {
+  std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos) return false;
+  auto parse_side = [&](std::string_view side) -> std::optional<Word> {
+    Word w;
+    for (auto& tok : SplitAndTrim(side, ' ')) {
+      if (tok.empty()) continue;
+      w.push_back(AddSymbol(tok));
+    }
+    if (w.empty()) return std::nullopt;
+    return w;
+  };
+  auto lhs = parse_side(text.substr(0, eq));
+  auto rhs = parse_side(text.substr(eq + 1));
+  if (!lhs || !rhs) return false;
+  AddEquation(std::move(*lhs), std::move(*rhs));
+  return true;
+}
+
+void Presentation::AddAbsorptionEquations() {
+  auto have = [&](const Equation& e) {
+    return std::find(equations_.begin(), equations_.end(), e) !=
+           equations_.end();
+  };
+  for (int a = 0; a < num_symbols(); ++a) {
+    Equation left{Word{zero(), a}, Word{zero()}};
+    Equation right{Word{a, zero()}, Word{zero()}};
+    if (!have(left)) equations_.push_back(left);
+    if (!have(right)) equations_.push_back(right);
+  }
+}
+
+bool Presentation::HasAbsorptionEquations() const {
+  for (int a = 0; a < num_symbols(); ++a) {
+    Equation left{Word{zero(), a}, Word{zero()}};
+    Equation right{Word{a, zero()}, Word{zero()}};
+    if (std::find(equations_.begin(), equations_.end(), left) ==
+        equations_.end()) {
+      return false;
+    }
+    if (std::find(equations_.begin(), equations_.end(), right) ==
+        equations_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Presentation::IsNormalized() const {
+  for (const Equation& e : equations_) {
+    if (e.lhs.size() != 2 || e.rhs.size() != 1) return false;
+  }
+  return true;
+}
+
+std::string Presentation::WordToString(const Word& w) const {
+  std::string out;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i > 0) out += " ";
+    out += names_[w[i]];
+  }
+  return out;
+}
+
+std::string Presentation::ToString() const {
+  std::ostringstream oss;
+  oss << "symbols:";
+  for (const auto& n : names_) oss << " " << n;
+  oss << "\n";
+  for (const Equation& e : equations_) {
+    oss << WordToString(e.lhs) << " = " << WordToString(e.rhs) << "\n";
+  }
+  return oss.str();
+}
+
+std::string Presentation::CheckInvariants() const {
+  if (names_.size() < 2 || names_[0] != "0" || names_[1] != "A0") {
+    return "distinguished symbols 0 / A0 missing";
+  }
+  for (const Equation& e : equations_) {
+    if (e.lhs.empty() || e.rhs.empty()) {
+      return "equation with an empty side (semigroups have no empty word)";
+    }
+    for (const Word* w : {&e.lhs, &e.rhs}) {
+      for (int s : *w) {
+        if (s < 0 || s >= num_symbols()) return "equation uses unknown symbol";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace tdlib

@@ -1,0 +1,90 @@
+// Semigroup presentations in the style of the Main Lemma.
+//
+// "Let S = {A0, A1, ..., Ap} be an alphabet, where Ap is the symbol 0, and
+//  let E be a set of equations {x1 = y1, ..., xn = yn} ... Included in E are
+//  the equations needed to make 0 a zero of the semigroup."
+//
+// A Presentation owns an alphabet with the two distinguished symbols `0`
+// (the zero) and `A0` (the letter whose vanishing is the question) and a
+// list of word equations. The question attached to a presentation is always
+// the Main Lemma's: does A0 = 0 hold in every S-generated semigroup
+// satisfying E?
+#ifndef TDLIB_SEMIGROUP_PRESENTATION_H_
+#define TDLIB_SEMIGROUP_PRESENTATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "semigroup/word.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// One equation between non-empty words.
+struct Equation {
+  Word lhs;
+  Word rhs;
+
+  friend bool operator==(const Equation& a, const Equation& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// An alphabet + equations. Symbol id 0 is always the distinguished zero
+/// symbol "0"; symbol id 1 is always "A0".
+class Presentation {
+ public:
+  /// Creates a presentation containing only the distinguished symbols.
+  Presentation();
+
+  /// Adds (or finds) a symbol by name; "0" and "A0" are pre-interned.
+  int AddSymbol(std::string_view name);
+
+  /// Returns the symbol id for `name`, or -1.
+  int SymbolId(std::string_view name) const;
+
+  int zero() const { return 0; }
+  int a0() const { return 1; }
+
+  int num_symbols() const { return static_cast<int>(names_.size()); }
+  const std::string& SymbolName(int id) const { return names_[id]; }
+
+  /// Appends an equation (words over existing symbol ids; both non-empty).
+  void AddEquation(Word lhs, Word rhs);
+
+  /// Parses "A B = C" style text (symbols are whitespace-separated names;
+  /// unknown names are interned). Returns false on malformed text.
+  bool AddEquationFromText(std::string_view text);
+
+  const std::vector<Equation>& equations() const { return equations_; }
+
+  /// Appends the zero-absorption equations the Main Lemma requires among
+  /// the antecedents: for every symbol A (including 0 itself),
+  /// A·0 = 0 and 0·A = 0. Idempotent.
+  void AddAbsorptionEquations();
+
+  /// True iff the absorption equations for every current symbol are present.
+  bool HasAbsorptionEquations() const;
+
+  /// True iff every equation has |lhs| = 2 and |rhs| = 1 (the normal form
+  /// the paper imposes before building dependencies).
+  bool IsNormalized() const;
+
+  /// Renders a word like "A B C".
+  std::string WordToString(const Word& w) const;
+
+  /// Multi-line rendering of the presentation.
+  std::string ToString() const;
+
+  /// "" or the first structural problem (empty word, bad symbol id, ...).
+  std::string CheckInvariants() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Equation> equations_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_PRESENTATION_H_

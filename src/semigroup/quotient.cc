@@ -1,0 +1,66 @@
+#include "semigroup/quotient.h"
+
+#include <functional>
+
+#include "util/union_find.h"
+
+namespace tdlib {
+
+BoundedQuotient::BoundedQuotient(const Presentation& p, int max_length)
+    : max_length_(max_length) {
+  // Enumerate all non-empty words of length <= max_length, by increasing
+  // length so word/class ids are stable across growing bounds.
+  Word current;
+  for (int len = 1; len <= max_length; ++len) {
+    std::function<void(int)> fixed = [&](int remaining) {
+      if (remaining == 0) {
+        index_.emplace(current, static_cast<int>(words_.size()));
+        words_.push_back(current);
+        return;
+      }
+      for (int s = 0; s < p.num_symbols(); ++s) {
+        current.push_back(s);
+        fixed(remaining - 1);
+        current.pop_back();
+      }
+    };
+    fixed(len);
+  }
+
+  UnionFind uf(words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const Word& w = words_[i];
+    for (const Equation& eq : p.equations()) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const Word& pat = dir == 0 ? eq.lhs : eq.rhs;
+        const Word& rep = dir == 0 ? eq.rhs : eq.lhs;
+        if (pat.size() > w.size()) continue;
+        if (w.size() - pat.size() + rep.size() >
+            static_cast<std::size_t>(max_length)) {
+          continue;
+        }
+        for (int offset : FindOccurrences(w, pat)) {
+          Word next = ReplaceAt(w, offset, pat, rep);
+          auto it = index_.find(next);
+          if (it != index_.end()) uf.Union(static_cast<int>(i), it->second);
+        }
+      }
+    }
+  }
+  class_ids_ = uf.DenseClassIds();
+  num_classes_ = uf.num_sets();
+}
+
+bool BoundedQuotient::Equivalent(const Word& u, const Word& v) const {
+  int cu = ClassOf(u);
+  int cv = ClassOf(v);
+  return cu >= 0 && cu == cv;
+}
+
+int BoundedQuotient::ClassOf(const Word& w) const {
+  auto it = index_.find(w);
+  if (it == index_.end()) return -1;
+  return class_ids_[it->second];
+}
+
+}  // namespace tdlib

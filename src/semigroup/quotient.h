@@ -1,0 +1,55 @@
+// Bounded construction of the quotient semigroup S*/~.
+//
+// The paper's part (A) proof pivot: if no derivation sequence u_0 = A0, ...,
+// u_m = 0 exists, "let ~ be the equivalence relation on strings induced by
+// such replacements; then the quotient semigroup S*/~ would provide a
+// counterexample to phi." S* is infinite, so tdlib materializes the quotient
+// restricted to words of bounded length: all words of length <= L, with the
+// congruence closure of single-replacement steps that stay within length L.
+// This bounded object is used as ground truth for the word-problem search
+// (two words are provably equal iff they share a class at some bound) and in
+// property tests.
+#ifndef TDLIB_SEMIGROUP_QUOTIENT_H_
+#define TDLIB_SEMIGROUP_QUOTIENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "semigroup/presentation.h"
+#include "util/hash.h"
+
+namespace tdlib {
+
+/// All words of length <= max_length, partitioned by derivability within
+/// the bound. Classes under-approximate true semigroup equality (growing
+/// max_length is monotone: classes only merge).
+class BoundedQuotient {
+ public:
+  BoundedQuotient(const Presentation& p, int max_length);
+
+  /// Number of words enumerated.
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Number of equivalence classes among them.
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// True iff `u` and `v` were merged within the bound. Words longer than
+  /// the bound return false.
+  bool Equivalent(const Word& u, const Word& v) const;
+
+  /// Dense class id of `w`, or -1 when |w| exceeds the bound.
+  int ClassOf(const Word& w) const;
+
+  int max_length() const { return max_length_; }
+
+ private:
+  int max_length_;
+  std::vector<Word> words_;
+  std::unordered_map<Word, int, VectorHash> index_;
+  std::vector<int> class_ids_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_QUOTIENT_H_

@@ -1,0 +1,99 @@
+#include "semigroup/rewrite.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace tdlib {
+
+WordProblemResult ProveEqual(const Presentation& p, const Word& from,
+                             const Word& to,
+                             const WordProblemConfig& config) {
+  WordProblemResult result;
+  Deadline deadline(config.deadline_seconds);
+
+  // BFS over the rewrite graph with parent pointers for derivation replay.
+  std::vector<Word> words;
+  std::vector<int> parent;
+  std::unordered_map<Word, int, VectorHash> seen;
+  auto push = [&](Word w, int from_idx) -> int {
+    auto [it, inserted] = seen.emplace(w, static_cast<int>(words.size()));
+    if (!inserted) return -1;
+    words.push_back(std::move(w));
+    parent.push_back(from_idx);
+    return static_cast<int>(words.size()) - 1;
+  };
+  auto extract = [&](int idx) {
+    std::vector<Word> chain;
+    for (int i = idx; i >= 0; i = parent[i]) chain.push_back(words[i]);
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+  };
+
+  push(from, -1);
+  if (from == to) {
+    result.status = WordProblemStatus::kEqual;
+    result.derivation = {from};
+    result.states_explored = 1;
+    return result;
+  }
+
+  for (std::size_t head = 0; head < words.size(); ++head) {
+    if (deadline.Expired() ||
+        (config.max_states > 0 && words.size() > config.max_states)) {
+      result.status = WordProblemStatus::kLimit;
+      result.states_explored = head;
+      return result;
+    }
+    const Word current = words[head];  // copy: `words` may reallocate
+    for (const Equation& eq : p.equations()) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const Word& pat = dir == 0 ? eq.lhs : eq.rhs;
+        const Word& rep = dir == 0 ? eq.rhs : eq.lhs;
+        if (pat.size() > current.size()) continue;
+        if (current.size() - pat.size() + rep.size() >
+            static_cast<std::size_t>(config.max_word_length)) {
+          continue;
+        }
+        for (int offset : FindOccurrences(current, pat)) {
+          Word next = ReplaceAt(current, offset, pat, rep);
+          int idx = push(std::move(next), static_cast<int>(head));
+          if (idx >= 0 && words[idx] == to) {
+            result.status = WordProblemStatus::kEqual;
+            result.derivation = extract(idx);
+            result.states_explored = words.size();
+            return result;
+          }
+        }
+      }
+    }
+  }
+  result.status = WordProblemStatus::kExhausted;
+  result.states_explored = words.size();
+  return result;
+}
+
+WordProblemResult ProveA0IsZero(const Presentation& p,
+                                const WordProblemConfig& config) {
+  return ProveEqual(p, Word{p.a0()}, Word{p.zero()}, config);
+}
+
+std::string WordProblemResult::ToString(const Presentation& p) const {
+  std::ostringstream oss;
+  switch (status) {
+    case WordProblemStatus::kEqual: oss << "EQUAL"; break;
+    case WordProblemStatus::kExhausted: oss << "EXHAUSTED"; break;
+    case WordProblemStatus::kLimit: oss << "LIMIT"; break;
+  }
+  oss << " (" << states_explored << " states)";
+  if (!derivation.empty()) {
+    oss << "\n";
+    for (const Word& w : derivation) oss << "  " << p.WordToString(w) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace tdlib

@@ -1,0 +1,64 @@
+// The word problem: bounded search for equational derivations.
+//
+// Two words are equal in every S-generated semigroup satisfying E iff one
+// rewrites to the other by a finite sequence of single-occurrence
+// replacements x_i <-> y_i (the paper: "a sequence of m+1 strings u_0, ...,
+// u_m where u_{i+1} results from u_i by replacement of a single occurrence
+// of some x_i by y_i or vice versa" — otherwise the quotient S*/~ is a
+// counterexample). Derivability is r.e. but undecidable (Post 1947), so the
+// search is breadth-first with explicit bounds; a found derivation is a
+// certificate, and the part (A) driver replays it through the chase.
+#ifndef TDLIB_SEMIGROUP_REWRITE_H_
+#define TDLIB_SEMIGROUP_REWRITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semigroup/presentation.h"
+
+namespace tdlib {
+
+/// Search bounds.
+struct WordProblemConfig {
+  /// Intermediate words longer than this are pruned. Completeness within
+  /// the bound only; raise it to search deeper.
+  int max_word_length = 16;
+
+  /// Maximum number of distinct words explored (0 = unlimited).
+  std::uint64_t max_states = 1000000;
+
+  /// Wall clock (<= 0 = none).
+  double deadline_seconds = 0;
+};
+
+enum class WordProblemStatus {
+  kEqual,      ///< derivation found (certificate in `derivation`)
+  kExhausted,  ///< no derivation within max_word_length exists
+  kLimit,      ///< state/time budget hit
+};
+
+struct WordProblemResult {
+  WordProblemStatus status = WordProblemStatus::kLimit;
+
+  /// When kEqual: the full rewriting sequence u_0 = from, ..., u_m = to.
+  std::vector<Word> derivation;
+
+  std::uint64_t states_explored = 0;
+
+  std::string ToString(const Presentation& p) const;
+};
+
+/// Searches for a derivation `from` ->* `to` under `p`'s equations (applied
+/// in both directions).
+WordProblemResult ProveEqual(const Presentation& p, const Word& from,
+                             const Word& to,
+                             const WordProblemConfig& config = {});
+
+/// Convenience: the Main Lemma's question, A0 = 0.
+WordProblemResult ProveA0IsZero(const Presentation& p,
+                                const WordProblemConfig& config = {});
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_REWRITE_H_

@@ -1,0 +1,159 @@
+#include "semigroup/table.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace tdlib {
+
+MultiplicationTable::MultiplicationTable(int size)
+    : size_(size), table_(static_cast<std::size_t>(size) * size, 0) {}
+
+int MultiplicationTable::EvaluateElements(const std::vector<int>& elements) const {
+  assert(!elements.empty());
+  int acc = elements[0];
+  for (std::size_t i = 1; i < elements.size(); ++i) {
+    acc = Product(acc, elements[i]);
+  }
+  return acc;
+}
+
+int MultiplicationTable::EvaluateWord(const Word& w,
+                                      const std::vector<int>& assignment) const {
+  assert(!w.empty());
+  int acc = assignment[w[0]];
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    acc = Product(acc, assignment[w[i]]);
+  }
+  return acc;
+}
+
+bool MultiplicationTable::IsAssociative() const {
+  for (int a = 0; a < size_; ++a) {
+    for (int b = 0; b < size_; ++b) {
+      int ab = Product(a, b);
+      for (int c = 0; c < size_; ++c) {
+        if (Product(ab, c) != Product(a, Product(b, c))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<int> MultiplicationTable::ZeroElement() const {
+  for (int z = 0; z < size_; ++z) {
+    bool ok = true;
+    for (int x = 0; x < size_ && ok; ++x) {
+      ok = Product(z, x) == z && Product(x, z) == z;
+    }
+    if (ok) return z;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> MultiplicationTable::IdentityElement() const {
+  for (int e = 0; e < size_; ++e) {
+    bool ok = true;
+    for (int x = 0; x < size_ && ok; ++x) {
+      ok = Product(e, x) == x && Product(x, e) == x;
+    }
+    if (ok) return e;
+  }
+  return std::nullopt;
+}
+
+bool MultiplicationTable::SatisfiesCancellationI(int zero) const {
+  for (int x = 0; x < size_; ++x) {
+    for (int y = 0; y < size_; ++y) {
+      for (int y2 = 0; y2 < size_; ++y2) {
+        if (y == y2) continue;
+        if (Product(x, y) == Product(x, y2) && Product(x, y) != zero) {
+          return false;
+        }
+        if (Product(y, x) == Product(y2, x) && Product(y, x) != zero) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool MultiplicationTable::SatisfiesCancellationII(int zero) const {
+  for (int x = 0; x < size_; ++x) {
+    if (x == zero) continue;
+    for (int y = 0; y < size_; ++y) {
+      if (Product(x, y) == x || Product(y, x) == x) return false;
+    }
+  }
+  return true;
+}
+
+bool MultiplicationTable::HasCancellationProperty() const {
+  std::optional<int> zero = ZeroElement();
+  if (!zero.has_value()) return false;
+  if (!SatisfiesCancellationI(*zero)) return false;
+  if (IdentityElement().has_value()) return true;
+  return SatisfiesCancellationII(*zero);
+}
+
+bool MultiplicationTable::SatisfiesEquation(
+    const Equation& eq, const std::vector<int>& assignment) const {
+  return EvaluateWord(eq.lhs, assignment) == EvaluateWord(eq.rhs, assignment);
+}
+
+bool MultiplicationTable::SatisfiesPresentation(
+    const Presentation& p, const std::vector<int>& assignment) const {
+  for (const Equation& eq : p.equations()) {
+    if (!SatisfiesEquation(eq, assignment)) return false;
+  }
+  return true;
+}
+
+MultiplicationTable MultiplicationTable::AdjoinIdentity() const {
+  MultiplicationTable g(size_ + 1);
+  const int identity = size_;
+  for (int a = 0; a < size_; ++a) {
+    for (int b = 0; b < size_; ++b) g.SetProduct(a, b, Product(a, b));
+  }
+  for (int a = 0; a <= size_; ++a) {
+    g.SetProduct(a, identity, a);
+    g.SetProduct(identity, a, a);
+  }
+  return g;
+}
+
+std::string MultiplicationTable::ToString() const {
+  std::ostringstream oss;
+  oss << "    ";
+  for (int b = 0; b < size_; ++b) oss << b << " ";
+  oss << "\n";
+  for (int a = 0; a < size_; ++a) {
+    oss << a << " | ";
+    for (int b = 0; b < size_; ++b) oss << Product(a, b) << " ";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+MultiplicationTable MultiplicationTable::Null(int size) {
+  return MultiplicationTable(size);  // constructor zero-fills
+}
+
+MultiplicationTable MultiplicationTable::CyclicGroup(int n) {
+  MultiplicationTable g(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) g.SetProduct(a, b, (a + b) % n);
+  }
+  return g;
+}
+
+MultiplicationTable MultiplicationTable::CyclicGroupWithZero(int n) {
+  MultiplicationTable g(n + 1);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) g.SetProduct(a + 1, b + 1, (a + b) % n + 1);
+  }
+  // Row/column 0 remain 0: the adjoined zero.
+  return g;
+}
+
+}  // namespace tdlib

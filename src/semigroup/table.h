@@ -1,0 +1,97 @@
+// Finite semigroups as multiplication tables, with the paper's
+// zero/identity/cancellation vocabulary.
+//
+// "A semigroup G has zero 0 if x0 = 0x = 0 for each x in G ... and has
+//  identity I if xI = Ix = x. A semigroup with zero 0 and with an identity
+//  has the cancellation property if it satisfies
+//    (i)  (xy = xy' != 0 or yx = y'x != 0) => y = y'.
+//  If G has zero but no identity, G has the cancellation property if it
+//  satisfies both (i) and
+//    (ii) (xy = x or yx = x) => x = 0."
+#ifndef TDLIB_SEMIGROUP_TABLE_H_
+#define TDLIB_SEMIGROUP_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "semigroup/presentation.h"
+
+namespace tdlib {
+
+/// A finite magma given by its multiplication table; most methods only make
+/// semigroup-theoretic sense when IsAssociative() holds.
+class MultiplicationTable {
+ public:
+  /// Creates the n-element table with all products = 0 (element 0).
+  explicit MultiplicationTable(int size);
+
+  int size() const { return size_; }
+
+  int Product(int a, int b) const { return table_[a * size_ + b]; }
+  void SetProduct(int a, int b, int value) { table_[a * size_ + b] = value; }
+
+  /// Left-to-right product of a non-empty element sequence.
+  int EvaluateElements(const std::vector<int>& elements) const;
+
+  /// Evaluates a word under `assignment` (symbol id -> element).
+  int EvaluateWord(const Word& w, const std::vector<int>& assignment) const;
+
+  /// True iff (ab)c == a(bc) for all a, b, c.
+  bool IsAssociative() const;
+
+  /// The zero element (x0 = 0x = 0 for all x), or nullopt.
+  std::optional<int> ZeroElement() const;
+
+  /// The identity element, or nullopt.
+  std::optional<int> IdentityElement() const;
+
+  /// Checks cancellation condition (i) relative to `zero`.
+  bool SatisfiesCancellationI(int zero) const;
+
+  /// Checks cancellation condition (ii) relative to `zero`.
+  bool SatisfiesCancellationII(int zero) const;
+
+  /// The paper's cancellation property: (i) if an identity exists, (i)+(ii)
+  /// otherwise. Requires a zero element; returns false without one.
+  bool HasCancellationProperty() const;
+
+  /// True iff `eq` holds under `assignment`.
+  bool SatisfiesEquation(const Equation& eq,
+                         const std::vector<int>& assignment) const;
+
+  /// True iff every equation of `p` holds under `assignment`.
+  bool SatisfiesPresentation(const Presentation& p,
+                             const std::vector<int>& assignment) const;
+
+  /// Returns a table one element larger in which the new element is a
+  /// two-sided identity (the proof of part (B): "Adjoin to G an identity
+  /// element I and call the resulting semigroup G'."). The new element's id
+  /// is the old size; existing ids are unchanged.
+  MultiplicationTable AdjoinIdentity() const;
+
+  /// Renders the Cayley table.
+  std::string ToString() const;
+
+  // ---- Stock constructions used by tests and the model finder ------------
+
+  /// Null semigroup: every product is 0. Identity-free for size >= 2 and
+  /// trivially cancellative — the simplest Main-Lemma-compatible refuter.
+  static MultiplicationTable Null(int size);
+
+  /// Cyclic group Z_n (element 0 is the group identity; NO zero element) —
+  /// used by tests as a non-example.
+  static MultiplicationTable CyclicGroup(int n);
+
+  /// Z_n with a fresh zero adjoined as element 0 (group elements shift up
+  /// by one). Has a zero AND an identity; satisfies (i).
+  static MultiplicationTable CyclicGroupWithZero(int n);
+
+ private:
+  int size_;
+  std::vector<int> table_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_TABLE_H_

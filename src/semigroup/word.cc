@@ -1,0 +1,35 @@
+#include "semigroup/word.h"
+
+#include <cassert>
+
+namespace tdlib {
+
+std::vector<int> FindOccurrences(const Word& w, const Word& pattern) {
+  std::vector<int> offsets;
+  if (pattern.empty() || pattern.size() > w.size()) return offsets;
+  for (std::size_t i = 0; i + pattern.size() <= w.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < pattern.size(); ++j) {
+      if (w[i + j] != pattern[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) offsets.push_back(static_cast<int>(i));
+  }
+  return offsets;
+}
+
+Word ReplaceAt(const Word& w, int offset, const Word& pattern,
+               const Word& replacement) {
+  assert(offset >= 0 &&
+         offset + pattern.size() <= w.size());
+  Word out;
+  out.reserve(w.size() - pattern.size() + replacement.size());
+  out.insert(out.end(), w.begin(), w.begin() + offset);
+  out.insert(out.end(), replacement.begin(), replacement.end());
+  out.insert(out.end(), w.begin() + offset + pattern.size(), w.end());
+  return out;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,25 @@
+// Words over a semigroup alphabet.
+#ifndef TDLIB_SEMIGROUP_WORD_H_
+#define TDLIB_SEMIGROUP_WORD_H_
+
+#include <string>
+#include <vector>
+
+namespace tdlib {
+
+/// A word is a non-empty sequence of symbol ids. (Semigroups, not monoids:
+/// the paper's structures have no identity unless one is adjoined, so the
+/// empty word is not a valid element and validation rejects it.)
+using Word = std::vector<int>;
+
+/// Returns all start offsets at which `pattern` occurs in `w`.
+std::vector<int> FindOccurrences(const Word& w, const Word& pattern);
+
+/// Returns `w` with the occurrence of `pattern` at `offset` replaced by
+/// `replacement`. Precondition: the occurrence exists.
+Word ReplaceAt(const Word& w, int offset, const Word& pattern,
+               const Word& replacement);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_SEMIGROUP_WORD_H_

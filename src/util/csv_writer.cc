@@ -1,0 +1,30 @@
+#include "util/csv_writer.h"
+
+namespace tdlib {
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : os_(os) {
+  WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,27 @@
+// CSV emission for benchmark series (machine-readable experiment output).
+#ifndef TDLIB_UTIL_CSV_WRITER_H_
+#define TDLIB_UTIL_CSV_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdlib {
+
+/// Streams rows in RFC-4180 CSV format. Quoting is applied only when needed.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+
+  /// Writes one data row.
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_CSV_WRITER_H_

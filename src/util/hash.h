@@ -1,0 +1,48 @@
+// Hash-combining utilities shared by all tdlib containers.
+#ifndef TDLIB_UTIL_HASH_H_
+#define TDLIB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tdlib {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a range of hashable elements into a single value.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (; first != last; ++first) {
+    HashCombine(&seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*first));
+  }
+  return seed;
+}
+
+/// std::hash specialization helper for pairs of hashable types.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = std::hash<A>{}(p.first);
+    HashCombine(&seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+/// std::hash for vectors of hashable types.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_HASH_H_

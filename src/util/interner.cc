@@ -1,0 +1,19 @@
+#include "util/interner.h"
+
+namespace tdlib {
+
+int Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+int Interner::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,39 @@
+// String interning: bidirectional mapping between names and dense ids.
+#ifndef TDLIB_UTIL_INTERNER_H_
+#define TDLIB_UTIL_INTERNER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tdlib {
+
+/// Maps strings to dense ids (0, 1, 2, ...) and back.
+///
+/// tdlib uses interners for attribute names, semigroup symbols and variable
+/// names so that all hot-path comparisons are integer comparisons.
+class Interner {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  int Intern(std::string_view name);
+
+  /// Returns the id of `name`, or -1 if it has never been interned.
+  int Lookup(std::string_view name) const;
+
+  /// Returns the name for `id`. Precondition: 0 <= id < size().
+  const std::string& NameOf(int id) const { return names_[id]; }
+
+  /// Returns true if `name` has been interned.
+  bool Contains(std::string_view name) const { return Lookup(name) >= 0; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_INTERNER_H_

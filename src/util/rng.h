@@ -1,0 +1,62 @@
+// Deterministic, seedable pseudo-random generator for tests and benches.
+#ifndef TDLIB_UTIL_RNG_H_
+#define TDLIB_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace tdlib {
+
+/// xoshiro256** — small, fast, reproducible across platforms.
+///
+/// tdlib never uses std::mt19937 for workload generation because workload
+/// reproducibility across standard libraries matters for the benchmark
+/// harness (EXPERIMENTS.md records seeds).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform int in [lo, hi] inclusive. Precondition: lo <= hi.
+  int IntIn(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) { return Below(den) < num; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_RNG_H_

@@ -1,0 +1,52 @@
+// Minimal Result<T> for fallible operations (parsers, builders).
+#ifndef TDLIB_UTIL_STATUS_H_
+#define TDLIB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tdlib {
+
+/// Either a value or an error message. tdlib avoids exceptions (matching the
+/// style of the database codebases this library is modeled on); fallible
+/// functions return Result<T> and hot-path invariants use assertions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Named constructor for errors.
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const std::string& error() const { return error_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_STATUS_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared by parsers and printers.
+#ifndef TDLIB_UTIL_STRINGS_H_
+#define TDLIB_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdlib {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep` (single character), trimming
+/// ASCII whitespace from each piece. Empty pieces are preserved.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_STRINGS_H_

@@ -1,0 +1,51 @@
+// Aligned text tables for experiment output.
+//
+// The benchmark harness prints the same rows/series the paper reports; this
+// printer produces the human-readable form (CSV output is separate).
+#ifndef TDLIB_UTIL_TABLE_PRINTER_H_
+#define TDLIB_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdlib {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells print empty, extra cells are kept.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with operator<< semantics.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({FormatCell(values)...});
+  }
+
+  /// Writes the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  static std::string FormatCell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,52 @@
+// Wall-clock timing and deadline helpers.
+#ifndef TDLIB_UTIL_TIMER_H_
+#define TDLIB_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tdlib {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline: Expired() becomes true once the budget elapses.
+/// A non-positive budget means "no deadline".
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool Expired() const {
+    return budget_ > 0 && timer_.ElapsedSeconds() >= budget_;
+  }
+
+ private:
+  double budget_;
+  Timer timer_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_TIMER_H_

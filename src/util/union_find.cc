@@ -1,0 +1,54 @@
+#include "util/union_find.h"
+
+#include <numeric>
+
+namespace tdlib {
+
+UnionFind::UnionFind(std::size_t size)
+    : parent_(size), rank_(size, 0), num_sets_(size) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::AddElement() {
+  int id = static_cast<int>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  ++num_sets_;
+  return id;
+}
+
+int UnionFind::Find(int x) {
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<int> UnionFind::DenseClassIds() {
+  std::vector<int> ids(parent_.size(), -1);
+  std::vector<int> root_to_id(parent_.size(), -1);
+  int next = 0;
+  for (std::size_t x = 0; x < parent_.size(); ++x) {
+    int r = Find(static_cast<int>(x));
+    if (root_to_id[r] < 0) root_to_id[r] = next++;
+    ids[x] = root_to_id[r];
+  }
+  return ids;
+}
+
+}  // namespace tdlib

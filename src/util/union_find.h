@@ -1,0 +1,58 @@
+// Disjoint-set forest with union by rank and path compression.
+//
+// Used throughout tdlib to compute the equivalence closures that the paper's
+// diagram notation relies on: "each type of edge label represents an
+// equivalence relation; implied edges may be omitted in diagrams".
+#ifndef TDLIB_UTIL_UNION_FIND_H_
+#define TDLIB_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tdlib {
+
+/// Disjoint-set forest over the integers [0, size).
+///
+/// All operations are amortized near-constant time. The structure can grow
+/// (`AddElement`) but never shrinks.
+class UnionFind {
+ public:
+  UnionFind() = default;
+
+  /// Creates a forest of `size` singleton sets {0}, {1}, ..., {size-1}.
+  explicit UnionFind(std::size_t size);
+
+  /// Appends a new singleton set and returns its element id.
+  int AddElement();
+
+  /// Returns the canonical representative of `x`'s set (with path
+  /// compression, hence non-const).
+  int Find(int x);
+
+  /// Merges the sets containing `a` and `b`. Returns true if they were
+  /// previously distinct.
+  bool Union(int a, int b);
+
+  /// Returns true iff `a` and `b` are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Number of elements in the forest.
+  std::size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets.
+  std::size_t num_sets() const { return num_sets_; }
+
+  /// Returns a dense relabeling: result[x] is an id in [0, num_sets) that is
+  /// equal for x, y iff Connected(x, y). Ids are assigned in order of first
+  /// appearance, which makes the labeling deterministic.
+  std::vector<int> DenseClassIds();
+
+ private:
+  std::vector<int> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t num_sets_ = 0;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_UNION_FIND_H_

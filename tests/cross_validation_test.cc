@@ -1,0 +1,212 @@
+// Cross-validation stress suite: independent engines must never contradict
+// each other. These are the strongest invariants the library offers —
+// whenever two procedures both reach a verdict on the same input, the
+// verdicts must be consistent, across randomly generated inputs.
+#include <gtest/gtest.h>
+
+#include "chase/counterexample.h"
+#include "chase/dual_solver.h"
+#include "chase/equivalence.h"
+#include "chase/full_td.h"
+#include "chase/implication.h"
+#include "core/generators.h"
+#include "core/satisfaction.h"
+#include "reduction/part_b.h"
+#include "semigroup/knuth_bendix.h"
+#include "semigroup/rewrite.h"
+
+namespace tdlib {
+namespace {
+
+// ---- Chase vs. finite enumeration on random implication instances ----------
+
+class ImplicationCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationCrossCheck, ChaseAndEnumeratorNeverContradict) {
+  Rng rng(GetParam() * 1000003);
+  SchemaPtr schema = MakeSchema({"X0", "X1"});
+  TdGeneratorOptions options;
+  options.body_rows = 2;
+  DependencySet d;
+  d.Add(RandomDependency(&rng, options, schema));
+  d.Add(RandomDependency(&rng, options, schema));
+  Dependency d0 = RandomDependency(&rng, options, schema);
+
+  ChaseConfig chase;
+  chase.max_steps = 500;
+  chase.max_tuples = 2000;
+  ImplicationResult by_chase = ChaseImplies(d, d0, chase);
+
+  CounterexampleConfig cex;
+  cex.max_tuples = 3;
+  CounterexampleResult by_enum = FindFiniteCounterexample(d, d0, cex);
+
+  if (by_chase.verdict == Implication::kImplied) {
+    // Implied over ALL databases: no finite counterexample may exist.
+    EXPECT_NE(by_enum.status, CounterexampleStatus::kFound)
+        << "seed " << GetParam();
+  }
+  if (by_enum.status == CounterexampleStatus::kFound) {
+    EXPECT_NE(by_chase.verdict, Implication::kImplied)
+        << "seed " << GetParam();
+    // And the witness must check out.
+    EXPECT_EQ(CheckSatisfaction(d0, *by_enum.witness).verdict,
+              Satisfaction::kViolated);
+    for (const Dependency& dep : d.items) {
+      EXPECT_TRUE(Satisfies(*by_enum.witness, dep));
+    }
+  }
+  if (by_chase.verdict == Implication::kNotImplied) {
+    // The chase's own universal model is finite: the enumerator bound may
+    // just be too small to find one, but a definitive kExhausted at a size
+    // >= the universal model's would be a contradiction. Check only the
+    // direct certificate:
+    EXPECT_EQ(CheckSatisfaction(d0, *by_chase.counterexample).verdict,
+              Satisfaction::kViolated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationCrossCheck, ::testing::Range(1, 41));
+
+// ---- Full-TD decision vs. the general machinery ------------------------------
+
+class FullTdCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullTdCrossCheck, DecisionMatchesEnumeratorOnFullInstances) {
+  Rng rng(GetParam() * 7777);
+  SchemaPtr schema = MakeSchema({"X0", "X1"});
+  TdGeneratorOptions options;
+  options.body_rows = 2;
+  options.force_full = true;
+  DependencySet d;
+  d.Add(RandomDependency(&rng, options, schema));
+  Dependency d0 = RandomDependency(&rng, options, schema);
+  ASSERT_TRUE(AllFull(d, d0));
+
+  bool implied = DecideFullTdImplication(d, d0);
+  CounterexampleConfig cex;
+  cex.max_tuples = 3;
+  CounterexampleResult by_enum = FindFiniteCounterexample(d, d0, cex);
+  if (implied) {
+    EXPECT_NE(by_enum.status, CounterexampleStatus::kFound)
+        << "seed " << GetParam();
+  }
+  if (by_enum.status == CounterexampleStatus::kFound) {
+    EXPECT_FALSE(implied) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullTdCrossCheck, ::testing::Range(1, 41));
+
+// ---- BFS word problem vs. Knuth-Bendix ---------------------------------------
+
+class WordProblemCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(WordProblemCrossCheck, SearchAndCompletionAgree) {
+  Rng rng(GetParam() * 31337);
+  Presentation p;
+  p.AddSymbol("S");
+  for (int e = 0; e < 2; ++e) {
+    Word lhs, rhs;
+    int llen = 1 + static_cast<int>(rng.Below(3));
+    int rlen = 1 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < llen; ++i) {
+      lhs.push_back(static_cast<int>(rng.Below(p.num_symbols())));
+    }
+    for (int i = 0; i < rlen; ++i) {
+      rhs.push_back(static_cast<int>(rng.Below(p.num_symbols())));
+    }
+    p.AddEquation(std::move(lhs), std::move(rhs));
+  }
+  p.AddAbsorptionEquations();
+
+  WordProblemConfig bfs;
+  bfs.max_word_length = 7;
+  bfs.max_states = 100000;
+  WordProblemResult search = ProveA0IsZero(p, bfs);
+
+  bool equal = false;
+  if (!DecideA0IsZeroByCompletion(p, &equal)) return;  // inconclusive: skip
+
+  if (search.status == WordProblemStatus::kEqual) {
+    EXPECT_TRUE(equal) << "seed " << GetParam() << "\n" << p.ToString();
+  }
+  if (!equal) {
+    EXPECT_NE(search.status, WordProblemStatus::kEqual)
+        << "seed " << GetParam() << "\n" << p.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WordProblemCrossCheck, ::testing::Range(1, 41));
+
+// ---- Part (B) databases against the dual solver ------------------------------
+
+class PartBCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartBCrossCheck, VerifiedDatabaseForcesNonImplication) {
+  // Random presentations refutable by small semigroups: whenever part (B)
+  // verifies, the dual solver must NOT conclude kImplied.
+  Rng rng(GetParam() * 271828);
+  Presentation p;
+  p.AddSymbol("S");
+  p.AddSymbol("T");
+  // Random equations with rhs = 0 (null-semigroup friendly).
+  for (int e = 0; e < 2; ++e) {
+    Word lhs;
+    for (int i = 0; i < 2; ++i) {
+      // Only non-distinguished letters on the left, so A0 stays free.
+      lhs.push_back(2 + static_cast<int>(rng.Below(2)));
+    }
+    p.AddEquation(std::move(lhs), Word{p.zero()});
+  }
+  p.AddAbsorptionEquations();
+
+  ModelSearchConfig search;
+  search.max_size = 3;
+  PartBResult b = RunPartB(p, search);
+  if (!b.verified) return;  // not refutable within bounds: nothing to check
+
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  ASSERT_TRUE(red.ok());
+  DualSolverConfig config;
+  config.rounds = 1;
+  config.base_chase.max_steps = 200;
+  config.base_counterexample.max_tuples = 2;
+  DualResult r = SolveImplication(red.value().dependencies(),
+                                  red.value().goal(), config);
+  EXPECT_NE(r.verdict, DualVerdict::kImplied) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartBCrossCheck, ::testing::Range(1, 21));
+
+// ---- Minimization preserves meaning, cross-checked by model checking --------
+
+class MinimizeCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeCrossCheck, MinimizedSetSatisfiedByExactlyTheSameInstances) {
+  Rng rng(GetParam() * 524287);
+  SchemaPtr schema = MakeSchema({"X0", "X1"});
+  TdGeneratorOptions options;
+  options.body_rows = 2;
+  DependencySet d;
+  for (int i = 0; i < 3; ++i) {
+    d.Add(RandomDependency(&rng, options, schema));
+  }
+  ChaseConfig chase;
+  chase.max_steps = 500;
+  MinimizationResult m = MinimizeSet(d, chase);
+  // Probe random instances: the original and minimized sets must agree.
+  for (int probe = 0; probe < 10; ++probe) {
+    Instance inst = RandomInstance(&rng, schema, 3, 4);
+    EXPECT_EQ(FirstViolated(d, inst) == -1,
+              FirstViolated(m.minimized, inst) == -1)
+        << "seed " << GetParam() << " probe " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeCrossCheck, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,118 @@
+// Tests for Dependency: construction, classification (full/embedded,
+// TD/EID, trivial), renaming and rendering.
+#include "core/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace tdlib {
+namespace {
+
+SchemaPtr GarmentSchema() { return MakeSchema({"SUPPLIER", "STYLE", "SIZE"}); }
+
+// The paper's Fig. 1 dependency:
+//   R(a,b,c) & R(a,b',c') => R(a*, b, c').
+Dependency Fig1() {
+  Result<Dependency> d = ParseDependency(
+      GarmentSchema(), "R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)");
+  EXPECT_TRUE(d.ok()) << d.error();
+  return std::move(d).value();
+}
+
+TEST(Dependency, BuilderRejectsEmptyBodyOrHead) {
+  {
+    Dependency::Builder b(GarmentSchema());
+    b.AddHeadRow({b.Var(0), b.Var(1), b.Var(2)});
+    EXPECT_FALSE(std::move(b).Build().ok());
+  }
+  {
+    Dependency::Builder b(GarmentSchema());
+    b.AddBodyRow({b.Var(0), b.Var(1), b.Var(2)});
+    EXPECT_FALSE(std::move(b).Build().ok());
+  }
+}
+
+TEST(Dependency, Fig1IsEmbeddedTd) {
+  Dependency d = Fig1();
+  EXPECT_TRUE(d.IsTd());
+  EXPECT_FALSE(d.IsFull());  // a* is existential
+  EXPECT_FALSE(d.IsTrivial());
+  EXPECT_EQ(d.CheckInvariants(), "");
+}
+
+TEST(Dependency, FullWhenConclusionVarsAppearInBody) {
+  Result<Dependency> d = ParseDependency(
+      GarmentSchema(), "R(a,b,c) & R(a,b2,c2) => R(a,b,c2)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().IsFull());
+}
+
+TEST(Dependency, UniversalityFollowsBodyOccurrence) {
+  Dependency d = Fig1();
+  // Variable a (attr 0, id 0) occurs in the body; a9 (the existential) not.
+  EXPECT_TRUE(d.IsUniversal(0, 0));
+  bool some_existential = false;
+  for (int v = 0; v < d.head().NumVars(0); ++v) {
+    some_existential = some_existential || !d.IsUniversal(0, v);
+  }
+  EXPECT_TRUE(some_existential);
+}
+
+TEST(Dependency, TrivialWhenConclusionIsAnAntecedent) {
+  Result<Dependency> d =
+      ParseDependency(GarmentSchema(), "R(a,b,c) & R(a,b2,c2) => R(a,b,c)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().IsTrivial());
+}
+
+TEST(Dependency, TrivialWithExistentialCollapse) {
+  // R(a,b,c) => R(a, b*, c): b* existential can map onto b.
+  Result<Dependency> d =
+      ParseDependency(GarmentSchema(), "R(a,b,c) => R(a,b9,c)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().IsTrivial());
+}
+
+TEST(Dependency, EidWithConjunctiveConclusion) {
+  // The EID example from the paper:
+  //   R(a,b,c) & R(a,b',c') => R(a*,b,c) & R(a*,b,c').
+  Result<Dependency> d = ParseDependency(
+      GarmentSchema(),
+      "R(a,b,c) & R(a,b2,c2) => R(a9,b,c) & R(a9,b,c2)");
+  ASSERT_TRUE(d.ok()) << d.error();
+  EXPECT_FALSE(d.value().IsTd());
+  EXPECT_EQ(d.value().head().num_rows(), 2);
+  // The shared existential a* makes this NOT expressible as two separate
+  // TDs; it is also non-trivial.
+  EXPECT_FALSE(d.value().IsTrivial());
+}
+
+TEST(Dependency, RenameVariablesPreservesStructure) {
+  Dependency d = Fig1();
+  Dependency renamed = d.RenameVariables("_copy");
+  EXPECT_EQ(renamed.CheckInvariants(), "");
+  EXPECT_EQ(renamed.body().num_rows(), d.body().num_rows());
+  EXPECT_EQ(renamed.head().num_rows(), d.head().num_rows());
+  EXPECT_TRUE(renamed.IsTd());
+  EXPECT_FALSE(renamed.IsFull());
+  EXPECT_NE(renamed.ToString(), d.ToString());  // names differ
+}
+
+TEST(Dependency, ToStringRoundTripsThroughParser) {
+  Dependency d = Fig1();
+  Result<Dependency> reparsed =
+      ParseDependency(GarmentSchema(), d.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(reparsed.value().ToString(), d.ToString());
+}
+
+TEST(DependencySet, NamesTravelWithItems) {
+  DependencySet set;
+  set.Add(Fig1(), "fig1");
+  EXPECT_EQ(set.items.size(), 1u);
+  EXPECT_NE(set.ToString().find("fig1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,131 @@
+// Tests for Knuth-Bendix completion and the confluence-based word-problem
+// decision procedure.
+#include "semigroup/knuth_bendix.h"
+
+#include <gtest/gtest.h>
+
+#include "semigroup/quotient.h"
+#include "semigroup/rewrite.h"
+
+namespace tdlib {
+namespace {
+
+TEST(Shortlex, OrdersByLengthThenLex) {
+  EXPECT_TRUE(ShortlexLess(Word{1}, Word{0, 0}));
+  EXPECT_TRUE(ShortlexLess(Word{0, 1}, Word{1, 0}));
+  EXPECT_FALSE(ShortlexLess(Word{1, 0}, Word{0, 1}));
+  EXPECT_FALSE(ShortlexLess(Word{1}, Word{1}));
+}
+
+TEST(RewriteSystemBasic, OrientsAndNormalizes) {
+  RewriteSystem rs;
+  EXPECT_TRUE(rs.AddEquation(Word{2}, Word{1, 1}));  // oriented: 11 -> 2
+  EXPECT_FALSE(rs.AddEquation(Word{2}, Word{1, 1}));  // duplicate
+  EXPECT_FALSE(rs.AddEquation(Word{3}, Word{3}));     // identity dropped
+  EXPECT_EQ(rs.NormalForm(Word{1, 1, 1, 1}), (Word{2, 2}));
+  EXPECT_EQ(rs.rules().size(), 1u);
+}
+
+TEST(Completion, AbsorptionSystemIsConfluent) {
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddAbsorptionEquations();
+  CompletionResult r = Complete(p);
+  ASSERT_EQ(r.status, CompletionStatus::kConfluent);
+  // Any word containing 0 normalizes to 0; words without 0 are irreducible.
+  int zero = p.zero(), a0 = p.a0(), a = p.SymbolId("A");
+  EXPECT_EQ(r.system.NormalForm(Word{a, zero, a0}), (Word{zero}));
+  EXPECT_EQ(r.system.NormalForm(Word{a, a0}), (Word{a, a0}));
+  // A0 != 0 is now DECIDED (not just unproven).
+  bool equal = true;
+  ASSERT_TRUE(DecideA0IsZeroByCompletion(p, &equal));
+  EXPECT_FALSE(equal);
+}
+
+TEST(Completion, DerivableInstanceDecidedPositively) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  bool equal = false;
+  ASSERT_TRUE(DecideA0IsZeroByCompletion(p, &equal));
+  EXPECT_TRUE(equal);
+  // Agreement with the BFS semi-decision procedure.
+  EXPECT_EQ(ProveA0IsZero(p).status, WordProblemStatus::kEqual);
+}
+
+TEST(Completion, GapInstanceDecidedNegatively) {
+  // "A A0 = A0" defeated the BFS search (it can only exhaust a bounded
+  // space) — but completion decides it: the system {A A0 -> A0, absorption}
+  // is confluent and NF(A0) = A0 != 0.
+  Presentation p;
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  bool equal = true;
+  ASSERT_TRUE(DecideA0IsZeroByCompletion(p, &equal));
+  EXPECT_FALSE(equal);
+}
+
+TEST(Completion, AgreesWithBoundedQuotientOnFamily) {
+  for (int variant = 0; variant < 4; ++variant) {
+    Presentation p;
+    if (variant & 1) p.AddEquationFromText("A0 A0 = A0");
+    if (variant & 2) p.AddEquationFromText("A0 A0 = 0");
+    p.AddAbsorptionEquations();
+    bool equal = false;
+    if (!DecideA0IsZeroByCompletion(p, &equal)) continue;  // inconclusive ok
+    BoundedQuotient q(p, 4);
+    // Completion's verdict must agree with the bounded quotient whenever
+    // the quotient already merged the pair (quotient "yes" is definitive;
+    // quotient "no" at a small bound is not, so only check one direction).
+    if (q.Equivalent(Word{p.a0()}, Word{p.zero()})) {
+      EXPECT_TRUE(equal) << "variant " << variant;
+    }
+    if (!equal) {
+      EXPECT_FALSE(q.Equivalent(Word{p.a0()}, Word{p.zero()}))
+          << "variant " << variant;
+    }
+  }
+}
+
+TEST(Completion, SoundnessOnRuleLimit) {
+  // Even when budgets trip, normal-form equality stays SOUND (equal normal
+  // forms do certify equality; they may just fail to detect some).
+  Presentation p;
+  p.AddEquationFromText("A B = C");
+  p.AddEquationFromText("B A = C");
+  p.AddEquationFromText("C C = A");
+  p.AddAbsorptionEquations();
+  CompletionConfig config;
+  config.max_rules = 4;  // deliberately too small
+  CompletionResult r = Complete(p, config);
+  if (r.status == CompletionStatus::kLimit) {
+    // Whatever rules exist are oriented versions of derivable equalities.
+    Word u{p.SymbolId("A"), p.SymbolId("B")};
+    if (r.system.SameNormalForm(u, Word{p.SymbolId("C")})) {
+      EXPECT_EQ(ProveEqual(p, u, Word{p.SymbolId("C")}).status,
+                WordProblemStatus::kEqual);
+    }
+  }
+}
+
+TEST(Completion, NormalFormsRespectDerivability) {
+  // For a confluent system: NF(u) == NF(v) iff u ~ v. Cross-check both
+  // directions against BFS search on a small presentation.
+  Presentation p;
+  p.AddEquationFromText("A A = B");
+  p.AddEquationFromText("B B = 0");
+  p.AddAbsorptionEquations();
+  CompletionResult r = Complete(p);
+  ASSERT_EQ(r.status, CompletionStatus::kConfluent);
+  int a = p.SymbolId("A"), b = p.SymbolId("B");
+  // a^4 ~ 0, a^2 ~ b, a^3 !~ 0.
+  EXPECT_EQ(r.system.NormalForm(Word{a, a, a, a}), (Word{p.zero()}));
+  EXPECT_EQ(r.system.NormalForm(Word{a, a}), (Word{b}));
+  EXPECT_NE(r.system.NormalForm(Word{a, a, a}), (Word{p.zero()}));
+  EXPECT_EQ(ProveEqual(p, Word{a, a, a, a}, Word{p.zero()}).status,
+            WordProblemStatus::kEqual);
+}
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,114 @@
+// Tests for the dependency text format.
+#include "core/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tdlib {
+namespace {
+
+SchemaPtr Abc() { return MakeSchema({"A", "B", "C"}); }
+
+TEST(Parser, ParsesSimpleTd) {
+  Result<Dependency> d = ParseDependency(Abc(), "R(a,b,c) => R(a,b,c2)");
+  ASSERT_TRUE(d.ok()) << d.error();
+  EXPECT_EQ(d.value().body().num_rows(), 1);
+  EXPECT_EQ(d.value().head().num_rows(), 1);
+}
+
+TEST(Parser, WhitespaceAndCommentsIgnored) {
+  Result<Dependency> d = ParseDependency(Abc(),
+                                         "  R( a , b , c )  # body\n"
+                                         " => R(a, b, c2)   # head\n");
+  ASSERT_TRUE(d.ok()) << d.error();
+}
+
+TEST(Parser, PrimedAndStarredNamesAllowed) {
+  Result<Dependency> d =
+      ParseDependency(Abc(), "R(a,b,c) & R(a,b',c') => R(a*,b,c')");
+  ASSERT_TRUE(d.ok()) << d.error();
+  EXPECT_FALSE(d.value().IsFull());
+}
+
+TEST(Parser, TypingViolationIsRejected) {
+  // "no variable can appear in two different columns"
+  Result<Dependency> d = ParseDependency(Abc(), "R(x,x,c) => R(x,x,c)");
+  EXPECT_FALSE(d.ok());
+  EXPECT_NE(d.error().find("typing"), std::string::npos);
+}
+
+TEST(Parser, ArityMismatchRejected) {
+  EXPECT_FALSE(ParseDependency(Abc(), "R(a,b) => R(a,b,c)").ok());
+  EXPECT_FALSE(ParseDependency(Abc(), "R(a,b,c,d) => R(a,b,c)").ok());
+}
+
+TEST(Parser, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseDependency(Abc(), "").ok());
+  EXPECT_FALSE(ParseDependency(Abc(), "R(a,b,c)").ok());          // no arrow
+  EXPECT_FALSE(ParseDependency(Abc(), "=> R(a,b,c)").ok());       // no body
+  EXPECT_FALSE(ParseDependency(Abc(), "R(a,b,c) =>").ok());       // no head
+  EXPECT_FALSE(ParseDependency(Abc(), "S(a,b,c) => R(a,b,c)").ok());
+  EXPECT_FALSE(ParseDependency(Abc(), "R(a,b,c => R(a,b,c)").ok());
+  EXPECT_FALSE(ParseDependency(Abc(), "R(a,,c) => R(a,b,c)").ok());
+}
+
+TEST(Parser, MultipleBodyAndHeadAtoms) {
+  Result<Dependency> d = ParseDependency(
+      Abc(), "R(a,b,c) & R(a,b2,c2) & R(a3,b,c2) => R(a9,b,c) & R(a9,b2,c)");
+  ASSERT_TRUE(d.ok()) << d.error();
+  EXPECT_EQ(d.value().body().num_rows(), 3);
+  EXPECT_EQ(d.value().head().num_rows(), 2);
+  EXPECT_FALSE(d.value().IsTd());
+}
+
+TEST(Parser, FormatParsesBack) {
+  Result<Dependency> d = ParseDependency(
+      Abc(), "R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)");
+  ASSERT_TRUE(d.ok());
+  std::string text = FormatDependency(d.value());
+  Result<Dependency> again = ParseDependency(Abc(), text);
+  ASSERT_TRUE(again.ok()) << again.error() << " text: " << text;
+  EXPECT_EQ(FormatDependency(again.value()), text);
+}
+
+TEST(Parser, ProgramWithSchemaAndNames) {
+  const char* program = R"(
+# the paper's Fig. 1 example
+schema SUPPLIER STYLE SIZE
+td fig1: R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)
+td full: R(a,b,c) => R(a,b,c)
+)";
+  SchemaPtr schema;
+  Result<DependencySet> set = ParseDependencyProgram(program, &schema);
+  ASSERT_TRUE(set.ok()) << set.error();
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->arity(), 3);
+  EXPECT_EQ(set.value().items.size(), 2u);
+  EXPECT_EQ(set.value().names[0], "fig1");
+  EXPECT_TRUE(set.value().items[1].IsFull());
+}
+
+TEST(Parser, ProgramErrorsCarryLineNumbers) {
+  Result<DependencySet> r1 =
+      ParseDependencyProgram("td x: R(a) => R(a)", nullptr);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.error().find("before 'schema'"), std::string::npos);
+
+  Result<DependencySet> r2 = ParseDependencyProgram(
+      "schema A\nnonsense here", nullptr);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_NE(r2.error().find("line 2"), std::string::npos);
+
+  Result<DependencySet> r3 =
+      ParseDependencyProgram("schema A A", nullptr);
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(Parser, UnnamedTdInProgram) {
+  Result<DependencySet> set = ParseDependencyProgram(
+      "schema A B\ntd R(a,b) => R(a,b2)", nullptr);
+  ASSERT_TRUE(set.ok()) << set.error();
+  EXPECT_EQ(set.value().names[0], "");
+}
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,220 @@
+// End-to-end tests for the Gurevich-Lewis reduction: construction shape,
+// direction (A) replay, direction (B) counterexample, and the headline
+// parameter claims of the paper.
+#include "reduction/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/implication.h"
+#include "core/satisfaction.h"
+#include "reduction/bridge.h"
+#include "reduction/part_a.h"
+#include "reduction/part_b.h"
+#include "semigroup/normalizer.h"
+
+namespace tdlib {
+namespace {
+
+// A presentation where A0 = 0 IS derivable:
+//   A0 A0 = A0  (so A0 can be pumped),  A0 A0 = 0  (so the pump vanishes).
+// Derivation: A0 -> A0 A0 -> 0.
+Presentation DerivablePresentation() {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+// Absorption only: A0 = 0 is NOT derivable (the free semigroup with zero
+// refutes it, and so does the 2-element null semigroup).
+Presentation UnderivablePresentation() {
+  Presentation p;
+  p.AddAbsorptionEquations();
+  return p;
+}
+
+TEST(ReductionShape, AttributeCountIs2nPlus2) {
+  Presentation p = DerivablePresentation();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  ASSERT_TRUE(red.ok()) << red.error();
+  EXPECT_EQ(red.value().arity(), 2 * norm.normalized.num_symbols() + 2);
+}
+
+TEST(ReductionShape, AtMostFiveAntecedents) {
+  // "our proof yields dependencies with a bounded number of antecedents
+  //  (five at most) but an unbounded number of attributes"
+  for (Presentation p : {DerivablePresentation(), UnderivablePresentation()}) {
+    NormalizationResult norm = NormalizeTo21(p);
+    Result<GurevichLewisReduction> red =
+        GurevichLewisReduction::Create(norm.normalized);
+    ASSERT_TRUE(red.ok()) << red.error();
+    EXPECT_LE(red.value().MaxAntecedents(), 5);
+  }
+}
+
+TEST(ReductionShape, FourGadgetsPerEquation) {
+  Presentation p = DerivablePresentation();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  ASSERT_TRUE(red.ok()) << red.error();
+  EXPECT_EQ(red.value().dependencies().items.size(),
+            4 * norm.normalized.equations().size());
+}
+
+TEST(ReductionShape, RequiresNormalizedInput) {
+  Presentation p;
+  int a = p.AddSymbol("A");
+  int b = p.AddSymbol("B");
+  p.AddEquation(Word{a, b, a}, Word{b});  // length-3 lhs: not normalized
+  p.AddAbsorptionEquations();
+  Result<GurevichLewisReduction> red = GurevichLewisReduction::Create(p);
+  EXPECT_FALSE(red.ok());
+}
+
+TEST(ReductionShape, GadgetsAreValidTypedTds) {
+  Presentation p = DerivablePresentation();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  ASSERT_TRUE(red.ok()) << red.error();
+  for (const Dependency& dep : red.value().dependencies().items) {
+    EXPECT_TRUE(dep.IsTd());
+    EXPECT_EQ(dep.CheckInvariants(), "");
+  }
+  EXPECT_TRUE(red.value().goal().IsTd());
+  EXPECT_FALSE(red.value().goal().IsTrivial());
+}
+
+TEST(ReductionShape, DistinctLetterGadgetsAreNonTrivial) {
+  // Degenerate equations (repeated letters, e.g. A0 A0 = A0) can yield
+  // trivial gadgets — when A = C the C-triangle is itself the required
+  // A-apex. For an equation with three distinct letters, all four gadgets
+  // must be genuinely non-trivial.
+  Presentation p;
+  p.AddEquationFromText("A B = C");
+  p.AddAbsorptionEquations();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  ASSERT_TRUE(red.ok()) << red.error();
+  const DependencySet& d = red.value().dependencies();
+  for (std::size_t i = 0; i < d.items.size(); ++i) {
+    if (d.names[i].find("A B = C") == std::string::npos) continue;
+    EXPECT_FALSE(d.items[i].IsTrivial()) << d.names[i];
+  }
+}
+
+TEST(PartA, DerivableWordProblemYieldsImplication) {
+  PartAConfig config;
+  config.chase.max_steps = 20000;
+  config.chase.max_tuples = 20000;
+  PartAResult result = RunPartA(DerivablePresentation(), config);
+  ASSERT_EQ(result.word_problem.status, WordProblemStatus::kEqual);
+  EXPECT_TRUE(result.replay_reached_goal);
+  EXPECT_EQ(result.black_box.verdict, Implication::kImplied);
+  EXPECT_TRUE(result.consistent) << result.ToString();
+  // Every derivation stage's bridge embeds in the replay instance.
+  for (const BridgeStage& stage : result.stages) {
+    EXPECT_TRUE(stage.embedded);
+  }
+}
+
+TEST(PartA, UnderivableStaysUnproven) {
+  PartAConfig config;
+  config.word_problem.max_word_length = 6;
+  config.chase.max_steps = 300;   // embedded gadgets pump forever; keep small
+  config.chase.max_tuples = 2000;
+  PartAResult result = RunPartA(UnderivablePresentation(), config);
+  EXPECT_NE(result.word_problem.status, WordProblemStatus::kEqual);
+  // The theorem says implication FAILS here, so the chase must never reach
+  // the goal (it may well not terminate; both non-kImplied outcomes are
+  // acceptable).
+  EXPECT_NE(result.black_box.verdict, Implication::kImplied);
+  EXPECT_TRUE(result.consistent);
+}
+
+TEST(PartB, AbsorptionOnlyIsRefutedByNullSemigroup) {
+  ModelSearchConfig config;
+  config.max_size = 3;
+  PartBResult result = RunPartB(UnderivablePresentation(), config);
+  ASSERT_EQ(result.model_search.status, ModelSearchStatus::kFound);
+  ASSERT_TRUE(result.db.has_value());
+  EXPECT_TRUE(result.verified) << result.message;
+  // P contains at least I and A0; Q contains at least (I, A0, A0).
+  EXPECT_GE(result.db->p_size, 2);
+  EXPECT_GE(result.db->q_size, 1);
+}
+
+TEST(PartB, DerivablePresentationHasNoSmallRefuter) {
+  // If A0 = 0 is derivable, NO semigroup (of any size) refutes it; the
+  // search must exhaust.
+  ModelSearchConfig config;
+  config.max_size = 3;
+  PartBResult result = RunPartB(DerivablePresentation(), config);
+  EXPECT_EQ(result.model_search.status, ModelSearchStatus::kExhausted);
+}
+
+TEST(PartB, WitnessVerificationCatchesBadWitness) {
+  Presentation p = UnderivablePresentation();
+  NormalizationResult norm = NormalizeTo21(p);
+  SemigroupWitness bad{MultiplicationTable::Null(2),
+                       std::vector<int>(norm.normalized.num_symbols(), 0)};
+  // A0 mapped to zero: not a refuter.
+  EXPECT_NE(bad.Verify(norm.normalized), "");
+}
+
+TEST(Bridge, StructureMatchesFigure2) {
+  Presentation p = DerivablePresentation();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<ReductionSchema> rs = ReductionSchema::Create(norm.normalized);
+  ASSERT_TRUE(rs.ok());
+  Word w{norm.normalized.a0(), norm.normalized.a0(), norm.normalized.zero()};
+  BridgeInstance bridge = BuildBridgeInstance(rs.value(), w);
+  // k + 1 base tuples, k apexes, all distinct.
+  EXPECT_EQ(bridge.base_tuples.size(), w.size() + 1);
+  EXPECT_EQ(bridge.apex_tuples.size(), w.size());
+  EXPECT_EQ(bridge.instance.NumTuples(), 2 * w.size() + 1);
+  // All base tuples share the E value; all apexes share the E' value.
+  const Instance& inst = bridge.instance;
+  int e_val = inst.tuple(bridge.base_tuples[0])[rs.value().E()];
+  for (int id : bridge.base_tuples) {
+    EXPECT_EQ(inst.tuple(id)[rs.value().E()], e_val);
+  }
+  int ep_val = inst.tuple(bridge.apex_tuples[0])[rs.value().EPrime()];
+  for (int id : bridge.apex_tuples) {
+    EXPECT_EQ(inst.tuple(id)[rs.value().EPrime()], ep_val);
+  }
+  // Apex i agrees with base i-1 on Ai' and with base i on Ai''.
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    int prime = rs.value().Prime(w[i]);
+    int dprime = rs.value().DoublePrime(w[i]);
+    EXPECT_EQ(inst.tuple(bridge.apex_tuples[i])[prime],
+              inst.tuple(bridge.base_tuples[i])[prime]);
+    EXPECT_EQ(inst.tuple(bridge.apex_tuples[i])[dprime],
+              inst.tuple(bridge.base_tuples[i + 1])[dprime]);
+  }
+}
+
+TEST(Bridge, InstanceSatisfiesNoGoalPrematurely) {
+  // A bridge for a word without a 0-triangle does not witness D0's head
+  // pattern (sanity check that bridges do not accidentally contain goals).
+  Presentation p = UnderivablePresentation();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  ASSERT_TRUE(red.ok());
+  const ReductionSchema& rs = red.value().reduction_schema();
+  Word w{norm.normalized.a0()};
+  BridgeInstance bridge = BuildBridgeInstance(rs, w);
+  // The bridge satisfies D0's BODY (an A0 triangle) but must violate D0.
+  SatisfactionResult r =
+      CheckSatisfaction(red.value().goal(), bridge.instance);
+  EXPECT_EQ(r.verdict, Satisfaction::kViolated);
+}
+
+}  // namespace
+}  // namespace tdlib

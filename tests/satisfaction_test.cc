@@ -1,0 +1,140 @@
+// Tests for dependency satisfaction (model checking) over finite instances.
+#include "core/satisfaction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace tdlib {
+namespace {
+
+SchemaPtr Abc() { return MakeSchema({"A", "B", "C"}); }
+
+Dependency Parse(const SchemaPtr& schema, const std::string& text) {
+  Result<Dependency> d = ParseDependency(schema, text);
+  EXPECT_TRUE(d.ok()) << d.error();
+  return std::move(d).value();
+}
+
+TEST(Satisfaction, EmptyInstanceSatisfiesEverything) {
+  SchemaPtr schema = Abc();
+  Instance empty(schema);
+  Dependency d = Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)");
+  SatisfactionResult r = CheckSatisfaction(d, empty);
+  EXPECT_EQ(r.verdict, Satisfaction::kSatisfied);
+  EXPECT_EQ(r.body_matches, 0u);
+}
+
+TEST(Satisfaction, ViolationProducesCounterexampleValuation) {
+  SchemaPtr schema = Abc();
+  Instance db(schema);
+  for (int i = 0; i < 2; ++i) db.AddValue(0);
+  for (int i = 0; i < 2; ++i) db.AddValue(1);
+  for (int i = 0; i < 2; ++i) db.AddValue(2);
+  db.AddTuple({0, 0, 0});
+  db.AddTuple({0, 1, 1});
+  Dependency d = Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)");
+  SatisfactionResult r = CheckSatisfaction(d, db);
+  ASSERT_EQ(r.verdict, Satisfaction::kViolated);
+  ASSERT_TRUE(r.counterexample.has_value());
+  // The violating match binds body variables to actual domain values.
+  EXPECT_GE(r.body_matches, 1u);
+}
+
+TEST(Satisfaction, EidNeedsSharedExistentialWitness) {
+  // EID: R(a,b,c) & R(a,b',c') => R(a*,b,c) & R(a*,b,c') — ONE supplier a*
+  // must cover both conclusions.
+  SchemaPtr schema = Abc();
+  Dependency eid =
+      Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c) & R(a9,b,c2)");
+  Instance db(schema);
+  for (int i = 0; i < 3; ++i) db.AddValue(0);
+  for (int i = 0; i < 2; ++i) db.AddValue(1);
+  for (int i = 0; i < 2; ++i) db.AddValue(2);
+  // Supplier 0 supplies (b0,c0) and (b1,c1); supplier 1 covers (b0,c1) and
+  // supplier 2 covers (b1,c0) — the two "split" witnesses that satisfy each
+  // TD half of the EID separately.
+  db.AddTuple({0, 0, 0});
+  db.AddTuple({0, 1, 1});
+  db.AddTuple({1, 0, 1});
+  db.AddTuple({2, 1, 0});
+  // No single supplier covers style b0 in both sizes (nor b1): EID violated.
+  EXPECT_EQ(CheckSatisfaction(eid, db).verdict, Satisfaction::kViolated);
+  // Completing BOTH witnesses (one per body-match orientation) satisfies it.
+  db.AddTuple({1, 0, 0});
+  db.AddTuple({2, 1, 1});
+  EXPECT_EQ(CheckSatisfaction(eid, db).verdict, Satisfaction::kSatisfied);
+}
+
+TEST(Satisfaction, TdWeakerThanEid) {
+  // Splitting the EID above into two TDs is strictly weaker: the split
+  // witnesses database satisfies both TDs but not the EID.
+  SchemaPtr schema = Abc();
+  Dependency td1 = Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c)");
+  Dependency td2 = Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)");
+  Dependency eid =
+      Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c) & R(a9,b,c2)");
+  Instance db(schema);
+  for (int i = 0; i < 3; ++i) db.AddValue(0);
+  for (int i = 0; i < 2; ++i) db.AddValue(1);
+  for (int i = 0; i < 2; ++i) db.AddValue(2);
+  db.AddTuple({0, 0, 0});
+  db.AddTuple({0, 1, 1});
+  db.AddTuple({1, 0, 1});
+  db.AddTuple({2, 1, 0});
+  EXPECT_TRUE(Satisfies(db, td1));
+  EXPECT_TRUE(Satisfies(db, td2));
+  EXPECT_FALSE(Satisfies(db, eid));
+}
+
+TEST(Satisfaction, FullTdOnConcreteJoin) {
+  SchemaPtr schema = Abc();
+  // Join dependency-ish: R(a,b,c) & R(a,b2,c2) => R(a,b,c2).
+  Dependency d = Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a,b,c2)");
+  Instance db(schema);
+  for (int i = 0; i < 1; ++i) db.AddValue(0);
+  for (int i = 0; i < 2; ++i) db.AddValue(1);
+  for (int i = 0; i < 2; ++i) db.AddValue(2);
+  db.AddTuple({0, 0, 0});
+  db.AddTuple({0, 1, 1});
+  EXPECT_FALSE(Satisfies(db, d));  // (0, b0, c1) missing
+  db.AddTuple({0, 0, 1});
+  EXPECT_FALSE(Satisfies(db, d));  // (0, b1, c0) still missing
+  db.AddTuple({0, 1, 0});
+  EXPECT_TRUE(Satisfies(db, d));
+}
+
+TEST(Satisfaction, FirstViolatedReportsIndex) {
+  SchemaPtr schema = Abc();
+  DependencySet set;
+  set.Add(Parse(schema, "R(a,b,c) => R(a,b,c)"), "trivial");
+  set.Add(Parse(schema, "R(a,b,c) & R(a,b2,c2) => R(a,b,c2)"), "join");
+  Instance db(schema);
+  db.AddValue(0);
+  for (int i = 0; i < 2; ++i) db.AddValue(1);
+  for (int i = 0; i < 2; ++i) db.AddValue(2);
+  db.AddTuple({0, 0, 0});
+  db.AddTuple({0, 1, 1});
+  EXPECT_EQ(FirstViolated(set, db), 1);
+  db.AddTuple({0, 0, 1});
+  db.AddTuple({0, 1, 0});
+  EXPECT_EQ(FirstViolated(set, db), -1);
+}
+
+TEST(Satisfaction, BudgetYieldsUnknown) {
+  SchemaPtr schema = Abc();
+  Dependency d = Parse(schema, "R(a,b,c) & R(a2,b2,c2) => R(a,b,c2)");
+  Instance db(schema);
+  for (int i = 0; i < 4; ++i) db.AddValue(0);
+  for (int i = 0; i < 4; ++i) db.AddValue(1);
+  for (int i = 0; i < 4; ++i) db.AddValue(2);
+  for (int i = 0; i < 4; ++i) db.AddTuple({i, i, i});
+  HomSearchOptions options;
+  options.max_nodes = 1;
+  SatisfactionResult r = CheckSatisfaction(d, db, options);
+  EXPECT_EQ(r.verdict, Satisfaction::kUnknown);
+  EXPECT_FALSE(r.counterexample.has_value());
+}
+
+}  // namespace
+}  // namespace tdlib

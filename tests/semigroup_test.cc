@@ -1,0 +1,338 @@
+// Tests for the semigroup substrate: words, presentations, normalization,
+// the word-problem search, multiplication tables, and the model finder.
+#include <gtest/gtest.h>
+
+#include "semigroup/model_search.h"
+#include "semigroup/normalizer.h"
+#include "semigroup/presentation.h"
+#include "semigroup/quotient.h"
+#include "semigroup/rewrite.h"
+#include "semigroup/table.h"
+#include "semigroup/word.h"
+
+namespace tdlib {
+namespace {
+
+TEST(Word, FindOccurrences) {
+  Word w{1, 2, 1, 2, 1};
+  EXPECT_EQ(FindOccurrences(w, {1, 2}), (std::vector<int>{0, 2}));
+  EXPECT_EQ(FindOccurrences(w, {1}), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(FindOccurrences(w, {2, 2}), (std::vector<int>{}));
+  EXPECT_EQ(FindOccurrences(w, {1, 2, 1, 2, 1}), (std::vector<int>{0}));
+  EXPECT_EQ(FindOccurrences(w, {1, 2, 1, 2, 1, 1}), (std::vector<int>{}));
+}
+
+TEST(Word, ReplaceAt) {
+  Word w{1, 2, 3};
+  EXPECT_EQ(ReplaceAt(w, 0, {1, 2}, {9}), (Word{9, 3}));
+  EXPECT_EQ(ReplaceAt(w, 2, {3}, {7, 8}), (Word{1, 2, 7, 8}));
+  EXPECT_EQ(ReplaceAt(w, 1, {2}, {2}), w);
+}
+
+TEST(Presentation, DistinguishedSymbolsPreInterned) {
+  Presentation p;
+  EXPECT_EQ(p.zero(), 0);
+  EXPECT_EQ(p.a0(), 1);
+  EXPECT_EQ(p.SymbolName(0), "0");
+  EXPECT_EQ(p.SymbolName(1), "A0");
+  EXPECT_EQ(p.SymbolId("0"), 0);
+  EXPECT_EQ(p.AddSymbol("A0"), 1);  // idempotent
+}
+
+TEST(Presentation, EquationFromText) {
+  Presentation p;
+  EXPECT_TRUE(p.AddEquationFromText("A B = C"));
+  EXPECT_EQ(p.equations().size(), 1u);
+  EXPECT_EQ(p.equations()[0].lhs.size(), 2u);
+  EXPECT_EQ(p.equations()[0].rhs.size(), 1u);
+  EXPECT_EQ(p.num_symbols(), 5);  // 0, A0, A, B, C
+  EXPECT_FALSE(p.AddEquationFromText("no equals sign"));
+  EXPECT_FALSE(p.AddEquationFromText(" = B"));
+  EXPECT_FALSE(p.AddEquationFromText("A = "));
+}
+
+TEST(Presentation, AbsorptionIsIdempotentAndComplete) {
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddAbsorptionEquations();
+  std::size_t count = p.equations().size();
+  p.AddAbsorptionEquations();
+  EXPECT_EQ(p.equations().size(), count);
+  EXPECT_TRUE(p.HasAbsorptionEquations());
+  Presentation q;
+  q.AddSymbol("A");
+  EXPECT_FALSE(q.HasAbsorptionEquations());
+}
+
+TEST(Presentation, NormalizedPredicate) {
+  Presentation p;
+  p.AddEquationFromText("A B = C");
+  EXPECT_TRUE(p.IsNormalized());
+  p.AddEquationFromText("A B C = D");
+  EXPECT_FALSE(p.IsNormalized());
+}
+
+TEST(Presentation, InvariantsCatchEmptySides) {
+  Presentation p;
+  p.AddEquation(Word{}, Word{p.zero()});
+  EXPECT_NE(p.CheckInvariants(), "");
+}
+
+TEST(Normalizer, PaperExampleAbcEqualsDa) {
+  // "if phi contains a conjunct ABC = DA ... add the equations AB = E and
+  //  DA = F, and replace ABC = DA by EC = F."
+  Presentation p;
+  p.AddEquationFromText("A B C = D A");
+  p.AddAbsorptionEquations();
+  NormalizationResult result = NormalizeTo21(p);
+  EXPECT_TRUE(result.normalized.IsNormalized());
+  EXPECT_TRUE(result.normalized.HasAbsorptionEquations());
+  // Two subwords (AB and DA) were named.
+  EXPECT_EQ(result.introduced.size(), 2u);
+  EXPECT_TRUE(result.aliases.empty());
+}
+
+TEST(Normalizer, SharedSubwordsNamedOnce) {
+  Presentation p;
+  p.AddEquationFromText("A B C = D");
+  p.AddEquationFromText("A B D = C");
+  NormalizationResult result = NormalizeTo21(p);
+  // AB appears in both; it must be named exactly once.
+  int ab_count = 0;
+  for (const auto& [sym, subword] : result.introduced) {
+    if (subword == Word{p.SymbolId("A"), p.SymbolId("B")}) ++ab_count;
+  }
+  EXPECT_EQ(ab_count, 1);
+}
+
+TEST(Normalizer, AliasesEliminatedBySubstitution) {
+  Presentation p;
+  int a = p.AddSymbol("A");
+  int b = p.AddSymbol("B");
+  p.AddEquation(Word{a}, Word{b});       // alias A = B
+  p.AddEquationFromText("B B = B");
+  NormalizationResult result = NormalizeTo21(p);
+  EXPECT_TRUE(result.normalized.IsNormalized());
+  ASSERT_EQ(result.aliases.size(), 1u);
+  // The larger id is replaced by the smaller (distinguished symbols first).
+  EXPECT_EQ(result.aliases[0].first, b);
+  EXPECT_EQ(result.aliases[0].second, a);
+}
+
+TEST(Normalizer, PreservesWordProblemAnswer) {
+  // Ground truth via bounded quotients: A0 ~ 0 before normalization iff
+  // after (on a derivable instance).
+  Presentation p;
+  p.AddEquationFromText("A0 A0 A0 = A0");  // length-3 lhs
+  p.AddEquationFromText("A0 A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  WordProblemResult before = ProveA0IsZero(p);
+  ASSERT_EQ(before.status, WordProblemStatus::kEqual);
+  NormalizationResult norm = NormalizeTo21(p);
+  WordProblemResult after = ProveA0IsZero(norm.normalized);
+  EXPECT_EQ(after.status, WordProblemStatus::kEqual);
+}
+
+TEST(WordProblem, DerivationEndpointsAndSteps) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  WordProblemResult r = ProveA0IsZero(p);
+  ASSERT_EQ(r.status, WordProblemStatus::kEqual);
+  ASSERT_GE(r.derivation.size(), 2u);
+  EXPECT_EQ(r.derivation.front(), Word{p.a0()});
+  EXPECT_EQ(r.derivation.back(), Word{p.zero()});
+  // Every consecutive pair differs by one equation application.
+  for (std::size_t i = 0; i + 1 < r.derivation.size(); ++i) {
+    bool ok = false;
+    for (const Equation& eq : p.equations()) {
+      for (int dir = 0; dir < 2 && !ok; ++dir) {
+        const Word& pat = dir == 0 ? eq.lhs : eq.rhs;
+        const Word& rep = dir == 0 ? eq.rhs : eq.lhs;
+        for (int off : FindOccurrences(r.derivation[i], pat)) {
+          if (ReplaceAt(r.derivation[i], off, pat, rep) ==
+              r.derivation[i + 1]) {
+            ok = true;
+            break;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(ok) << "step " << i;
+  }
+}
+
+TEST(WordProblem, IdenticalWordsTriviallyEqual) {
+  Presentation p;
+  p.AddAbsorptionEquations();
+  WordProblemResult r = ProveEqual(p, Word{p.a0()}, Word{p.a0()});
+  EXPECT_EQ(r.status, WordProblemStatus::kEqual);
+  EXPECT_EQ(r.derivation.size(), 1u);
+}
+
+TEST(WordProblem, ExhaustsWithinLengthBound) {
+  Presentation p;
+  p.AddAbsorptionEquations();
+  WordProblemConfig config;
+  config.max_word_length = 4;
+  WordProblemResult r = ProveA0IsZero(p, config);
+  EXPECT_EQ(r.status, WordProblemStatus::kExhausted);
+}
+
+TEST(WordProblem, StateLimitReported) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");  // pumps words of growing length
+  p.AddAbsorptionEquations();
+  WordProblemConfig config;
+  config.max_word_length = 30;
+  config.max_states = 10;
+  WordProblemResult r = ProveA0IsZero(p, config);
+  EXPECT_EQ(r.status, WordProblemStatus::kLimit);
+}
+
+TEST(Table, NullSemigroupProperties) {
+  MultiplicationTable null2 = MultiplicationTable::Null(2);
+  EXPECT_TRUE(null2.IsAssociative());
+  EXPECT_EQ(null2.ZeroElement(), std::optional<int>(0));
+  EXPECT_FALSE(null2.IdentityElement().has_value());
+  EXPECT_TRUE(null2.HasCancellationProperty());
+}
+
+TEST(Table, TrivialSemigroupHasIdentity) {
+  // {0} with 0*0=0: 0 is both zero and identity.
+  MultiplicationTable t(1);
+  EXPECT_TRUE(t.IdentityElement().has_value());
+  EXPECT_TRUE(t.ZeroElement().has_value());
+}
+
+TEST(Table, CyclicGroupProperties) {
+  MultiplicationTable z3 = MultiplicationTable::CyclicGroup(3);
+  EXPECT_TRUE(z3.IsAssociative());
+  EXPECT_EQ(z3.IdentityElement(), std::optional<int>(0));
+  EXPECT_FALSE(z3.ZeroElement().has_value());
+  EXPECT_FALSE(z3.HasCancellationProperty());  // requires a zero
+}
+
+TEST(Table, CyclicGroupWithZeroSatisfiesCancellationI) {
+  MultiplicationTable t = MultiplicationTable::CyclicGroupWithZero(3);
+  EXPECT_TRUE(t.IsAssociative());
+  EXPECT_EQ(t.ZeroElement(), std::optional<int>(0));
+  EXPECT_TRUE(t.IdentityElement().has_value());
+  EXPECT_TRUE(t.HasCancellationProperty());  // (i) suffices: has identity
+}
+
+TEST(Table, CancellationIIFailsWithAbsorbingNonZero) {
+  // x*y = x for x != 0 violates condition (ii).
+  MultiplicationTable t(3);
+  t.SetProduct(1, 2, 1);
+  EXPECT_FALSE(t.SatisfiesCancellationII(0));
+  MultiplicationTable null3 = MultiplicationTable::Null(3);
+  EXPECT_TRUE(null3.SatisfiesCancellationII(0));
+}
+
+TEST(Table, AdjoinIdentityBehaves) {
+  MultiplicationTable g = MultiplicationTable::Null(2);
+  MultiplicationTable g_prime = g.AdjoinIdentity();
+  EXPECT_EQ(g_prime.size(), 3);
+  EXPECT_EQ(g_prime.IdentityElement(), std::optional<int>(2));
+  EXPECT_EQ(g_prime.ZeroElement(), std::optional<int>(0));
+  // The paper's lemma inside part (B): G' keeps the cancellation property.
+  EXPECT_TRUE(g_prime.SatisfiesCancellationI(0));
+  // Old products unchanged.
+  EXPECT_EQ(g_prime.Product(1, 1), 0);
+}
+
+TEST(Table, EvaluateWordFollowsAssignment) {
+  MultiplicationTable z3 = MultiplicationTable::CyclicGroup(3);
+  // Symbols 0 -> 1, A0 -> 2; word A0 A0 A0 evaluates to 2+2+2 mod 3 = 0.
+  std::vector<int> assignment{1, 2};
+  EXPECT_EQ(z3.EvaluateWord(Word{1, 1, 1}, assignment), 0);
+  EXPECT_EQ(z3.EvaluateElements({2, 2}), 1);
+}
+
+TEST(Table, SatisfiesEquationAndPresentation) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = 0");
+  MultiplicationTable null2 = MultiplicationTable::Null(2);
+  std::vector<int> good{0, 1, 0};  // 0->0, A0->1 (num_symbols may be 2)
+  good.resize(p.num_symbols());
+  EXPECT_TRUE(null2.SatisfiesPresentation(p, good));
+}
+
+TEST(ModelSearch, SeedsFindNullSemigroupForAbsorptionOnly) {
+  Presentation p;
+  p.AddAbsorptionEquations();
+  ModelSearchResult r = FindRefutingSemigroup(p);
+  ASSERT_EQ(r.status, ModelSearchStatus::kFound);
+  EXPECT_EQ(r.witness->Verify(p), "");
+}
+
+TEST(ModelSearch, ExhaustsWhenA0MustVanish) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  ModelSearchConfig config;
+  config.max_size = 3;
+  ModelSearchResult r = FindRefutingSemigroup(p, config);
+  EXPECT_EQ(r.status, ModelSearchStatus::kExhausted);
+  EXPECT_GT(r.tables_checked, 0u);
+}
+
+TEST(ModelSearch, GapPresentationHasNoRefuter) {
+  // x * a = a with a != 0 contradicts cancellation (ii): exhausts.
+  Presentation p;
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  ModelSearchConfig config;
+  config.max_size = 3;
+  ModelSearchResult r = FindRefutingSemigroup(p, config);
+  EXPECT_EQ(r.status, ModelSearchStatus::kExhausted);
+}
+
+TEST(ModelSearch, BruteForceFindsWitnessBeyondSeeds) {
+  // "A A = 0" with A0 free: the null semigroup works, but disable seeds to
+  // exercise the brute-force path.
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddEquationFromText("A A = 0");
+  p.AddAbsorptionEquations();
+  ModelSearchConfig config;
+  config.use_seeds = false;
+  config.max_size = 2;
+  ModelSearchResult r = FindRefutingSemigroup(p, config);
+  ASSERT_EQ(r.status, ModelSearchStatus::kFound);
+  EXPECT_EQ(r.witness->Verify(p), "");
+}
+
+TEST(Quotient, ClassesMergeUnderEquations) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  BoundedQuotient q(p, 3);
+  EXPECT_TRUE(q.Equivalent(Word{p.a0()}, Word{p.a0(), p.a0()}));
+  EXPECT_TRUE(q.Equivalent(Word{p.a0()}, Word{p.a0(), p.a0(), p.a0()}));
+  EXPECT_FALSE(q.Equivalent(Word{p.a0()}, Word{p.zero()}));
+}
+
+TEST(Quotient, AgreesWithWordProblemSearch) {
+  Presentation p;
+  p.AddEquationFromText("A0 A0 = A0");
+  p.AddEquationFromText("A0 A0 = 0");
+  p.AddAbsorptionEquations();
+  BoundedQuotient q(p, 4);
+  EXPECT_TRUE(q.Equivalent(Word{p.a0()}, Word{p.zero()}));
+  EXPECT_EQ(ProveA0IsZero(p).status, WordProblemStatus::kEqual);
+}
+
+TEST(Quotient, CountsWordsExactly) {
+  Presentation p;  // 2 symbols, no equations
+  BoundedQuotient q(p, 3);
+  // 2 + 4 + 8 words of length 1..3.
+  EXPECT_EQ(q.num_words(), 14u);
+  EXPECT_EQ(q.num_classes(), 14u);  // nothing merges
+  EXPECT_EQ(q.ClassOf(Word{0, 0, 0, 0}), -1);  // beyond the bound
+}
+
+}  // namespace
+}  // namespace tdlib

@@ -1,0 +1,86 @@
+// Tests for chase trace rendering, plus part (B) on a NON-null refuting
+// semigroup (brute-force territory: richer P/Q structure than the null
+// family exercised elsewhere).
+#include "chase/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "reduction/part_b.h"
+
+namespace tdlib {
+namespace {
+
+TEST(Trace, RendersFiresWithBindingsAndNames) {
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(
+               ParseDependency(schema, "R(a,b) & R(a2,b2) => R(a,b2)"))
+               .value(),
+           "cross");
+  Instance db(schema);
+  db.InternValue(0, "x");
+  db.InternValue(0, "y");
+  db.InternValue(1, "u");
+  db.InternValue(1, "v");
+  db.AddTuple({0, 0});
+  db.AddTuple({1, 1});
+  ChaseConfig config;
+  config.record_trace = true;
+  ChaseResult result = RunChase(&db, deps, config);
+  ASSERT_EQ(result.steps, 2u);
+  std::string text = FormatChaseTrace(result, deps, db);
+  EXPECT_NE(text.find("fire cross"), std::string::npos);
+  EXPECT_NE(text.find("->x"), std::string::npos);
+  EXPECT_NE(text.find("tuple"), std::string::npos);
+  EXPECT_NE(text.find("2. "), std::string::npos);
+}
+
+TEST(Trace, UnnamedDependencyFallsBackToIndex) {
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(
+      ParseDependency(schema, "R(a,b) & R(a2,b2) => R(a,b2)")).value());
+  Instance db(schema);
+  for (int i = 0; i < 2; ++i) db.AddValue(0);
+  for (int i = 0; i < 2; ++i) db.AddValue(1);
+  db.AddTuple({0, 0});
+  db.AddTuple({1, 1});
+  ChaseConfig config;
+  config.record_trace = true;
+  ChaseResult result = RunChase(&db, deps, config);
+  std::string text = FormatChaseTrace(result, deps, db);
+  EXPECT_NE(text.find("dep#0"), std::string::npos);
+}
+
+TEST(PartBNonNull, BruteForceSemigroupWithNonZeroProduct) {
+  // "S S = A0" cannot hold in any null semigroup with A0 != 0 (it demands a
+  // non-zero product), so the model finder must go beyond the seeds; the
+  // 3-element semigroup {0, a, b} with a*a = b (all other products 0) works
+  // with S -> a, A0 -> b. The resulting part (B) database is richer than
+  // the null-family ones: P = {a, b, I}, so |P| = 3 and |Q| = 3.
+  Presentation p;
+  p.AddEquationFromText("S S = A0");
+  p.AddAbsorptionEquations();
+  ModelSearchConfig config;
+  config.max_size = 3;
+  PartBResult result = RunPartB(p, config);
+  ASSERT_EQ(result.model_search.status, ModelSearchStatus::kFound)
+      << "no refuting semigroup of size <= 3 found";
+  EXPECT_TRUE(result.verified) << result.message;
+  ASSERT_TRUE(result.db.has_value());
+  EXPECT_GE(result.db->p_size, 3);
+  EXPECT_GE(result.db->q_size, 2);
+  // The witness semigroup really has a non-zero product.
+  const MultiplicationTable& g = result.model_search.witness->table;
+  bool has_nonzero_product = false;
+  for (int x = 0; x < g.size(); ++x) {
+    for (int y = 0; y < g.size(); ++y) {
+      has_nonzero_product = has_nonzero_product || g.Product(x, y) != 0;
+    }
+  }
+  EXPECT_TRUE(has_nonzero_product);
+}
+
+}  // namespace
+}  // namespace tdlib

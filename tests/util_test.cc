@@ -1,0 +1,183 @@
+// Unit tests for the util substrate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv_writer.h"
+#include "util/hash.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "util/union_find.h"
+
+namespace tdlib {
+namespace {
+
+TEST(UnionFind, SingletonsAtStart) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(uf.Connected(i, j), i == j);
+    }
+  }
+}
+
+TEST(UnionFind, UnionMergesAndReportsNovelty) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already merged
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFind, AddElementGrows) {
+  UnionFind uf(1);
+  int id = uf.AddElement();
+  EXPECT_EQ(id, 1);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  uf.Union(0, id);
+  EXPECT_EQ(uf.num_sets(), 1u);
+}
+
+TEST(UnionFind, DenseClassIdsAreFirstAppearanceOrdered) {
+  UnionFind uf(6);
+  uf.Union(1, 3);
+  uf.Union(4, 5);
+  std::vector<int> ids = uf.DenseClassIds();
+  // Element 0 appears first -> class 0; element 1 -> class 1; 2 -> class 2;
+  // 3 joins 1's class; 4 -> class 3; 5 joins 4.
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 1, 3, 3}));
+}
+
+TEST(UnionFind, DeepChainsCompress) {
+  const int n = 1000;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+}
+
+TEST(Interner, RoundTrip) {
+  Interner interner;
+  int a = interner.Intern("alpha");
+  int b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.Lookup("beta"), b);
+  EXPECT_EQ(interner.Lookup("gamma"), -1);
+  EXPECT_TRUE(interner.Contains("alpha"));
+  EXPECT_FALSE(interner.Contains("gamma"));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, IntInRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.IntIn(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(SplitAndTrim(" a , b ,c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(SplitAndTrim("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, TrimAndStartsWith) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_TRUE(StartsWith("schema A B", "schema"));
+  EXPECT_FALSE(StartsWith("sch", "schema"));
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "n"});
+  t.AddRow({"long-name", "1"});
+  t.AddRow({"x", "12345"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name       n"), std::string::npos);
+  EXPECT_NE(out.find("long-name  1"), std::string::npos);
+}
+
+TEST(TablePrinter, AddRowValuesFormats) {
+  TablePrinter t({"a", "b"});
+  t.AddRowValues("x", 42);
+  EXPECT_NE(t.ToString().find("42"), std::string::npos);
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream oss;
+  CsvWriter csv(oss, {"a", "b"});
+  csv.WriteRow({"plain", "has,comma"});
+  csv.WriteRow({"has\"quote", "ok"});
+  EXPECT_EQ(oss.str(),
+            "a,b\n"
+            "plain,\"has,comma\"\n"
+            "\"has\"\"quote\",ok\n");
+}
+
+TEST(Hash, CombineDiffersByOrder) {
+  std::size_t s1 = 0, s2 = 0;
+  HashCombine(&s1, 1);
+  HashCombine(&s1, 2);
+  HashCombine(&s2, 2);
+  HashCombine(&s2, 1);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Hash, VectorHashDistinguishes) {
+  VectorHash h;
+  EXPECT_NE(h(std::vector<int>{1, 2}), h(std::vector<int>{2, 1}));
+  EXPECT_EQ(h(std::vector<int>{1, 2}), h(std::vector<int>{1, 2}));
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err = Result<int>::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "boom");
+}
+
+TEST(Timer, DeadlineWithoutBudgetNeverExpires) {
+  Deadline d(0);
+  EXPECT_FALSE(d.Expired());
+  Deadline d2(-1);
+  EXPECT_FALSE(d2.Expired());
+}
+
+TEST(Timer, ElapsedIsMonotone) {
+  Timer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace tdlib
