@@ -1,0 +1,115 @@
+// Throughput scaling of the batch inference engine.
+//
+// One fixed reduction-sweep batch, solved by pools of 1/2/4/8 workers;
+// jobs_per_sec is the headline series and identical_to_serial (1.0 = yes)
+// asserts that pooled results stay byte-identical to the serial reference
+// at every width. A second series measures raw pool dispatch overhead with
+// no-op tasks, separating engine cost from solver cost.
+//
+// Scaling expectation: with the sweep dominated by gap-regime jobs (long
+// chase pumps), the batch is compute-bound and speedup tracks the number
+// of PHYSICAL cores available to the process — on a 1-core container every
+// width measures ~1x by construction.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/batch_solver.h"
+#include "engine/thread_pool.h"
+#include "engine/workload.h"
+
+namespace tdlib {
+namespace {
+
+const std::vector<Job>& SweepJobs() {
+  static const std::vector<Job> jobs = [] {
+    WorkloadOptions options;
+    options.size = 12;
+    return ReductionSweepWorkload(options);
+  }();
+  return jobs;
+}
+
+const std::string& SerialReference() {
+  static const std::string summary =
+      RunSerial(SweepJobs()).DeterministicSummary();
+  return summary;
+}
+
+void BM_BatchEngineReductionSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::vector<Job>& jobs = SweepJobs();
+  const std::string& reference = SerialReference();
+
+  BatchOptions options;
+  options.num_threads = threads;
+  bool identical = true;
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    BatchSolver solver(options);
+    BatchSummary summary = solver.Run(jobs);
+    identical = identical && summary.DeterministicSummary() == reference;
+    jobs_done += static_cast<std::uint64_t>(summary.completed);
+    benchmark::DoNotOptimize(summary);
+  }
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+  state.counters["identical_to_serial"] = identical ? 1 : 0;
+}
+BENCHMARK(BM_BatchEngineReductionSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchEngineRandomWorkload(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  WorkloadOptions workload;
+  workload.size = 64;
+  workload.seed = 7;
+  const std::vector<Job> jobs = RandomTdWorkload(workload);
+
+  BatchOptions options;
+  options.num_threads = threads;
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    BatchSolver solver(options);
+    BatchSummary summary = solver.Run(jobs);
+    jobs_done += static_cast<std::uint64_t>(summary.completed);
+    benchmark::DoNotOptimize(summary);
+  }
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchEngineRandomWorkload)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadPoolDispatchOverhead(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kTasks = 1024;
+  for (auto _ : state) {
+    ThreadPool pool(threads);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([] { benchmark::ClobberMemory(); });
+    }
+    pool.Shutdown();
+  }
+  state.counters["tasks_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kTasks,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThreadPoolDispatchOverhead)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tdlib

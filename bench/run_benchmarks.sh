@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the engine benchmark suite and leaves a machine-readable perf record
+# (BENCH_engine.json) so successive PRs accumulate a throughput trajectory.
+#
+#   bench/run_benchmarks.sh [build-dir] [output.json]
+#
+# The build dir must already contain bench/bench_batch_engine (configure
+# with -DTDLIB_BUILD_BENCHMARKS=ON, the default, and build).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+BIN="$BUILD_DIR/bench/bench_batch_engine"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_format=json \
+  --benchmark_repetitions=1 \
+  --benchmark_min_warmup_time=0.2 \
+  > "$OUT"
+
+echo "wrote $OUT"
+# Console recap of the headline series.
+python3 - "$OUT" <<'EOF' 2>/dev/null || true
+import json, sys
+data = json.load(open(sys.argv[1]))
+for b in data.get("benchmarks", []):
+    jps = b.get("jobs_per_sec")
+    if jps is not None:
+        ident = b.get("identical_to_serial")
+        suffix = "" if ident is None else f"  identical_to_serial={int(ident)}"
+        print(f"{b['name']:<55} {jps:10.1f} jobs/s{suffix}")
+EOF

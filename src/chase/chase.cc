@@ -86,6 +86,16 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     return result;
   }
 
+  // One pass over a pumped instance can enumerate an enormous stream of
+  // body matches (each with a head-witness sub-search), so waiting for the
+  // end of a dependency's enumeration to look at the clock lets a deadline
+  // overshoot by seconds. Check it inside the match stream too, amortized
+  // over kDeadlineCheckInterval matches to keep clock reads off the
+  // per-match fast path.
+  constexpr std::uint64_t kDeadlineCheckInterval = 256;
+  std::uint64_t matches_seen = 0;
+  bool timed_out = false;
+
   while (true) {
     ++result.passes;
     // Collect applicable steps against the pass-start instance. The
@@ -99,7 +109,13 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                            &budget_hit)) {
           pending.emplace_back(static_cast<int>(di), h);
         }
-        return !budget_hit;
+        if (budget_hit) return false;
+        if (++matches_seen % kDeadlineCheckInterval == 0 &&
+            deadline.Expired()) {
+          timed_out = true;
+          return false;
+        }
+        return true;
       });
       result.hom_nodes += body_search.nodes_explored();
       if (status == HomSearchStatus::kBudget) budget_hit = true;
@@ -107,7 +123,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
         result.status = ChaseStatus::kHomBudget;
         return result;
       }
-      if (deadline.Expired()) {
+      if (timed_out || deadline.Expired()) {
         result.status = ChaseStatus::kTimeout;
         return result;
       }

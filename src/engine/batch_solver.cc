@@ -1,0 +1,174 @@
+#include "engine/batch_solver.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "engine/thread_pool.h"
+#include "util/csv_writer.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace tdlib {
+namespace {
+
+// Clamps a per-phase solver deadline to `budget`.
+double ClampDeadline(double phase_deadline, double budget) {
+  if (budget <= 0) return phase_deadline;
+  if (phase_deadline <= 0) return budget;
+  return std::min(phase_deadline, budget);
+}
+
+// Executes one job under batch semantics. `deadline` is the global batch
+// deadline (shared), `cancelled` the batch cancel flag.
+//
+// SolveImplication grants base_chase/base_counterexample their deadline
+// afresh in EVERY escalation round and never rechecks the wall clock
+// between rounds, so handing each phase the full remaining batch time
+// would let one job overshoot the global deadline by up to 2*rounds. The
+// remaining time is therefore split across all 2*rounds phases, which
+// keeps the whole job inside the batch budget (at the price of
+// under-feeding early rounds, which is fine: early rounds are the cheap
+// ones by construction).
+JobResult ExecuteJob(const Job& job, const Deadline& deadline,
+                     const Timer& batch_timer, double deadline_seconds,
+                     const std::atomic<bool>& cancelled) {
+  if (cancelled.load(std::memory_order_relaxed) || deadline.Expired()) {
+    JobResult skipped;
+    skipped.name = job.name;
+    skipped.status = JobStatus::kSkipped;
+    return skipped;
+  }
+  if (deadline_seconds <= 0) return RunJob(job);
+
+  double remaining = deadline_seconds - batch_timer.ElapsedSeconds();
+  if (remaining < 1e-3) remaining = 1e-3;  // already started: tiny budget
+  const int rounds = job.config.rounds > 0 ? job.config.rounds : 1;
+  const double per_phase = remaining / (2.0 * rounds);
+  Job bounded = job;
+  bounded.config.base_chase.deadline_seconds =
+      ClampDeadline(bounded.config.base_chase.deadline_seconds, per_phase);
+  bounded.config.base_counterexample.deadline_seconds = ClampDeadline(
+      bounded.config.base_counterexample.deadline_seconds, per_phase);
+  return RunJob(bounded);
+}
+
+bool IsRefutation(const JobResult& r) {
+  return r.status == JobStatus::kCompleted &&
+         (r.verdict == DualVerdict::kRefutedFinite ||
+          r.verdict == DualVerdict::kRefutedByFixpoint);
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void Summarize(BatchSummary* summary) {
+  summary->completed = 0;
+  summary->skipped = 0;
+  for (const JobResult& r : summary->results) {
+    if (r.status == JobStatus::kCompleted) {
+      ++summary->completed;
+    } else {
+      ++summary->skipped;
+    }
+  }
+}
+
+}  // namespace
+
+double BatchSummary::Throughput() const {
+  if (wall_seconds <= 0) return 0;
+  return completed / wall_seconds;
+}
+
+std::string BatchSummary::ToTable() const {
+  TablePrinter table({"job", "verdict", "rounds", "steps", "passes",
+                      "hom_nodes", "candidates", "seconds"});
+  for (const JobResult& r : results) {
+    table.AddRowValues(r.name, std::string(r.VerdictName()), r.rounds_used,
+                       r.chase_steps, r.chase_passes, r.hom_nodes,
+                       r.candidates_checked, r.wall_seconds);
+  }
+  std::ostringstream oss;
+  oss << table.ToString();
+  oss << completed << " completed, " << skipped << " skipped on "
+      << num_threads << " thread(s) in " << wall_seconds << "s ("
+      << Throughput() << " jobs/s)\n";
+  return oss.str();
+}
+
+void BatchSummary::WriteCsv(std::ostream& os) const {
+  CsvWriter csv(os, JobResult::CsvHeader());
+  for (const JobResult& r : results) csv.WriteRow(r.CsvRow());
+}
+
+std::string BatchSummary::DeterministicSummary() const {
+  std::vector<std::string> lines;
+  lines.reserve(results.size());
+  for (const JobResult& r : results) lines.push_back(r.DeterministicSummary());
+  return Join(lines, "\n");
+}
+
+BatchSolver::BatchSolver(BatchOptions options) : options_(options) {}
+
+BatchSummary BatchSolver::Run(const std::vector<Job>& jobs) {
+  cancel_.store(false, std::memory_order_relaxed);
+
+  BatchSummary summary;
+  summary.num_threads = ResolveThreads(options_.num_threads);
+  summary.results.resize(jobs.size());
+
+  Timer batch_timer;
+  Deadline deadline(options_.deadline_seconds);
+  const bool early_stop = options_.stop_on_first_refutation;
+
+  {
+    ThreadPool pool(summary.num_threads);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const Job& job = jobs[i];
+      JobResult* slot = &summary.results[i];
+      pool.Submit(
+          [this, &job, slot, &deadline, &batch_timer, early_stop] {
+            *slot = ExecuteJob(job, deadline, batch_timer,
+                               options_.deadline_seconds, cancel_);
+            if (early_stop && IsRefutation(*slot)) Cancel();
+          },
+          job.priority);
+    }
+    pool.Shutdown();  // drain the queue, join the workers
+  }
+
+  summary.wall_seconds = batch_timer.ElapsedSeconds();
+  Summarize(&summary);
+  return summary;
+}
+
+BatchSummary RunSerial(const std::vector<Job>& jobs,
+                       const BatchOptions& options) {
+  BatchSummary summary;
+  summary.num_threads = 1;
+  summary.results.reserve(jobs.size());
+
+  Timer batch_timer;
+  Deadline deadline(options.deadline_seconds);
+  std::atomic<bool> cancelled{false};
+
+  for (const Job& job : jobs) {
+    JobResult r = ExecuteJob(job, deadline, batch_timer,
+                             options.deadline_seconds, cancelled);
+    if (options.stop_on_first_refutation && IsRefutation(r)) {
+      cancelled.store(true, std::memory_order_relaxed);
+    }
+    summary.results.push_back(std::move(r));
+  }
+
+  summary.wall_seconds = batch_timer.ElapsedSeconds();
+  Summarize(&summary);
+  return summary;
+}
+
+}  // namespace tdlib

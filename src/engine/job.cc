@@ -1,0 +1,74 @@
+#include "engine/job.h"
+
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace tdlib {
+
+std::string_view DualVerdictName(DualVerdict verdict) {
+  switch (verdict) {
+    case DualVerdict::kImplied: return "IMPLIED";
+    case DualVerdict::kRefutedFinite: return "REFUTED-FINITE";
+    case DualVerdict::kRefutedByFixpoint: return "REFUTED-FIXPOINT";
+    case DualVerdict::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view JobResult::VerdictName() const {
+  if (status == JobStatus::kSkipped) return "SKIPPED";
+  return DualVerdictName(verdict);
+}
+
+std::string JobResult::ToString() const {
+  std::ostringstream oss;
+  oss << name << ": " << VerdictName() << " rounds=" << rounds_used
+      << " steps=" << chase_steps << " cands=" << candidates_checked << " ("
+      << wall_seconds << "s)";
+  return oss.str();
+}
+
+std::string JobResult::DeterministicSummary() const {
+  std::ostringstream oss;
+  oss << name << '|' << VerdictName() << '|' << rounds_used << '|'
+      << chase_steps << '|' << chase_passes << '|' << hom_nodes << '|'
+      << candidates_checked;
+  return oss.str();
+}
+
+std::vector<std::string> JobResult::CsvHeader() {
+  return {"job",         "status",       "verdict",
+          "rounds_used", "chase_steps",  "chase_passes",
+          "hom_nodes",   "candidates",   "wall_seconds"};
+}
+
+std::vector<std::string> JobResult::CsvRow() const {
+  return {name,
+          status == JobStatus::kCompleted ? "completed" : "skipped",
+          std::string(DualVerdictName(verdict)),
+          std::to_string(rounds_used),
+          std::to_string(chase_steps),
+          std::to_string(chase_passes),
+          std::to_string(hom_nodes),
+          std::to_string(candidates_checked),
+          std::to_string(wall_seconds)};
+}
+
+JobResult RunJob(const Job& job) {
+  JobResult result;
+  result.name = job.name;
+  Timer timer;
+  DualResult dual = SolveImplication(job.dependencies, job.goal, job.config);
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.status = JobStatus::kCompleted;
+  result.verdict = dual.verdict;
+  result.rounds_used = dual.rounds_used;
+  result.chase_steps = dual.implication.chase.steps;
+  result.chase_passes = dual.implication.chase.passes;
+  result.hom_nodes = dual.implication.chase.hom_nodes;
+  result.candidates_checked = dual.counterexample.candidates_checked;
+  return result;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,85 @@
+// Jobs: one (D, D0) implication question plus its solver budgets.
+//
+// A Job is a value: it owns its dependency set, its goal, and its
+// DualSolverConfig, so distinct jobs share no mutable state and any number
+// of them may be solved concurrently (the chase / model-search stack keeps
+// all state per call — see the reentrancy note in batch_solver.h).
+//
+// JobResult is the structured outcome the batch layer collects: verdict,
+// escalation rounds, chase and model-search statistics, and wall time.
+// Every field except wall_seconds is a deterministic function of the job,
+// which is what makes batch-vs-serial equivalence checkable bit-for-bit
+// (JobResult::DeterministicSummary).
+#ifndef TDLIB_ENGINE_JOB_H_
+#define TDLIB_ENGINE_JOB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chase/dual_solver.h"
+#include "core/dependency.h"
+
+namespace tdlib {
+
+/// One implication question for the engine.
+///
+/// Aggregate-initialize: Job{name, deps, goal, config, priority}.
+struct Job {
+  std::string name;          ///< stable identifier (workload-assigned)
+  DependencySet dependencies;  ///< the premise set D
+  Dependency goal;           ///< the candidate consequence D0
+  DualSolverConfig config;   ///< per-job budgets (rounds, chase, model search)
+  int priority = 0;          ///< higher runs earlier under contention
+};
+
+/// How a job left the batch.
+enum class JobStatus {
+  kCompleted,  ///< the dual solver ran to a verdict (possibly kUnknown)
+  kSkipped,    ///< never started: batch deadline passed or batch cancelled
+};
+
+/// Structured outcome of one job.
+struct JobResult {
+  std::string name;
+  JobStatus status = JobStatus::kSkipped;
+  DualVerdict verdict = DualVerdict::kUnknown;
+  int rounds_used = 0;
+
+  // Chase-side statistics (last attempt).
+  std::uint64_t chase_steps = 0;
+  std::uint64_t chase_passes = 0;
+  std::uint64_t hom_nodes = 0;
+
+  // Model-search-side statistics (last attempt).
+  std::uint64_t candidates_checked = 0;
+
+  double wall_seconds = 0;  ///< nondeterministic; excluded from comparisons
+
+  /// "IMPLIED", "REFUTED-FINITE", "REFUTED-FIXPOINT", "UNKNOWN", "SKIPPED".
+  std::string_view VerdictName() const;
+
+  /// One-line human-readable rendering (includes wall time).
+  std::string ToString() const;
+
+  /// Rendering of every deterministic field, for batch-vs-serial
+  /// equivalence checks. Two runs of the same job must produce identical
+  /// strings regardless of thread count or machine load.
+  std::string DeterministicSummary() const;
+
+  /// CSV schema used by tdbatch and the benches.
+  static std::vector<std::string> CsvHeader();
+  std::vector<std::string> CsvRow() const;
+};
+
+/// Runs the dual solver on one job, synchronously, on the calling thread.
+/// This is the single execution path shared by serial and batch modes.
+JobResult RunJob(const Job& job);
+
+/// Human-readable name of a DualVerdict ("IMPLIED", ...).
+std::string_view DualVerdictName(DualVerdict verdict);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_ENGINE_JOB_H_

@@ -1,0 +1,75 @@
+#include "engine/thread_pool.h"
+
+#include <utility>
+
+namespace tdlib {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  num_threads_ = num_threads;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
+    queue_.push(Entry{priority, next_seq_++, std::move(task)});
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    to_join.swap(workers_);  // the first caller claims join ownership
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : to_join) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return queue_.empty() && active_workers_ == 0; });
+}
+
+std::size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      // priority_queue::top() is const; the closure is moved out via
+      // const_cast, which is safe because the entry is popped immediately.
+      task = std::move(const_cast<Entry&>(queue_.top()).task);
+      queue_.pop();
+      ++active_workers_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+      if (queue_.empty() && active_workers_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tdlib

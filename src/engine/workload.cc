@@ -1,0 +1,162 @@
+#include "engine/workload.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/generators.h"
+#include "core/parser.h"
+#include "reduction/reduction.h"
+#include "semigroup/normalizer.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace tdlib {
+namespace {
+
+// Pads `p` with `extra` idempotent letters P1, P2, ... . Padding enlarges
+// the reduction (4 gadgets and 2 attributes per equation/symbol) without
+// changing the A0 = 0 question, so the sweep scales instance size while
+// each regime keeps its known verdict.
+void AddPadding(Presentation* p, int extra) {
+  for (int j = 1; j <= extra; ++j) {
+    std::string name = "P" + std::to_string(j);
+    p->AddSymbol(name);
+    p->AddEquationFromText(name + " " + name + " = " + name);
+  }
+}
+
+Job ReductionJob(std::string name, const Presentation& p,
+                 const DualSolverConfig& solver, int priority) {
+  NormalizationResult norm = NormalizeTo21(p);
+  GurevichLewisReduction red =
+      std::move(GurevichLewisReduction::Create(norm.normalized)).value();
+  return Job{std::move(name), red.dependencies(), red.goal(), solver,
+             priority};
+}
+
+}  // namespace
+
+DualSolverConfig DefaultWorkloadSolverConfig() {
+  DualSolverConfig config;
+  config.rounds = 2;
+  config.base_chase.max_steps = 2000;
+  return config;
+}
+
+std::vector<Job> ReductionSweepWorkload(const WorkloadOptions& options) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(options.size));
+  for (int i = 0; i < options.size; ++i) {
+    const int regime = i % 3;
+    const int pad = i / 3;  // grows along the sweep
+    Presentation p;
+    std::string name;
+    switch (regime) {
+      case 0:
+        // Derivable word problem: A0 = A0 A0 = 0, so part (A) applies and
+        // the chase side halts with kImplied.
+        name = "implied/pad" + std::to_string(pad);
+        p.AddEquationFromText("A0 A0 = A0");
+        p.AddEquationFromText("A0 A0 = 0");
+        break;
+      case 1:
+        // A0 unconstrained: a finite cancellative model separates A0 from
+        // 0, so part (B) applies and a finite database refutes D0.
+        name = "refuted/pad" + std::to_string(pad);
+        p.AddSymbol("B");
+        p.AddEquationFromText("B B = B");
+        break;
+      default:
+        // The Fagin-style gap instance: "A A0 = A0" is neither derivable
+        // nor refutable inside the Main Lemma's semigroup class, so the
+        // chase side pumps; the database-level enumerator still finds a
+        // small counterexample.
+        name = "gap/pad" + std::to_string(pad);
+        p.AddSymbol("A");
+        p.AddEquationFromText("A A0 = A0");
+        break;
+    }
+    AddPadding(&p, pad);
+    p.AddAbsorptionEquations();
+    jobs.push_back(
+        ReductionJob(std::move(name), p, options.solver, options.size - i));
+  }
+  return jobs;
+}
+
+std::vector<Job> RandomTdWorkload(const WorkloadOptions& options) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(options.size));
+  for (int i = 0; i < options.size; ++i) {
+    // SplitMix-style index mixing keeps per-job streams independent.
+    Rng rng(options.seed ^
+            (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1)));
+    SchemaPtr schema = MakeSchema({"A", "B", "C"});
+    TdGeneratorOptions gen;
+    gen.arity = 3;
+    gen.body_rows = 2;
+    gen.head_rows = 1;
+    DependencySet d;
+    for (int k = 0; k < 3; ++k) {
+      gen.force_full = (k % 2 == 0);  // mix full and embedded premises
+      d.Add(RandomDependency(&rng, gen, schema),
+            "rnd" + std::to_string(i) + "_" + std::to_string(k));
+    }
+    // Trivial goals (head maps into body) hold in every database and make
+    // the job a no-op; redraw a few times to keep the family interesting.
+    gen.force_full = false;
+    Dependency goal = RandomDependency(&rng, gen, schema);
+    for (int redraw = 0; goal.IsTrivial() && redraw < 64; ++redraw) {
+      goal = RandomDependency(&rng, gen, schema);
+    }
+    jobs.push_back(Job{"random/" + std::to_string(i), std::move(d),
+                       std::move(goal), options.solver, 0});
+  }
+  return jobs;
+}
+
+Result<std::vector<Job>> FileWorkload(const std::vector<std::string>& paths,
+                                      const WorkloadOptions& options) {
+  std::vector<Job> jobs;
+  jobs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      return Result<std::vector<Job>>::Error("cannot read " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    SchemaPtr schema;
+    Result<DependencySet> parsed =
+        ParseDependencyProgram(buffer.str(), &schema);
+    if (!parsed.ok()) {
+      return Result<std::vector<Job>>::Error(path + ": " + parsed.error());
+    }
+    DependencySet program = std::move(parsed).value();
+    if (program.items.size() < 2) {
+      return Result<std::vector<Job>>::Error(
+          path + ": need at least two dependencies (premises, then goal)");
+    }
+    Dependency goal = std::move(program.items.back());
+    program.items.pop_back();
+    if (!program.names.empty()) program.names.pop_back();
+    jobs.push_back(
+        Job{path, std::move(program), std::move(goal), options.solver, 0});
+  }
+  return jobs;
+}
+
+Result<std::vector<Job>> MakeWorkload(std::string_view family,
+                                      const WorkloadOptions& options) {
+  if (family == "reduction-sweep") return ReductionSweepWorkload(options);
+  if (family == "random") return RandomTdWorkload(options);
+  return Result<std::vector<Job>>::Error(
+      "unknown workload family '" + std::string(family) + "' (expected " +
+      Join(WorkloadFamilies(), " | ") + ")");
+}
+
+std::vector<std::string> WorkloadFamilies() {
+  return {"reduction-sweep", "random"};
+}
+
+}  // namespace tdlib

@@ -1,0 +1,69 @@
+// Workload generators: job batches from three scenario families.
+//
+//   reduction-sweep — presentations swept through the Gurevich–Lewis
+//                     reduction. The family interleaves the three regimes
+//                     of the Main Theorem (derivable word problem, finitely
+//                     refutable, and the Fagin-style gap) at growing
+//                     alphabet sizes, so a batch exercises both halves of
+//                     the dual solver at a spread of instance sizes.
+//   random          — seeded random TDs over a small schema (util/rng.h);
+//                     deterministic in (seed, index), so re-running a seed
+//                     reproduces the batch exactly.
+//   files           — parsed .td dependency programs (core/parser); per
+//                     file, the last dependency is the goal D0 and all
+//                     earlier ones form D (the td_tool convention).
+//
+// All generators are pure: the returned jobs own their data and carry the
+// WorkloadOptions solver budgets, so they can be run by any engine mode.
+#ifndef TDLIB_ENGINE_WORKLOAD_H_
+#define TDLIB_ENGINE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/job.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// Default per-job budgets for generated workloads: 2 escalation rounds on
+/// a 2000-step base chase. Generated families always contain gap-regime
+/// instances whose chase side pumps forever, so the library default
+/// (3 rounds on 100000 steps) would spend nearly all batch time proving
+/// kUnknown harder; callers wanting deep searches raise the budgets
+/// explicitly (tdbatch --chase-steps/--rounds).
+DualSolverConfig DefaultWorkloadSolverConfig();
+
+/// Knobs shared by every generator.
+struct WorkloadOptions {
+  int size = 12;            ///< number of jobs to generate
+  std::uint64_t seed = 1;   ///< random family only
+  DualSolverConfig solver = DefaultWorkloadSolverConfig();
+};
+
+/// Jobs derived from presentations via GurevichLewisReduction. Job i cycles
+/// through the implied / refuted / gap regimes while the presentation grows
+/// with i, and carries priority = size - i (front of the sweep first).
+std::vector<Job> ReductionSweepWorkload(const WorkloadOptions& options);
+
+/// Random-TD jobs: job i asks whether 3 random TDs imply a 4th, all drawn
+/// from Rng(seed ^ mix(i)). Deterministic per (seed, i).
+std::vector<Job> RandomTdWorkload(const WorkloadOptions& options);
+
+/// One job per .td file (see the files family above). Fails on unreadable
+/// or malformed input, or a program with fewer than two dependencies.
+Result<std::vector<Job>> FileWorkload(const std::vector<std::string>& paths,
+                                      const WorkloadOptions& options);
+
+/// Dispatch by family name: "reduction-sweep" or "random".
+Result<std::vector<Job>> MakeWorkload(std::string_view family,
+                                      const WorkloadOptions& options);
+
+/// The names MakeWorkload accepts.
+std::vector<std::string> WorkloadFamilies();
+
+}  // namespace tdlib
+
+#endif  // TDLIB_ENGINE_WORKLOAD_H_

@@ -3,6 +3,7 @@
 namespace tdlib {
 
 int Interner::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
   int id = static_cast<int>(names_.size());
@@ -12,8 +13,19 @@ int Interner::Intern(std::string_view name) {
 }
 
 int Interner::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Interner::NameOf(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t Interner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
 }
 
 }  // namespace tdlib

@@ -2,10 +2,11 @@
 #ifndef TDLIB_UTIL_INTERNER_H_
 #define TDLIB_UTIL_INTERNER_H_
 
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace tdlib {
 
@@ -13,6 +14,14 @@ namespace tdlib {
 ///
 /// tdlib uses interners for attribute names, semigroup symbols and variable
 /// names so that all hot-path comparisons are integer comparisons.
+///
+/// Thread-safety: all members may be called concurrently. Interning is off
+/// the solver hot path (it happens during parsing and construction, before
+/// jobs run), so the audit for the engine layer chose a plain mutex here —
+/// it costs nothing where it matters and removes the class from the list
+/// of things a concurrent caller must think about. Names are stored in a
+/// deque so the reference returned by NameOf stays valid while other
+/// threads intern.
 class Interner {
  public:
   /// Returns the id of `name`, interning it if new.
@@ -21,16 +30,18 @@ class Interner {
   /// Returns the id of `name`, or -1 if it has never been interned.
   int Lookup(std::string_view name) const;
 
-  /// Returns the name for `id`. Precondition: 0 <= id < size().
-  const std::string& NameOf(int id) const { return names_[id]; }
+  /// Returns the name for `id`. Precondition: 0 <= id < size(). The
+  /// reference stays valid for the interner's lifetime.
+  const std::string& NameOf(int id) const;
 
   /// Returns true if `name` has been interned.
   bool Contains(std::string_view name) const { return Lookup(name) >= 0; }
 
-  std::size_t size() const { return names_.size(); }
+  std::size_t size() const;
 
  private:
-  std::vector<std::string> names_;
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;  ///< deque: stable references under growth
   std::unordered_map<std::string, int> ids_;
 };
 

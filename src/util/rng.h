@@ -2,7 +2,12 @@
 #ifndef TDLIB_UTIL_RNG_H_
 #define TDLIB_UTIL_RNG_H_
 
+#include <atomic>
 #include <cstdint>
+
+#ifndef NDEBUG
+#include <cassert>
+#endif
 
 namespace tdlib {
 
@@ -11,6 +16,16 @@ namespace tdlib {
 /// tdlib never uses std::mt19937 for workload generation because workload
 /// reproducibility across standard libraries matters for the benchmark
 /// harness (EXPERIMENTS.md records seeds).
+///
+/// Thread-safety: an Rng is owned by exactly one thread at a time —
+/// Next() mutates unguarded state, and a lock here would tax every draw on
+/// the generator hot path for a sharing pattern tdlib never needs.
+/// Concurrent code derives one Rng per job/thread from a master seed
+/// instead of sharing a generator (see engine/workload.cc, which seeds
+/// each job as `seed ^ mix(index)`), keeping batches reproducible
+/// regardless of scheduling. Handing a generator from one thread to
+/// another between draws is fine. NDEBUG-off builds detect overlapping
+/// draws from two threads with an in-use flag and assert.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
@@ -25,8 +40,19 @@ class Rng {
     }
   }
 
-  /// Uniform 64-bit value.
+  /// Copying clones the generator state (the copy replays the original's
+  /// future draws) and resets the debug in-use flag, keeping Rng copyable
+  /// in Debug builds despite the atomic member.
+  Rng(const Rng& other) { CopyState(other); }
+  Rng& operator=(const Rng& other) {
+    CopyState(other);
+    return *this;
+  }
+
+  /// Uniform 64-bit value. Precondition: no concurrent call on the same
+  /// instance (see the thread-safety note above).
   std::uint64_t Next() {
+    DebugUseGuard guard(this);
     std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
     std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -53,6 +79,33 @@ class Rng {
   static std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
+
+  void CopyState(const Rng& other) {
+    for (int i = 0; i < 4; ++i) state_[i] = other.state_[i];
+  }
+
+#ifndef NDEBUG
+  // Trips when two threads are inside Next() at once; sequential handoff
+  // between threads never sets the flag across a draw boundary.
+  struct DebugUseGuard {
+    explicit DebugUseGuard(Rng* rng) : rng_(rng) {
+      assert(!rng_->in_use_.exchange(true, std::memory_order_acquire) &&
+             "concurrent Rng use; derive one Rng per thread from a master "
+             "seed (see util/rng.h)");
+    }
+    ~DebugUseGuard() { rng_->in_use_.store(false, std::memory_order_release); }
+    Rng* rng_;
+  };
+#else
+  struct DebugUseGuard {
+    explicit DebugUseGuard(Rng*) {}
+  };
+#endif
+
+  // Present in every build mode so Rng's layout does not depend on NDEBUG
+  // (a Release library serving a Debug client would otherwise read state_
+  // at the wrong offsets). Release builds never touch it.
+  std::atomic<bool> in_use_{false};
 
   std::uint64_t state_[4];
 };

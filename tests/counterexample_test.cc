@@ -1,0 +1,126 @@
+// Focused tests for the finite-counterexample enumerator.
+#include "chase/counterexample.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/satisfaction.h"
+
+namespace tdlib {
+namespace {
+
+SchemaPtr Ab() { return MakeSchema({"A", "B"}); }
+
+Dependency Parse(const SchemaPtr& schema, const std::string& text) {
+  Result<Dependency> d = ParseDependency(schema, text);
+  EXPECT_TRUE(d.ok()) << d.error();
+  return std::move(d).value();
+}
+
+TEST(Counterexample, FindsWitnessAndItChecksOut) {
+  // No premises, cross TD as goal: two tuples with distinct values violate
+  // it, so a witness exists within two tuples.
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  Dependency d0 = Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)");
+  CounterexampleConfig config;
+  config.max_tuples = 2;
+  CounterexampleResult r = FindFiniteCounterexample(d, d0, config);
+  ASSERT_EQ(r.status, CounterexampleStatus::kFound);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_EQ(CheckSatisfaction(d0, *r.witness).verdict,
+            Satisfaction::kViolated);
+  EXPECT_GT(r.candidates_checked, 0u);
+}
+
+TEST(Counterexample, PremisesConstrainTheWitness) {
+  // The witness must satisfy every premise: ask for a database violating
+  // the 3-row chain TD while satisfying the cross TD. Cross implies chain
+  // (chase closure), so none exists at any size — within the bound the
+  // search must exhaust.
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  d.Add(Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)"), "cross");
+  Dependency chain =
+      Parse(schema, "R(a,b) & R(a2,b2) & R(a3,b3) => R(a,b3)");
+  CounterexampleConfig config;
+  config.max_tuples = 3;
+  CounterexampleResult r = FindFiniteCounterexample(d, chain, config);
+  EXPECT_EQ(r.status, CounterexampleStatus::kExhausted);
+  EXPECT_FALSE(r.witness.has_value());
+}
+
+TEST(Counterexample, TrivialGoalHasNoCounterexampleAtAll) {
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  Dependency trivial = Parse(schema, "R(a,b) => R(a,b)");
+  CounterexampleConfig config;
+  config.max_tuples = 3;
+  CounterexampleResult r = FindFiniteCounterexample(d, trivial, config);
+  EXPECT_EQ(r.status, CounterexampleStatus::kExhausted);
+}
+
+TEST(Counterexample, CandidateBudgetTripsBeforeTheWitness) {
+  // The single-tuple candidates cannot violate the cross TD, and the
+  // candidate budget expires before any two-tuple database is reached.
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  Dependency d0 = Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)");
+  CounterexampleConfig config;
+  config.max_tuples = 2;
+  config.max_candidates = 1;
+  CounterexampleResult r = FindFiniteCounterexample(d, d0, config);
+  EXPECT_EQ(r.status, CounterexampleStatus::kLimit);
+  EXPECT_LE(r.candidates_checked, 1u);
+}
+
+TEST(Counterexample, ZeroTupleBoundExhaustsOnEmptyDatabase) {
+  // The empty database satisfies every dependency vacuously, so it can
+  // never be a counterexample; the bound-0 search exhausts immediately.
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  Dependency d0 = Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)");
+  CounterexampleConfig config;
+  config.max_tuples = 0;
+  CounterexampleResult r = FindFiniteCounterexample(d, d0, config);
+  EXPECT_EQ(r.status, CounterexampleStatus::kExhausted);
+}
+
+TEST(SetPartitions, EnumeratesBellNumbers) {
+  // Bell numbers: 1, 1, 2, 5, 15, 52.
+  for (const auto& [n, bell] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 2}, {3, 5}, {4, 15}}) {
+    int count = 0;
+    bool finished = ForEachSetPartition(n, [&](const std::vector<int>&) {
+      ++count;
+      return true;
+    });
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(count, bell) << "n=" << n;
+  }
+}
+
+TEST(SetPartitions, RestrictedGrowthInvariantHolds) {
+  ForEachSetPartition(5, [](const std::vector<int>& rgs) {
+    int max_seen = -1;
+    for (int v : rgs) {
+      EXPECT_LE(v, max_seen + 1);
+      if (v > max_seen) max_seen = v;
+    }
+    EXPECT_EQ(rgs.front(), 0);
+    return true;
+  });
+}
+
+TEST(SetPartitions, VisitorCanStopEarly) {
+  int count = 0;
+  bool finished = ForEachSetPartition(4, [&](const std::vector<int>&) {
+    ++count;
+    return count < 3;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace tdlib

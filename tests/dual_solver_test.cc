@@ -1,0 +1,112 @@
+// Focused tests for the dual solver: each verdict, budget escalation, and
+// the Main Theorem regimes surfaced through the reduction.
+#include "chase/dual_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "reduction/reduction.h"
+#include "semigroup/normalizer.h"
+
+namespace tdlib {
+namespace {
+
+SchemaPtr Ab() { return MakeSchema({"A", "B"}); }
+
+Dependency Parse(const SchemaPtr& schema, const std::string& text) {
+  Result<Dependency> d = ParseDependency(schema, text);
+  EXPECT_TRUE(d.ok()) << d.error();
+  return std::move(d).value();
+}
+
+GurevichLewisReduction Reduce(const Presentation& p) {
+  NormalizationResult norm = NormalizeTo21(p);
+  return std::move(GurevichLewisReduction::Create(norm.normalized)).value();
+}
+
+TEST(DualSolver, ImpliedCertificateFromChaseSide) {
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  d.Add(Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)"), "cross");
+  Dependency d0 = Parse(schema, "R(a,b) & R(a2,b2) & R(a3,b3) => R(a,b3)");
+  DualResult r = SolveImplication(d, d0);
+  EXPECT_EQ(r.verdict, DualVerdict::kImplied);
+  EXPECT_EQ(r.rounds_used, 1);
+  EXPECT_EQ(r.implication.verdict, Implication::kImplied);
+}
+
+TEST(DualSolver, FixpointRefutationShortCircuitsModelSearch) {
+  // Empty premise set: the chase hits a fixpoint immediately and its
+  // terminal instance is itself the finite counterexample — the model
+  // enumerator never needs to run.
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  Dependency d0 = Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)");
+  DualResult r = SolveImplication(d, d0);
+  EXPECT_EQ(r.verdict, DualVerdict::kRefutedByFixpoint);
+  EXPECT_EQ(r.counterexample.candidates_checked, 0u);
+}
+
+TEST(DualSolver, GapInstanceRefutedByFiniteEnumeration) {
+  // "A A0 = A0" — the Fagin-style gap: the chase side pumps forever, but a
+  // small finite database already separates. Only the enumerator halts.
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  GurevichLewisReduction red = Reduce(p);
+  DualSolverConfig config;
+  config.rounds = 2;
+  config.base_chase.max_steps = 500;
+  DualResult r = SolveImplication(red.dependencies(), red.goal(), config);
+  EXPECT_EQ(r.verdict, DualVerdict::kRefutedFinite);
+  EXPECT_NE(r.implication.verdict, Implication::kImplied);
+  EXPECT_EQ(r.counterexample.status, CounterexampleStatus::kFound);
+}
+
+TEST(DualSolver, ExhaustedBudgetsReportUnknown) {
+  // Same gap instance, but with budgets too small for either side: one
+  // round, a 1-step chase, and a 0-tuple model bound (the empty database
+  // never violates a dependency, so the search exhausts without a witness).
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  GurevichLewisReduction red = Reduce(p);
+  DualSolverConfig config;
+  config.rounds = 1;
+  config.base_chase.max_steps = 1;
+  config.base_counterexample.max_tuples = 0;
+  DualResult r = SolveImplication(red.dependencies(), red.goal(), config);
+  EXPECT_EQ(r.verdict, DualVerdict::kUnknown);
+  EXPECT_EQ(r.rounds_used, 1);
+}
+
+TEST(DualSolver, EscalationRaisesTheCounterexampleBound) {
+  // Round k adds k to the tuple bound: starting from 0 tuples, the gap
+  // instance's witness (which needs a nonempty database) appears only once
+  // escalation has raised the bound, so rounds_used exceeds 1.
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  GurevichLewisReduction red = Reduce(p);
+  DualSolverConfig config;
+  config.rounds = 4;
+  config.base_chase.max_steps = 10;
+  config.base_counterexample.max_tuples = 0;
+  DualResult r = SolveImplication(red.dependencies(), red.goal(), config);
+  EXPECT_EQ(r.verdict, DualVerdict::kRefutedFinite);
+  EXPECT_GT(r.rounds_used, 1);
+}
+
+TEST(DualSolver, ToStringNamesTheVerdict) {
+  SchemaPtr schema = Ab();
+  DependencySet d;
+  Dependency d0 = Parse(schema, "R(a,b) & R(a2,b2) => R(a,b2)");
+  DualResult r = SolveImplication(d, d0);
+  EXPECT_NE(r.ToString().find("REFUTED-FIXPOINT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdlib
