@@ -1,33 +1,41 @@
 #!/usr/bin/env bash
-# Runs the engine benchmark suite and leaves a machine-readable perf record
-# (BENCH_engine.json) so successive PRs accumulate a throughput trajectory.
+# Runs the benchmark suite and leaves machine-readable perf records
+# (BENCH_engine.json, BENCH_chase.json) so successive PRs accumulate a
+# throughput trajectory.
 #
-#   bench/run_benchmarks.sh [build-dir] [output.json]
+#   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json]
 #
-# The build dir must already contain bench/bench_batch_engine (configure
-# with -DTDLIB_BUILD_BENCHMARKS=ON, the default, and build).
+# The build dir must already contain bench/bench_batch_engine and
+# bench/bench_chase (configure with -DTDLIB_BUILD_BENCHMARKS=ON, the
+# default, and build).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_engine.json}"
-BIN="$BUILD_DIR/bench/bench_batch_engine"
+ENGINE_OUT="${2:-BENCH_engine.json}"
+CHASE_OUT="${3:-BENCH_chase.json}"
 
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not found; build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+run_bench() {
+  local bin="$1" out="$2"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found; build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  "$bin" \
+    --benchmark_format=json \
+    --benchmark_repetitions=1 \
+    --benchmark_min_warmup_time=0.2 \
+    > "$out"
+  echo "wrote $out"
+}
 
-"$BIN" \
-  --benchmark_format=json \
-  --benchmark_repetitions=1 \
-  --benchmark_min_warmup_time=0.2 \
-  > "$OUT"
+run_bench "$BUILD_DIR/bench/bench_batch_engine" "$ENGINE_OUT"
+run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_OUT"
 
-echo "wrote $OUT"
 # Console recap of the headline series.
-python3 - "$OUT" <<'EOF' 2>/dev/null || true
+python3 - "$ENGINE_OUT" "$CHASE_OUT" <<'EOF' 2>/dev/null || true
 import json, sys
+
 data = json.load(open(sys.argv[1]))
 for b in data.get("benchmarks", []):
     jps = b.get("jobs_per_sec")
@@ -35,4 +43,24 @@ for b in data.get("benchmarks", []):
         ident = b.get("identical_to_serial")
         suffix = "" if ident is None else f"  identical_to_serial={int(ident)}"
         print(f"{b['name']:<55} {jps:10.1f} jobs/s{suffix}")
+
+# Chase recap: pair each delta series with its naive twin (same family and
+# same non-mode counters) and report the hom-search node reduction.
+chase = json.load(open(sys.argv[2]))
+by_key = {}
+for b in chase.get("benchmarks", []):
+    if "hom_nodes" not in b:
+        continue
+    key = tuple(sorted((k, v) for k, v in b.items()
+                       if k in ("jobs", "fire_cap", "seed_tuples", "num_deps",
+                                "arity", "path_length")))
+    family = b["name"].split("/")[0]
+    by_key.setdefault((family, key), {})[int(b.get("use_delta", 0))] = b
+for (family, key), modes in sorted(by_key.items()):
+    if 0 in modes and 1 in modes:
+        n, d = modes[0]["hom_nodes"], modes[1]["hom_nodes"]
+        ratio = n / d if d else float("inf")
+        extras = " ".join(f"{k}={int(v)}" for k, v in key)
+        print(f"{family:<34} {extras:<28} nodes {int(n):>12} -> {int(d):>12}"
+              f"  ({ratio:4.1f}x)")
 EOF

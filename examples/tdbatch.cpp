@@ -20,6 +20,9 @@
 //   --chase-steps=N   chase budget per round (default 2000, same reason)
 //   --max-tuples=N    finite-counterexample size bound (default 3)
 //   --deadline=S      global wall-clock budget in seconds (default none)
+//   --naive-chase     disable delta-driven matching (ablation baseline;
+//                     verdicts are identical, the chase just re-matches
+//                     the whole instance every pass)
 //   --stop-on-refutation   cancel the batch at the first refuted job
 //   --serial          run on the calling thread (reference mode)
 //   --csv=PATH        also write per-job rows as CSV
@@ -40,8 +43,9 @@ int Usage() {
   std::cerr << "usage: tdbatch [--workload=reduction-sweep|random] [--size=N]\n"
                "               [--seed=N] [--threads=N] [--rounds=N]\n"
                "               [--chase-steps=N] [--max-tuples=N]\n"
-               "               [--deadline=S] [--stop-on-refutation]\n"
-               "               [--serial] [--csv=PATH] [file.td ...]\n";
+               "               [--deadline=S] [--naive-chase]\n"
+               "               [--stop-on-refutation] [--serial]\n"
+               "               [--csv=PATH] [file.td ...]\n";
   return 2;
 }
 
@@ -75,6 +79,8 @@ int main(int argc, char** argv) {
             std::stoi(arg.substr(13));
       } else if (StartsWith(arg, "--deadline=")) {
         batch.deadline_seconds = std::stod(arg.substr(11));
+      } else if (arg == "--naive-chase") {
+        workload.solver.base_chase.use_delta = false;
       } else if (arg == "--stop-on-refutation") {
         batch.stop_on_first_refutation = true;
       } else if (arg == "--serial") {

@@ -1,25 +1,23 @@
 #include "chase/chase.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "core/satisfaction.h"
 #include "util/timer.h"
 
 namespace tdlib {
 namespace {
 
 // Returns true if `h` (a body match for dep) extends to dep's head in
-// `instance`; accumulates search nodes into *nodes.
+// `instance`; accumulates search nodes into *nodes. Head-witness searches
+// always run against the full instance — the delta restriction applies only
+// to body enumeration.
 bool HeadWitnessed(const Dependency& dep, const Instance& instance,
                    const Valuation& h, const HomSearchOptions& options,
                    std::uint64_t* nodes, bool* budget_hit) {
   HomomorphismSearch head_search(dep.head(), instance, options);
-  Valuation initial = Valuation::For(dep.head());
-  for (int attr = 0; attr < dep.schema().arity(); ++attr) {
-    for (int v = 0; v < dep.head().NumVars(attr); ++v) {
-      if (dep.IsUniversal(attr, v)) initial.Set(attr, v, h.Get(attr, v));
-    }
-  }
-  head_search.SetInitial(initial);
+  head_search.SetInitial(HeadSeedValuation(dep, h));
   HomSearchStatus status = head_search.FindAny(nullptr);
   *nodes += head_search.nodes_explored();
   if (status == HomSearchStatus::kBudget) *budget_hit = true;
@@ -56,6 +54,17 @@ std::vector<int> FireStep(const Dependency& dep, Instance* instance,
   return new_ids;
 }
 
+// One collected applicable step. `row_ids` is the body image — the tuple id
+// each body row maps to under `match`, in tableau row order. It is the
+// canonical sort key that makes the fire order independent of how matches
+// were enumerated (full scan or semi-naive partition), which is what keeps
+// naive and delta runs byte-identical.
+struct PendingStep {
+  int dep_index;
+  Valuation match;
+  std::vector<int> row_ids;
+};
+
 }  // namespace
 
 bool HasApplicableStep(const Dependency& dep, const Instance& instance,
@@ -79,7 +88,17 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   ChaseResult result;
   Deadline deadline(config.deadline_seconds);
   HomSearchOptions hom_options = config.HomOptions();
+  // Every search below — body enumeration and head sub-searches alike —
+  // shares the run's deadline, so even one huge homomorphism search is cut
+  // off close to the wall-clock budget.
+  hom_options.deadline = &deadline;
   bool budget_hit = false;
+
+  // When the deadline and the node budget trip together, the wall clock is
+  // the binding constraint; report it.
+  auto limit_status = [&] {
+    return deadline.Expired() ? ChaseStatus::kTimeout : ChaseStatus::kHomBudget;
+  };
 
   if (goal && goal(*instance)) {
     result.status = ChaseStatus::kGoal;
@@ -96,18 +115,52 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   std::uint64_t matches_seen = 0;
   bool timed_out = false;
 
+  // Tuples with id >= delta_begin are "new" since the previous matching
+  // phase. 0 on the first pass, so pass 1 matches the whole seed instance
+  // in either mode.
+  std::size_t delta_begin = 0;
+
+  // Steps collected but not fired under max_fires_per_pass (delta mode
+  // only; the naive full re-match re-discovers them instead). Every entry
+  // touches a tuple that is old by now, so the delta enumeration below
+  // would never see it again.
+  std::vector<PendingStep> carried;
+
   while (true) {
     ++result.passes;
+    std::size_t pass_start = instance->NumTuples();
     // Collect applicable steps against the pass-start instance. The
     // valuations stay valid as tuples are only ever added.
-    std::vector<std::pair<int, Valuation>> pending;
+    std::vector<PendingStep> pending;
+    // Re-filter the carry-overs first: a fire since they were collected may
+    // have witnessed them (the naive scan drops those the same way).
+    for (PendingStep& step : carried) {
+      const Dependency& dep = deps.items[step.dep_index];
+      if (!HeadWitnessed(dep, *instance, step.match, hom_options,
+                         &result.hom_nodes, &budget_hit)) {
+        pending.push_back(std::move(step));
+      }
+      if (budget_hit) {
+        result.status = limit_status();
+        return result;
+      }
+      if (++matches_seen % kDeadlineCheckInterval == 0 && deadline.Expired()) {
+        result.status = ChaseStatus::kTimeout;
+        return result;
+      }
+    }
+    carried.clear();
     for (std::size_t di = 0; di < deps.items.size(); ++di) {
       const Dependency& dep = deps.items[di];
-      HomomorphismSearch body_search(dep.body(), *instance, hom_options);
-      HomSearchStatus status = body_search.ForEach([&](const Valuation& h) {
+      // `search` is the enumeration currently driving the callback; its
+      // row_tuples() is the match's body image, already computed by the
+      // backtracker — no per-row FindTuple on the hot path.
+      HomomorphismSearch* search = nullptr;
+      auto collect = [&](const Valuation& h) {
         if (!HeadWitnessed(dep, *instance, h, hom_options, &result.hom_nodes,
                            &budget_hit)) {
-          pending.emplace_back(static_cast<int>(di), h);
+          pending.push_back(
+              PendingStep{static_cast<int>(di), h, search->row_tuples()});
         }
         if (budget_hit) return false;
         if (++matches_seen % kDeadlineCheckInterval == 0 &&
@@ -116,39 +169,117 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
           return false;
         }
         return true;
-      });
-      result.hom_nodes += body_search.nodes_explored();
-      if (status == HomSearchStatus::kBudget) budget_hit = true;
-      if (budget_hit) {
-        result.status = ChaseStatus::kHomBudget;
+      };
+      const std::size_t num_tuples = instance->NumTuples();
+      const bool nothing_new = config.use_delta && delta_begin >= num_tuples;
+      // The partition pays one restricted search per body row; when the
+      // delta is most of the instance (a pumping pass), those members cost
+      // more together than the full scan they replace. Use the partition
+      // only while the delta is the minority — the canonical fire order
+      // keeps results identical whichever matcher ran.
+      const bool partition = config.use_delta && !nothing_new &&
+                             delta_begin > 0 &&
+                             (num_tuples - delta_begin) * 2 <= num_tuples;
+      if (nothing_new) {
+        // Every match was enumerated in an earlier pass and is witnessed.
+      } else if (!partition) {
+        HomSearchOptions body_options = hom_options;
+        if (config.use_delta && delta_begin > 0) {
+          // Majority delta: one pruned scan ("any row hits the delta") —
+          // never more nodes than naive, and the all-old matches' head
+          // checks are still skipped.
+          body_options.delta_begin = static_cast<int>(delta_begin);
+          body_options.delta_seed_row = -1;
+        }
+        HomomorphismSearch body_search(dep.body(), *instance, body_options);
+        search = &body_search;
+        if (body_search.ForEach(collect) == HomSearchStatus::kBudget) {
+          budget_hit = true;
+        }
+        result.hom_nodes += body_search.nodes_explored();
+      } else {
+        // Union of the semi-naive partition: seed row s in the delta, rows
+        // before s in the old region, rows after s unrestricted. Every
+        // delta-touching match is enumerated exactly once; all-old matches
+        // — already enumerated (and fired or witnessed) in the pass that
+        // saw their newest tuple — are skipped entirely.
+        for (int s = 0; s < dep.body().num_rows(); ++s) {
+          HomSearchOptions body_options = hom_options;
+          body_options.delta_begin = static_cast<int>(delta_begin);
+          body_options.delta_seed_row = s;
+          HomomorphismSearch body_search(dep.body(), *instance, body_options);
+          search = &body_search;
+          if (body_search.ForEach(collect) == HomSearchStatus::kBudget) {
+            budget_hit = true;
+          }
+          result.hom_nodes += body_search.nodes_explored();
+          if (budget_hit || timed_out) break;
+        }
+      }
+      if (timed_out) {
+        result.status = ChaseStatus::kTimeout;
         return result;
       }
-      if (timed_out || deadline.Expired()) {
+      if (budget_hit) {
+        result.status = limit_status();
+        return result;
+      }
+      if (deadline.Expired()) {
         result.status = ChaseStatus::kTimeout;
         return result;
       }
     }
+    // Every dependency has now been matched against the first `pass_start`
+    // tuples; the next pass only needs to see what the fires below add.
+    delta_begin = pass_start;
 
     if (pending.empty()) {
       result.status = ChaseStatus::kFixpoint;
       return result;
     }
 
-    for (auto& [di, h] : pending) {
-      const Dependency& dep = deps.items[di];
+    // Fire in canonical (dependency, body image) order. Decoupling the fire
+    // order from enumeration order is what makes the result — including the
+    // ids of invented nulls — a function of the *set* of applicable steps,
+    // identical across matching strategies.
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingStep& a, const PendingStep& b) {
+                if (a.dep_index != b.dep_index) {
+                  return a.dep_index < b.dep_index;
+                }
+                return a.row_ids < b.row_ids;
+              });
+
+    std::uint64_t fired_this_pass = 0;
+    for (std::size_t pi = 0; pi < pending.size(); ++pi) {
+      if (config.max_fires_per_pass > 0 &&
+          fired_this_pass >= config.max_fires_per_pass) {
+        // Burst cap: the rest of the pending set waits for the next pass.
+        // The naive full re-match will re-discover it; the delta matcher
+        // would not (every entry is old by then), so stash it.
+        if (config.use_delta) {
+          carried.assign(std::make_move_iterator(pending.begin() + pi),
+                         std::make_move_iterator(pending.end()));
+        }
+        break;
+      }
+      PendingStep& step = pending[pi];
+      const Dependency& dep = deps.items[step.dep_index];
       // An earlier fire in this pass may have witnessed this head already.
-      if (HeadWitnessed(dep, *instance, h, hom_options, &result.hom_nodes,
-                        &budget_hit)) {
+      if (HeadWitnessed(dep, *instance, step.match, hom_options,
+                        &result.hom_nodes, &budget_hit)) {
         continue;
       }
       if (budget_hit) {
-        result.status = ChaseStatus::kHomBudget;
+        result.status = limit_status();
         return result;
       }
-      std::vector<int> new_ids = FireStep(dep, instance, h);
+      std::vector<int> new_ids = FireStep(dep, instance, step.match);
       ++result.steps;
+      ++fired_this_pass;
       if (config.record_trace) {
-        result.trace.push_back(ChaseStep{di, h, std::move(new_ids)});
+        result.trace.push_back(
+            ChaseStep{step.dep_index, step.match, std::move(new_ids)});
       }
       if (config.eager_goal_check && goal && goal(*instance)) {
         result.status = ChaseStatus::kGoal;

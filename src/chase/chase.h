@@ -46,6 +46,24 @@ struct ChaseConfig {
   /// Check the goal after every fire (true) or only after every pass.
   bool eager_goal_check = true;
 
+  /// Delta-driven (semi-naive) matching: each pass re-matches a dependency
+  /// body only against valuations that touch at least one tuple inserted
+  /// since the previous pass, plus the carried-over steps earlier passes
+  /// collected but did not fire. Produces byte-identical instances, traces
+  /// and statuses to the naive mode while doing asymptotically less
+  /// re-matching per pass. Off = naive re-matching of the whole instance
+  /// every pass (the ablation baseline).
+  bool use_delta = true;
+
+  /// Fire at most this many steps per pass (0 = all applicable steps).
+  /// Bounding the burst keeps per-pass latency and instance growth smooth —
+  /// an unbounded pass can fire tens of thousands of steps on a pumping
+  /// instance — and it is the regime where delta matching pays most: with
+  /// small per-pass deltas, naive full re-matching dominates the run.
+  /// Unfired steps are carried to the next pass (delta mode) or re-found by
+  /// the full re-match (naive mode); both modes stay byte-identical.
+  std::uint64_t max_fires_per_pass = 0;
+
   HomSearchOptions HomOptions() const {
     HomSearchOptions o;
     o.max_nodes = hom_max_nodes;
@@ -92,6 +110,26 @@ using ChaseGoal = std::function<bool(const Instance&)>;
 /// re-verifies applicability immediately before firing (an earlier fire in
 /// the same pass may have satisfied the head), then fires. Fixpoint is a
 /// pass with zero fires.
+///
+/// Applicable steps collected in a pass are fired in canonical
+/// (dependency index, body image) order — the body image being the tuple
+/// ids the body rows map to — so the fire order is a function of the *set*
+/// of applicable steps, not of how the matcher enumerated them.
+///
+/// With ChaseConfig::use_delta (the default), pass k only enumerates body
+/// matches touching a tuple inserted during pass k-1 (the semi-naive
+/// partition: seed row in the delta, earlier rows old, later rows free).
+/// This is sound and complete for the pass discipline above: a match wholly
+/// inside the pass-(k-1) instance was already enumerated then, and was
+/// either fired (its head rows are now present) or skipped as witnessed —
+/// both leave it head-witnessed forever, since tuples are only ever added.
+/// Identical pending sets + canonical fire order make the fired steps — and
+/// hence tuple ids, labeled nulls, traces and the terminal instance —
+/// byte-identical to the naive mode. The guarantee is scoped to runs where
+/// no per-search node budget or deadline trips: the two modes split the
+/// matching work into different searches, so a binding hom_max_nodes or
+/// deadline_seconds can stop them at different points (statuses may then
+/// differ, e.g. kHomBudget in one mode only).
 ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                      const ChaseConfig& config, const ChaseGoal& goal = {});
 

@@ -1,9 +1,9 @@
 #include "chase/core_computation.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <vector>
 
 #include "logic/tableau.h"
-#include "util/hash.h"
 
 namespace tdlib {
 namespace {
@@ -17,7 +17,10 @@ Tableau AsTableau(const Instance& instance) {
   for (int attr = 0; attr < instance.schema().arity(); ++attr) {
     t.EnsureVariables(attr, instance.DomainSize(attr));
   }
-  for (const Tuple& tuple : instance.tuples()) t.AddRow(tuple);
+  for (std::size_t i = 0; i < instance.NumTuples(); ++i) {
+    TupleRef tuple = instance.tuple(static_cast<int>(i));
+    t.AddRow(Row(tuple.begin(), tuple.end()));
+  }
   return t;
 }
 
@@ -31,18 +34,22 @@ Valuation PinConstants(const Instance& source, const Tableau& tableau) {
   return v;
 }
 
-// Builds the sub-instance induced by a tuple-id set, preserving domains.
-Instance SubInstance(const Instance& instance,
-                     const std::unordered_set<Tuple, VectorHash>& keep) {
+// Builds the sub-instance induced by a tuple-id keep set, preserving domains.
+Instance SubInstance(const Instance& instance, const std::vector<bool>& keep) {
   Instance out(instance.schema_ptr());
+  int max_domain = 0;
+  for (int attr = 0; attr < instance.schema().arity(); ++attr) {
+    max_domain = std::max(max_domain, instance.DomainSize(attr));
+  }
+  out.Reserve(instance.NumTuples(), static_cast<std::size_t>(max_domain));
   for (int attr = 0; attr < instance.schema().arity(); ++attr) {
     for (int value = 0; value < instance.DomainSize(attr); ++value) {
       out.AddValue(attr, instance.ValueName(attr, value),
                    instance.IsLabeledNull(attr, value));
     }
   }
-  for (const Tuple& t : instance.tuples()) {
-    if (keep.count(t) > 0) out.AddTuple(t);
+  for (std::size_t id = 0; id < instance.NumTuples(); ++id) {
+    if (keep[id]) out.AddTuple(instance.tuple(static_cast<int>(id)));
   }
   return out;
 }
@@ -60,18 +67,26 @@ CoreResult ComputeCore(const Instance& instance, const CoreConfig& config) {
     HomomorphismSearch search(tableau, current, options);
     search.SetInitial(PinConstants(current, tableau));
 
-    std::unordered_set<Tuple, VectorHash> image;
+    // The endomorphism image as tuple ids: every mapped tuple is a tuple of
+    // `current` (h maps rows of current into current), so FindTuple >= 0.
+    std::vector<bool> in_image;
     bool found_proper = false;
+    Tuple mapped(current.schema().arity());
     HomSearchStatus status = search.ForEach([&](const Valuation& h) {
-      image.clear();
-      for (const Tuple& t : current.tuples()) {
-        Tuple mapped(t.size());
+      in_image.assign(current.NumTuples(), false);
+      std::size_t image_size = 0;
+      for (std::size_t i = 0; i < current.NumTuples(); ++i) {
+        TupleRef t = current.tuple(static_cast<int>(i));
         for (int attr = 0; attr < current.schema().arity(); ++attr) {
           mapped[attr] = h.Get(attr, t[attr]);
         }
-        image.insert(std::move(mapped));
+        int id = current.FindTuple(mapped);
+        if (id >= 0 && !in_image[id]) {
+          in_image[id] = true;
+          ++image_size;
+        }
       }
-      if (image.size() < current.NumTuples()) {
+      if (image_size < current.NumTuples()) {
         found_proper = true;
         return false;  // retract through this endomorphism
       }
@@ -84,7 +99,7 @@ CoreResult ComputeCore(const Instance& instance, const CoreConfig& config) {
     if (!found_proper) return result;  // fixpoint: this is the core
 
     int before = static_cast<int>(result.core.NumTuples());
-    result.core = SubInstance(current, image);
+    result.core = SubInstance(current, in_image);
     result.tuples_removed += before - static_cast<int>(result.core.NumTuples());
     ++result.rounds;
   }

@@ -18,6 +18,8 @@ std::optional<Instance> BuildCandidate(
     const SchemaPtr& schema, int num_tuples,
     const std::vector<std::vector<int>>& partitions) {
   Instance instance(schema);
+  instance.Reserve(static_cast<std::size_t>(num_tuples),
+                   static_cast<std::size_t>(num_tuples));
   for (int attr = 0; attr < schema->arity(); ++attr) {
     int blocks = *std::max_element(partitions[attr].begin(),
                                    partitions[attr].end()) + 1;

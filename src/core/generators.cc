@@ -39,6 +39,8 @@ Dependency RandomDependency(Rng* rng, const TdGeneratorOptions& options,
 Instance RandomInstance(Rng* rng, const SchemaPtr& schema, int domain,
                         int tuples) {
   Instance inst(schema);
+  inst.Reserve(static_cast<std::size_t>(tuples),
+               static_cast<std::size_t>(domain));
   for (int attr = 0; attr < schema->arity(); ++attr) {
     for (int v = 0; v < domain; ++v) inst.AddValue(attr);
   }

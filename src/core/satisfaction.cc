@@ -4,6 +4,19 @@
 
 namespace tdlib {
 
+Valuation HeadSeedValuation(const Dependency& dep,
+                            const Valuation& body_match) {
+  Valuation initial = Valuation::For(dep.head());
+  for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+    for (int v = 0; v < dep.head().NumVars(attr); ++v) {
+      if (dep.IsUniversal(attr, v)) {
+        initial.Set(attr, v, body_match.Get(attr, v));
+      }
+    }
+  }
+  return initial;
+}
+
 SatisfactionResult CheckSatisfaction(const Dependency& dep,
                                      const Instance& instance,
                                      HomSearchOptions options) {
@@ -16,13 +29,7 @@ SatisfactionResult CheckSatisfaction(const Dependency& dep,
     // Try to extend h to the head: universal variables keep their binding,
     // existential variables are free.
     HomomorphismSearch head_search(dep.head(), instance, options);
-    Valuation initial = Valuation::For(dep.head());
-    for (int attr = 0; attr < dep.schema().arity(); ++attr) {
-      for (int v = 0; v < dep.head().NumVars(attr); ++v) {
-        if (dep.IsUniversal(attr, v)) initial.Set(attr, v, h.Get(attr, v));
-      }
-    }
-    head_search.SetInitial(initial);
+    head_search.SetInitial(HeadSeedValuation(dep, h));
     HomSearchStatus head_status = head_search.FindAny(nullptr);
     result.nodes += head_search.nodes_explored();
     if (head_status == HomSearchStatus::kBudget) {

@@ -35,6 +35,12 @@ struct SatisfactionResult {
   std::uint64_t nodes = 0;
 };
 
+/// The standard seed for a head-witness search: a valuation over
+/// `dep.head()`'s variable space with every universal variable bound to its
+/// value in `body_match` and every existential variable left free. Shared by
+/// satisfaction checking and the chase's applicability tests.
+Valuation HeadSeedValuation(const Dependency& dep, const Valuation& body_match);
+
 /// Checks whether `instance` satisfies `dep`.
 SatisfactionResult CheckSatisfaction(const Dependency& dep,
                                      const Instance& instance,

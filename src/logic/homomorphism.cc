@@ -21,7 +21,8 @@ HomomorphismSearch::HomomorphismSearch(const Tableau& source,
       target_(target),
       options_(options),
       valuation_(Valuation::For(source)),
-      row_done_(source.num_rows(), false) {}
+      row_done_(source.num_rows(), false),
+      row_tuples_(source.num_rows(), -1) {}
 
 void HomomorphismSearch::SetInitial(const Valuation& initial) {
   valuation_ = initial;
@@ -40,11 +41,24 @@ HomSearchStatus HomomorphismSearch::ForEach(
     const std::function<bool(const Valuation&)>& visit) {
   nodes_ = 0;
   budget_hit_ = false;
+  deadline_hit_ = false;
+  delta_rows_bound_ = 0;
   std::fill(row_done_.begin(), row_done_.end(), false);
   bool stopped = false;
   Backtrack(0, visit, &stopped);
   if (stopped) return HomSearchStatus::kFound;
   return budget_hit_ ? HomSearchStatus::kBudget : HomSearchStatus::kExhausted;
+}
+
+std::pair<int, int> HomomorphismSearch::RowIdBounds(int row_idx) const {
+  if (options_.delta_begin < 0 || options_.delta_seed_row < 0) {
+    return {0, std::numeric_limits<int>::max()};
+  }
+  if (row_idx < options_.delta_seed_row) return {0, options_.delta_begin};
+  if (row_idx == options_.delta_seed_row) {
+    return {options_.delta_begin, std::numeric_limits<int>::max()};
+  }
+  return {0, std::numeric_limits<int>::max()};
 }
 
 int HomomorphismSearch::PickNextRow() const {
@@ -56,12 +70,19 @@ int HomomorphismSearch::PickNextRow() const {
   }
   // Most-constrained-first: prefer the row whose smallest bound-position
   // candidate list is shortest; rows with no bound position score the whole
-  // instance size.
+  // instance size. A delta-restricted id range caps the score too, so the
+  // seed row (candidates = the delta, usually tiny) is matched early.
   int best = -1;
   std::size_t best_score = std::numeric_limits<std::size_t>::max();
   for (int i = 0; i < source_.num_rows(); ++i) {
     if (row_done_[i]) continue;
-    std::size_t score = target_.NumTuples();
+    auto [min_id, max_id] = RowIdBounds(i);
+    std::size_t range = 0;
+    int capped = static_cast<int>(
+        std::min<std::size_t>(target_.NumTuples(),
+                              static_cast<std::size_t>(max_id)));
+    if (capped > min_id) range = static_cast<std::size_t>(capped - min_id);
+    std::size_t score = range;
     const Row& r = source_.row(i);
     for (int attr = 0; attr < source_.schema().arity(); ++attr) {
       int bound = valuation_.Get(attr, r[attr]);
@@ -77,11 +98,14 @@ int HomomorphismSearch::PickNextRow() const {
   return best;
 }
 
-bool HomomorphismSearch::RowCandidates(int row_idx,
-                                       std::vector<int>* candidates) const {
+const std::vector<int>* HomomorphismSearch::RowCandidates(
+    int row_idx, int min_id, std::vector<int>* storage,
+    std::size_t* first) const {
   const Row& r = source_.row(row_idx);
+  *first = 0;
   if (options_.use_index) {
-    // Use the shortest index list among bound positions.
+    // Use the shortest index list among bound positions. Lists are
+    // ascending, so a delta cutoff is one binary search.
     int best_attr = -1;
     std::size_t best_size = std::numeric_limits<std::size_t>::max();
     for (int attr = 0; attr < source_.schema().arity(); ++attr) {
@@ -92,18 +116,25 @@ bool HomomorphismSearch::RowCandidates(int row_idx,
       }
     }
     if (best_attr >= 0) {
-      *candidates = target_.TuplesWith(best_attr, valuation_.Get(best_attr, r[best_attr]));
-      return true;
+      const std::vector<int>& ids =
+          target_.TuplesWith(best_attr, valuation_.Get(best_attr, r[best_attr]));
+      if (min_id > 0) {
+        *first = static_cast<std::size_t>(
+            std::lower_bound(ids.begin(), ids.end(), min_id) - ids.begin());
+      }
+      return &ids;
     }
   }
-  candidates->resize(target_.NumTuples());
-  for (std::size_t i = 0; i < target_.NumTuples(); ++i) {
-    (*candidates)[i] = static_cast<int>(i);
+  storage->clear();
+  storage->reserve(target_.NumTuples());
+  for (std::size_t i = static_cast<std::size_t>(min_id);
+       i < target_.NumTuples(); ++i) {
+    storage->push_back(static_cast<int>(i));
   }
-  return true;
+  return storage;
 }
 
-bool HomomorphismSearch::TryBindRow(int row_idx, const Tuple& tuple,
+bool HomomorphismSearch::TryBindRow(int row_idx, TupleRef tuple,
                                     std::vector<std::pair<int, int>>* undo) {
   const Row& r = source_.row(row_idx);
   for (int attr = 0; attr < source_.schema().arity(); ++attr) {
@@ -135,6 +166,15 @@ bool HomomorphismSearch::Backtrack(
     budget_hit_ = true;
     return false;
   }
+  // Amortized wall-clock check: a single pumped search can run for seconds,
+  // so waiting for the caller to look at the clock between searches lets a
+  // deadline overshoot arbitrarily.
+  if (options_.deadline != nullptr && (nodes_ & 0x1FF) == 0x1FF &&
+      options_.deadline->Expired()) {
+    budget_hit_ = true;
+    deadline_hit_ = true;
+    return false;
+  }
   ++nodes_;
   if (depth == source_.num_rows()) {
     // All rows matched. Complete the valuation on variables that appear in
@@ -147,14 +187,33 @@ bool HomomorphismSearch::Backtrack(
     return true;
   }
   int row_idx = PickNextRow();
-  std::vector<int> candidates;
-  RowCandidates(row_idx, &candidates);
+  // The semi-naive partition as per-row id windows: candidate lists are
+  // ascending, so the window is one lower_bound plus an early break.
+  auto [min_id, max_id] = RowIdBounds(row_idx);
+  const bool any_row_mode =
+      options_.delta_begin >= 0 && options_.delta_seed_row < 0;
+  if (any_row_mode && delta_rows_bound_ == 0 &&
+      depth == source_.num_rows() - 1) {
+    // "Any row" mode: if no row has hit the delta yet, only a delta tuple
+    // on the last undone row can complete a delta-touching match.
+    min_id = std::max(min_id, options_.delta_begin);
+  }
+  std::vector<int> storage;
+  std::size_t first = 0;
+  const std::vector<int>* candidates =
+      RowCandidates(row_idx, min_id, &storage, &first);
   row_done_[row_idx] = true;
   std::vector<std::pair<int, int>> undo;
-  for (int tuple_id : candidates) {
+  for (std::size_t ci = first; ci < candidates->size(); ++ci) {
+    int tuple_id = (*candidates)[ci];
+    if (tuple_id >= max_id) break;
     undo.clear();
     if (!TryBindRow(row_idx, target_.tuple(tuple_id), &undo)) continue;
+    row_tuples_[row_idx] = tuple_id;
+    bool in_delta = any_row_mode && tuple_id >= options_.delta_begin;
+    delta_rows_bound_ += in_delta ? 1 : 0;
     bool keep_going = Backtrack(depth + 1, visit, stopped);
+    delta_rows_bound_ -= in_delta ? 1 : 0;
     UndoBindings(undo);
     if (!keep_going && (*stopped || budget_hit_)) {
       row_done_[row_idx] = false;

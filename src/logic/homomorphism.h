@@ -7,6 +7,14 @@
 // homomorphism problems. The search is backtracking with a most-constrained-
 // row-first heuristic and candidate lists drawn from the instance's inverted
 // index; an optional node budget keeps worst-case (NP-hard) searches bounded.
+//
+// Delta restriction (semi-naive matching): a search can be confined to one
+// member of the standard semi-naive partition of the delta-touching matches
+// — seed row in the delta, earlier rows in the old region, later rows
+// unrestricted — so that re-matching after an insertion batch costs time
+// proportional to the batch, not the instance. The chase unions the
+// partition members and fires in a canonical order (chase/chase.h), which
+// is how delta mode reproduces the naive chase byte for byte.
 #ifndef TDLIB_LOGIC_HOMOMORPHISM_H_
 #define TDLIB_LOGIC_HOMOMORPHISM_H_
 
@@ -17,6 +25,7 @@
 
 #include "logic/instance.h"
 #include "logic/tableau.h"
+#include "util/timer.h"
 
 namespace tdlib {
 
@@ -45,13 +54,38 @@ struct HomSearchOptions {
   /// Disable the most-constrained-row-first dynamic ordering (rows are then
   /// matched in tableau order).
   bool use_dynamic_order = true;
+
+  /// Delta restriction: when delta_begin >= 0 and delta_seed_row >= 0,
+  /// enumerate the `delta_seed_row` member of the semi-naive partition —
+  /// row delta_seed_row binds only tuples with id >= delta_begin ("the
+  /// delta"), every row before it (in tableau row order) binds only ids
+  /// < delta_begin ("old"), rows after it are unrestricted. The union over
+  /// delta_seed_row = 0..num_rows-1 visits every delta-touching match
+  /// exactly once; each member's cost scales with the delta, not the
+  /// instance.
+  ///
+  /// delta_seed_row = -1 (the default) is the "any row" mode: one search
+  /// visiting every delta-touching match (all-old matches are pruned at the
+  /// last undone row). Never explores more nodes than an unrestricted
+  /// search, and — unlike a single partition member — complete on its own,
+  /// which is why it is the default when only delta_begin is set.
+  ///
+  /// delta_begin < 0 disables the restriction entirely.
+  int delta_begin = -1;
+  int delta_seed_row = -1;
+
+  /// Optional wall-clock deadline, checked every few hundred nodes inside
+  /// Backtrack so one huge search cannot overshoot a caller's budget. On
+  /// expiry the search reports kBudget (the space was not exhausted) and
+  /// deadline_hit() is set; the borrowed Deadline must outlive the search.
+  const Deadline* deadline = nullptr;
 };
 
 /// Outcome of a search that may exhaust its budget.
 enum class HomSearchStatus {
   kFound,      ///< a homomorphism exists (and was produced)
   kExhausted,  ///< the full space was searched; no homomorphism exists
-  kBudget,     ///< the node budget ran out before the space was exhausted
+  kBudget,     ///< the node/deadline budget ran out before exhaustion
 };
 
 /// Backtracking search for homomorphisms `source -> target`.
@@ -71,18 +105,33 @@ class HomomorphismSearch {
 
   /// Enumerates homomorphisms; `visit` returns false to stop early. Every
   /// total extension of the initial valuation that maps all rows into the
-  /// target is visited exactly once.
+  /// target (and touches the delta, if one is set) is visited exactly once.
   HomSearchStatus ForEach(const std::function<bool(const Valuation&)>& visit);
 
   /// Search-tree nodes explored by the last call.
   std::uint64_t nodes_explored() const { return nodes_; }
 
+  /// The tuple id each source row is bound to, in tableau row order — the
+  /// "body image" of the match being visited. Valid only inside a ForEach/
+  /// FindAny visit callback (entries are stale outside one).
+  const std::vector<int>& row_tuples() const { return row_tuples_; }
+
+  /// True iff the last call stopped because options.deadline expired
+  /// (reported as kBudget; this disambiguates for timeout accounting).
+  bool deadline_hit() const { return deadline_hit_; }
+
  private:
   bool Backtrack(int depth, const std::function<bool(const Valuation&)>& visit,
                  bool* stopped);
   int PickNextRow() const;
-  bool RowCandidates(int row_idx, std::vector<int>* candidates) const;
-  bool TryBindRow(int row_idx, const Tuple& tuple, std::vector<std::pair<int, int>>* undo);
+  /// Tuple ids row `row_idx` may bind: [first, second). Encodes the delta
+  /// partition; {0, INT_MAX} when unrestricted.
+  std::pair<int, int> RowIdBounds(int row_idx) const;
+  const std::vector<int>* RowCandidates(int row_idx, int min_id,
+                                        std::vector<int>* storage,
+                                        std::size_t* first) const;
+  bool TryBindRow(int row_idx, TupleRef tuple,
+                  std::vector<std::pair<int, int>>* undo);
   void UndoBindings(const std::vector<std::pair<int, int>>& undo);
 
   const Tableau& source_;
@@ -90,8 +139,11 @@ class HomomorphismSearch {
   HomSearchOptions options_;
   Valuation valuation_;
   std::vector<bool> row_done_;
+  std::vector<int> row_tuples_;
+  int delta_rows_bound_ = 0;  ///< "any row" mode: rows on delta tuples now
   std::uint64_t nodes_ = 0;
   bool budget_hit_ = false;
+  bool deadline_hit_ = false;
 };
 
 /// Convenience wrapper: is there any homomorphism source -> target?

@@ -10,6 +10,7 @@ Instance::Instance(SchemaPtr schema)
     : schema_(std::move(schema)),
       value_names_(schema_->arity()),
       is_null_(schema_->arity()),
+      store_(schema_->arity()),
       index_(schema_->arity()) {}
 
 int Instance::AddValue(int attr, std::string name, bool labeled_null) {
@@ -39,41 +40,31 @@ int Instance::NullCount() const {
   return n;
 }
 
-bool Instance::AddTuple(const Tuple& t) {
-  if (!tuple_set_.insert(t).second) return false;
-  int id = static_cast<int>(tuples_.size());
-  tuples_.push_back(t);
+bool Instance::AddRow(const std::int32_t* row) {
+  auto [id, inserted] = store_.Insert(row);
+  if (!inserted) return false;
+  TupleRef t = store_[static_cast<std::size_t>(id)];
   for (int attr = 0; attr < schema_->arity(); ++attr) {
     index_[attr][t[attr]].push_back(id);
   }
   return true;
 }
 
-bool Instance::Contains(const Tuple& t) const {
-  return tuple_set_.count(t) > 0;
-}
-
-int Instance::FindTuple(const Tuple& t) const {
-  if (!Contains(t)) return -1;
-  // Scan the shortest index list among the tuple's components.
-  int best_attr = 0;
-  for (int attr = 1; attr < schema_->arity(); ++attr) {
-    if (TuplesWith(attr, t[attr]).size() <
-        TuplesWith(best_attr, t[best_attr]).size()) {
-      best_attr = attr;
-    }
+void Instance::Reserve(std::size_t tuples, std::size_t values_per_attr) {
+  store_.Reserve(tuples);
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    value_names_[attr].reserve(values_per_attr);
+    is_null_[attr].reserve(values_per_attr);
+    index_[attr].reserve(values_per_attr);
   }
-  for (int id : TuplesWith(best_attr, t[best_attr])) {
-    if (tuples_[id] == t) return id;
-  }
-  return -1;
 }
 
 std::string Instance::ToString() const {
   std::vector<std::string> headers;
   for (int a = 0; a < schema_->arity(); ++a) headers.push_back(schema_->name(a));
   TablePrinter table(headers);
-  for (const auto& t : tuples_) {
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    TupleRef t = store_[i];
     std::vector<std::string> row;
     for (int a = 0; a < schema_->arity(); ++a) {
       row.push_back(value_names_[a][t[a]]);
@@ -84,26 +75,28 @@ std::string Instance::ToString() const {
 }
 
 std::string Instance::CheckInvariants() const {
-  for (const auto& t : tuples_) {
-    if (static_cast<int>(t.size()) != schema_->arity()) {
-      return "tuple arity mismatch";
-    }
+  std::string store_problem = store_.CheckInvariants();
+  if (!store_problem.empty()) return store_problem;
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    TupleRef t = store_[i];
     for (int a = 0; a < schema_->arity(); ++a) {
       if (t[a] < 0 || t[a] >= DomainSize(a)) return "tuple value out of range";
     }
   }
-  if (tuple_set_.size() != tuples_.size()) return "duplicate tuples";
   for (int a = 0; a < schema_->arity(); ++a) {
     std::size_t indexed = 0;
     for (const auto& ids : index_[a]) {
       indexed += ids.size();
+      int prev = -1;
       for (int id : ids) {
-        if (id < 0 || id >= static_cast<int>(tuples_.size())) {
+        if (id < 0 || id >= static_cast<int>(store_.size())) {
           return "index refers to missing tuple";
         }
+        if (id <= prev) return "index list not ascending";
+        prev = id;
       }
     }
-    if (indexed != tuples_.size()) return "index cardinality mismatch";
+    if (indexed != store_.size()) return "index cardinality mismatch";
   }
   return "";
 }

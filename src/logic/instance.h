@@ -6,28 +6,37 @@
 // is meaningless without its attribute. Values may optionally carry names
 // (for examples and debugging) and a labeled-null flag (for chase-invented
 // values, which matters when reading a chase result as a universal model).
+//
+// Storage: tuples live in a flat TupleStore arena (logic/tuple_store.h);
+// `tuple(id)` hands out TupleRef views into it. Dedup and the inverted index
+// are keyed on arena offsets (tuple ids), never on owning vectors, so the
+// hot chase/matching paths touch one contiguous buffer. TupleRefs are
+// invalidated by AddTuple; ids are stable (tuples are never removed).
 #ifndef TDLIB_LOGIC_INSTANCE_H_
 #define TDLIB_LOGIC_INSTANCE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "logic/schema.h"
-#include "util/hash.h"
+#include "logic/tuple_store.h"
 
 namespace tdlib {
 
-/// A tuple is one domain-value id per attribute, in schema order.
+/// A tuple is one domain-value id per attribute, in schema order. Owning
+/// form, used when building rows; stored tuples are read back as TupleRefs.
 using Tuple = std::vector<int>;
 
 /// A finite set of tuples over a fixed schema, with per-attribute domains.
 ///
 /// Tuples are deduplicated on insertion. An inverted index (attribute,
 /// value) -> tuple ids is maintained incrementally; homomorphism search
-/// relies on it.
+/// relies on it. Index lists are ascending (ids are appended in insertion
+/// order), which the delta-driven chase exploits.
 class Instance {
  public:
   explicit Instance(SchemaPtr schema);
@@ -63,23 +72,46 @@ class Instance {
   // ---- Tuples --------------------------------------------------------------
 
   /// Inserts `t` (one value id per attribute; each must be a valid domain
-  /// id). Returns true if the tuple was new.
-  bool AddTuple(const Tuple& t);
+  /// id). Returns true if the tuple was new. One dedup lookup per call.
+  bool AddTuple(const Tuple& t) {
+    assert(static_cast<int>(t.size()) == schema_->arity());
+    return AddRow(t.data());
+  }
+
+  /// Brace-init convenience: AddTuple({0, 1}).
+  bool AddTuple(std::initializer_list<int> t) {
+    assert(static_cast<int>(t.size()) == schema_->arity());
+    return AddRow(t.begin());
+  }
+
+  /// Inserts a tuple viewed through a TupleRef (possibly into another
+  /// instance's arena, or this one's — self-insertion is safe).
+  bool AddTuple(TupleRef t) {
+    assert(t.arity() == schema_->arity());
+    return AddRow(t.data());
+  }
 
   /// Returns true iff `t` is present.
-  bool Contains(const Tuple& t) const;
+  bool Contains(const Tuple& t) const { return store_.Find(t.data()) >= 0; }
 
   /// Returns the id of tuple `t`, or -1 if absent.
-  int FindTuple(const Tuple& t) const;
+  int FindTuple(const Tuple& t) const { return store_.Find(t.data()); }
 
-  std::size_t NumTuples() const { return tuples_.size(); }
-  const Tuple& tuple(int i) const { return tuples_[i]; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::size_t NumTuples() const { return store_.size(); }
 
-  /// Tuple ids whose `attr` component equals `value`.
+  /// Borrowed view of tuple `i`; invalidated by AddTuple/AddValue growth of
+  /// the arena. Persist ids across mutations, not refs.
+  TupleRef tuple(int i) const { return store_[static_cast<std::size_t>(i)]; }
+
+  /// Tuple ids whose `attr` component equals `value`, ascending.
   const std::vector<int>& TuplesWith(int attr, int value) const {
     return index_[attr][value];
   }
+
+  /// Pre-sizes the tuple arena, dedup table and per-attribute domain
+  /// vectors; cuts rehash/realloc churn when the final shape is known
+  /// (chase seeds, generators, Freeze).
+  void Reserve(std::size_t tuples, std::size_t values_per_attr);
 
   // ---- Debugging -----------------------------------------------------------
 
@@ -91,11 +123,12 @@ class Instance {
   std::string CheckInvariants() const;
 
  private:
+  bool AddRow(const std::int32_t* row);
+
   SchemaPtr schema_;
   std::vector<std::vector<std::string>> value_names_;  // [attr][value]
   std::vector<std::vector<bool>> is_null_;             // [attr][value]
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, VectorHash> tuple_set_;
+  TupleStore store_;                                   // flat tuple arena
   std::vector<std::vector<std::vector<int>>> index_;   // [attr][value] -> ids
 };
 

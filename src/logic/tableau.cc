@@ -1,5 +1,6 @@
 #include "logic/tableau.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
@@ -36,6 +37,11 @@ int Tableau::TotalVars() const {
 
 Instance Tableau::Freeze() const {
   Instance frozen(schema_);
+  int max_vars = 0;
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    max_vars = std::max(max_vars, NumVars(attr));
+  }
+  frozen.Reserve(rows_.size(), static_cast<std::size_t>(max_vars));
   for (int attr = 0; attr < schema_->arity(); ++attr) {
     for (int v = 0; v < NumVars(attr); ++v) {
       frozen.AddValue(attr, var_names_[attr][v]);

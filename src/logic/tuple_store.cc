@@ -1,0 +1,110 @@
+#include "logic/tuple_store.h"
+
+#include "util/hash.h"
+
+namespace tdlib {
+namespace {
+
+constexpr std::size_t kInitialSlots = 16;  // power of two
+
+}  // namespace
+
+TupleStore::TupleStore(int arity)
+    : arity_(arity), slots_(kInitialSlots, 0), slot_mask_(kInitialSlots - 1) {}
+
+std::size_t TupleStore::HashRow(const std::int32_t* row) const {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < arity_; ++i) {
+    HashCombine(&seed, static_cast<std::size_t>(
+                           static_cast<std::uint32_t>(row[i])));
+  }
+  return seed;
+}
+
+bool TupleStore::RowEquals(std::size_t id, const std::int32_t* row) const {
+  const std::int32_t* stored = arena_.data() + id * arity_;
+  for (int i = 0; i < arity_; ++i) {
+    if (stored[i] != row[i]) return false;
+  }
+  return true;
+}
+
+void TupleStore::Grow() { Rehash(slots_.size() * 2); }
+
+void TupleStore::Rehash(std::size_t target) {
+  std::vector<std::int32_t> old = std::move(slots_);
+  slots_.assign(target, 0);
+  slot_mask_ = target - 1;
+  for (std::int32_t entry : old) {
+    if (entry == 0) continue;
+    std::size_t id = static_cast<std::size_t>(entry - 1);
+    std::size_t slot = HashRow(arena_.data() + id * arity_) & slot_mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = entry;
+  }
+}
+
+std::pair<int, bool> TupleStore::Insert(const std::int32_t* row) {
+  // Stage the row first: `row` may point into our own arena, which the
+  // append below can reallocate.
+  scratch_.assign(row, row + arity_);
+
+  std::size_t slot = HashRow(scratch_.data()) & slot_mask_;
+  while (slots_[slot] != 0) {
+    std::size_t id = static_cast<std::size_t>(slots_[slot] - 1);
+    if (RowEquals(id, scratch_.data())) return {static_cast<int>(id), false};
+    slot = (slot + 1) & slot_mask_;
+  }
+
+  int id = static_cast<int>(num_tuples_);
+  arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+  ++num_tuples_;
+  slots_[slot] = id + 1;
+  // Keep the load factor under ~0.75 so probe chains stay short.
+  if (num_tuples_ * 4 >= slots_.size() * 3) Grow();
+  return {id, true};
+}
+
+int TupleStore::Find(const std::int32_t* row) const {
+  std::size_t slot = HashRow(row) & slot_mask_;
+  while (slots_[slot] != 0) {
+    std::size_t id = static_cast<std::size_t>(slots_[slot] - 1);
+    if (RowEquals(id, row)) return static_cast<int>(id);
+    slot = (slot + 1) & slot_mask_;
+  }
+  return -1;
+}
+
+void TupleStore::Reserve(std::size_t tuples) {
+  arena_.reserve(tuples * static_cast<std::size_t>(arity_));
+  std::size_t want = kInitialSlots;
+  // Size the table so `tuples` entries stay under the 0.75 load factor.
+  while (want * 3 < tuples * 4) want *= 2;
+  if (want > slots_.size()) Rehash(want);
+}
+
+std::string TupleStore::CheckInvariants() const {
+  if (arena_.size() != num_tuples_ * static_cast<std::size_t>(arity_)) {
+    return "arena size is not tuples * arity";
+  }
+  if ((slots_.size() & slot_mask_) != 0 || slot_mask_ + 1 != slots_.size()) {
+    return "slot table size is not a power of two";
+  }
+  std::size_t occupied = 0;
+  for (std::int32_t entry : slots_) {
+    if (entry == 0) continue;
+    ++occupied;
+    std::size_t id = static_cast<std::size_t>(entry - 1);
+    if (id >= num_tuples_) return "slot refers to a missing tuple";
+  }
+  if (occupied != num_tuples_) return "slot count differs from tuple count";
+  for (std::size_t id = 0; id < num_tuples_; ++id) {
+    int found = Find(arena_.data() + id * arity_);
+    if (found != static_cast<int>(id)) {
+      return found < 0 ? "stored tuple not findable" : "duplicate tuple";
+    }
+  }
+  return "";
+}
+
+}  // namespace tdlib

@@ -51,7 +51,7 @@ int EnsureFired(Instance* instance, const Dependency& dep,
 
   Valuation valuation = Valuation::For(dep.body());
   for (int r = 0; r < dep.body().num_rows(); ++r) {
-    const Tuple& t = instance->tuple(body_row_tuples[r]);
+    TupleRef t = instance->tuple(body_row_tuples[r]);
     const Row& row = dep.body().row(r);
     for (int attr = 0; attr < dep.schema().arity(); ++attr) {
       int var = row[attr];
@@ -110,7 +110,7 @@ bool VerifyBridge(const ReductionSchema& rs, const Word& word,
   Valuation initial = Valuation::For(bridge.tableau);
   auto pin_row = [&](int row_idx, int tuple_id) -> bool {
     const Row& row = bridge.tableau.row(row_idx);
-    const Tuple& t = instance.tuple(tuple_id);
+    TupleRef t = instance.tuple(tuple_id);
     for (int attr = 0; attr < rs.arity(); ++attr) {
       int var = row[attr];
       int bound = initial.Get(attr, var);
