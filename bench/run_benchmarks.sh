@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and leaves machine-readable perf records
-# (BENCH_engine.json, BENCH_chase.json) so successive PRs accumulate a
-# throughput trajectory.
+# (BENCH_engine.json, BENCH_chase.json, BENCH_chase_parallel.json) so
+# successive PRs accumulate a throughput trajectory.
 #
-#   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json]
+#   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json] \
+#                           [chase-parallel-out.json]
 #
 # The build dir must already contain bench/bench_batch_engine and
 # bench/bench_chase (configure with -DTDLIB_BUILD_BENCHMARKS=ON, the
@@ -13,15 +14,21 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 ENGINE_OUT="${2:-BENCH_engine.json}"
 CHASE_OUT="${3:-BENCH_chase.json}"
+CHASE_PARALLEL_OUT="${4:-BENCH_chase_parallel.json}"
 
 run_bench() {
-  local bin="$1" out="$2"
+  local bin="$1" out="$2" filter="${3:-}"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
     exit 1
   fi
+  local filter_args=()
+  if [[ -n "$filter" ]]; then
+    filter_args=(--benchmark_filter="$filter")
+  fi
   "$bin" \
+    "${filter_args[@]}" \
     --benchmark_format=json \
     --benchmark_repetitions=1 \
     --benchmark_min_warmup_time=0.2 \
@@ -30,10 +37,21 @@ run_bench() {
 }
 
 run_bench "$BUILD_DIR/bench/bench_batch_engine" "$ENGINE_OUT"
-run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_OUT"
+# One binary, two records: the serial naive-vs-delta series, and the
+# BM_ChaseParallel* threads-axis series tracked as its own trajectory.
+run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_OUT" '-BM_ChaseParallel'
+run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_PARALLEL_OUT" \
+  'BM_ChaseParallel'
 
-# Console recap of the headline series.
-python3 - "$ENGINE_OUT" "$CHASE_OUT" <<'EOF' 2>/dev/null || true
+# Console recap of the headline series. Best-effort without python3, but
+# when python3 exists the parallel parity check at the bottom is a hard
+# failure — identical fired_steps/hom_nodes across thread counts is the
+# chase's determinism contract, not a perf number.
+if ! command -v python3 > /dev/null; then
+  echo "python3 not found; skipping recap + parity check"
+  exit 0
+fi
+python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" <<'EOF'
 import json, sys
 
 data = json.load(open(sys.argv[1]))
@@ -63,4 +81,34 @@ for (family, key), modes in sorted(by_key.items()):
         extras = " ".join(f"{k}={int(v)}" for k, v in key)
         print(f"{family:<34} {extras:<28} nodes {int(n):>12} -> {int(d):>12}"
               f"  ({ratio:4.1f}x)")
+
+# Parallel recap: per family, wall time vs threads (threads=0 = serial
+# fallback) plus a hard determinism check — fired_steps/hom_nodes must be
+# identical along the whole threads axis.
+par = json.load(open(sys.argv[3]))
+groups = {}
+for b in par.get("benchmarks", []):
+    if "threads" not in b:
+        continue
+    key = (b["name"].split("/")[0],
+           tuple(sorted((k, v) for k, v in b.items()
+                        if k in ("jobs", "fire_cap"))))
+    groups.setdefault(key, []).append(b)
+ok = True
+for (family, key), runs in sorted(groups.items()):
+    runs.sort(key=lambda b: b["threads"])
+    base = runs[0]
+    extras = " ".join(f"{k}={int(v)}" for k, v in key)
+    times = " ".join(
+        f"t{int(b['threads'])}={b['real_time'] / 1e6:.2f}ms" for b in runs)
+    print(f"{family:<34} {extras:<18} {times}")
+    for b in runs[1:]:
+        for field in ("fired_steps", "hom_nodes", "match_tasks"):
+            if b.get(field) != base.get(field):
+                ok = False
+                print(f"  PARITY VIOLATION {family} threads="
+                      f"{int(b['threads'])}: {field} {base.get(field)} != "
+                      f"{b.get(field)}")
+if not ok:
+    sys.exit(1)
 EOF

@@ -23,6 +23,10 @@
 //   --naive-chase     disable delta-driven matching (ablation baseline;
 //                     verdicts are identical, the chase just re-matches
 //                     the whole instance every pass)
+//   --serial-chase    keep each job's chase matching phase on its own
+//                     thread (disable lending the batch pool to the chase;
+//                     results are byte-identical, this is the ablation
+//                     baseline for chase-level parallelism)
 //   --stop-on-refutation   cancel the batch at the first refuted job
 //   --serial          run on the calling thread (reference mode)
 //   --csv=PATH        also write per-job rows as CSV
@@ -43,7 +47,7 @@ int Usage() {
   std::cerr << "usage: tdbatch [--workload=reduction-sweep|random] [--size=N]\n"
                "               [--seed=N] [--threads=N] [--rounds=N]\n"
                "               [--chase-steps=N] [--max-tuples=N]\n"
-               "               [--deadline=S] [--naive-chase]\n"
+               "               [--deadline=S] [--naive-chase] [--serial-chase]\n"
                "               [--stop-on-refutation] [--serial]\n"
                "               [--csv=PATH] [file.td ...]\n";
   return 2;
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
         batch.deadline_seconds = std::stod(arg.substr(11));
       } else if (arg == "--naive-chase") {
         workload.solver.base_chase.use_delta = false;
+      } else if (arg == "--serial-chase") {
+        batch.chase_parallelism = false;
       } else if (arg == "--stop-on-refutation") {
         batch.stop_on_first_refutation = true;
       } else if (arg == "--serial") {

@@ -1,26 +1,43 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <utility>
 
 #include "core/satisfaction.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace tdlib {
 namespace {
 
+// Match tasks run ahead of queued job-level work when the pool is shared
+// with engine/BatchSolver: a pass cannot finish until its slowest member
+// search does, so letting members jump the queue shortens the pass's
+// critical path without adding threads.
+constexpr int kMatchTaskPriority = 1 << 20;
+
+// One pass over a pumped instance can enumerate an enormous stream of body
+// matches (each with a head-witness sub-search), so waiting for the end of
+// a search to look at the clock lets a deadline overshoot by seconds. The
+// check runs inside the match stream too, amortized over this many matches
+// to keep clock reads off the per-match fast path.
+constexpr std::uint64_t kDeadlineCheckInterval = 256;
+
 // Returns true if `h` (a body match for dep) extends to dep's head in
-// `instance`; accumulates search nodes into *nodes. Head-witness searches
-// always run against the full instance — the delta restriction applies only
-// to body enumeration.
+// `instance`; merges the head search's counters into *stats. Head-witness
+// searches always run against the full instance — the delta restriction
+// applies only to body enumeration. Thread-compatible: HeadSeedValuation
+// builds a fresh valuation per call (core/satisfaction.cc), so concurrent
+// match tasks seed head searches without any shared scratch.
 bool HeadWitnessed(const Dependency& dep, const Instance& instance,
                    const Valuation& h, const HomSearchOptions& options,
-                   std::uint64_t* nodes, bool* budget_hit) {
+                   HomSearchStats* stats) {
   HomomorphismSearch head_search(dep.head(), instance, options);
   head_search.SetInitial(HeadSeedValuation(dep, h));
   HomSearchStatus status = head_search.FindAny(nullptr);
-  *nodes += head_search.nodes_explored();
-  if (status == HomSearchStatus::kBudget) *budget_hit = true;
+  stats->MergeFrom(head_search.stats());
   return status == HomSearchStatus::kFound;
 }
 
@@ -57,24 +74,181 @@ std::vector<int> FireStep(const Dependency& dep, Instance* instance,
 // One collected applicable step. `row_ids` is the body image — the tuple id
 // each body row maps to under `match`, in tableau row order. It is the
 // canonical sort key that makes the fire order independent of how matches
-// were enumerated (full scan or semi-naive partition), which is what keeps
-// naive and delta runs byte-identical.
+// were enumerated (full scan, semi-naive partition, any interleaving of
+// concurrent tasks), which is what keeps naive/delta and serial/pooled runs
+// byte-identical.
 struct PendingStep {
   int dep_index;
   Valuation match;
   std::vector<int> row_ids;
 };
 
+// One unit of a pass's matching phase: the re-check of one carried step, or
+// one body search (a full/any-row scan, or one member (dependency,
+// seed row) of the semi-naive partition). Tasks are enumerated in a fixed
+// order, only read the instance, and write nothing but their own
+// MatchOutput slot — which is exactly what lets them run on pool workers.
+struct MatchTask {
+  enum class Kind { kCarried, kSearch };
+  Kind kind;
+  int dep_index = -1;             // kSearch
+  std::size_t carried_index = 0;  // kCarried
+  // Body-search delta window, pre-resolved at task-list build time:
+  // delta_begin < 0 = unrestricted scan, seed_row < 0 = any-row scan,
+  // otherwise one partition member.
+  int delta_begin = -1;
+  int delta_seed_row = -1;
+};
+
+// Per-task buffer: the steps this task found applicable plus its search
+// counters. Stats are summed across tasks after the join — HomSearchStats
+// is search-local, never shared between live searches.
+struct MatchOutput {
+  std::vector<PendingStep> pending;
+  HomSearchStats stats;
+};
+
+// Executes one match task against the read-only `instance`. `base_options`
+// carries the run's node budget, deadline and (in pooled mode) the shared
+// cancel flag. Carried steps are moved out of *carried when still unfired
+// and unwitnessed; distinct tasks touch distinct carried slots.
+void RunMatchTask(const MatchTask& task, const DependencySet& deps,
+                  const Instance& instance,
+                  const HomSearchOptions& base_options,
+                  std::vector<PendingStep>* carried, MatchOutput* out) {
+  if (task.kind == MatchTask::Kind::kCarried) {
+    // A fire since this step was collected may have witnessed it (the naive
+    // full scan drops those the same way).
+    PendingStep& step = (*carried)[task.carried_index];
+    const Dependency& dep = deps.items[step.dep_index];
+    if (!HeadWitnessed(dep, instance, step.match, base_options, &out->stats)) {
+      out->pending.push_back(std::move(step));
+    }
+    // One clock read per re-check, unamortized: unlike a body-match stream,
+    // every re-check constructs and runs a head search, which dwarfs the
+    // read. Without this, a bounded-burst pass with a huge carried backlog
+    // of sub-512-node head searches (too small for Backtrack's own cadence)
+    // would overshoot the deadline by the entire backlog.
+    if (!out->stats.budget_hit && base_options.deadline != nullptr &&
+        base_options.deadline->Expired()) {
+      out->stats.budget_hit = true;
+      out->stats.deadline_hit = true;
+    }
+    return;
+  }
+
+  const Dependency& dep = deps.items[task.dep_index];
+  HomSearchOptions body_options = base_options;
+  body_options.delta_begin = task.delta_begin;
+  body_options.delta_seed_row = task.delta_seed_row;
+  HomomorphismSearch body_search(dep.body(), instance, body_options);
+  // body_search.row_tuples() is the match's body image, already computed by
+  // the backtracker — no per-row FindTuple on the hot path.
+  std::uint64_t matches_seen = 0;
+  auto collect = [&](const Valuation& h) {
+    if (!HeadWitnessed(dep, instance, h, base_options, &out->stats)) {
+      out->pending.push_back(
+          PendingStep{task.dep_index, h, body_search.row_tuples()});
+    }
+    if (out->stats.budget_hit) return false;
+    if (++matches_seen % kDeadlineCheckInterval == 0 &&
+        base_options.deadline != nullptr && base_options.deadline->Expired()) {
+      out->stats.budget_hit = true;
+      out->stats.deadline_hit = true;
+      return false;
+    }
+    // A sibling's budget trip must stop this task even when its searches
+    // are all smaller than Backtrack's own cancel cadence (512 nodes); one
+    // relaxed load per match is noise next to the head search above.
+    if (base_options.cancel != nullptr &&
+        base_options.cancel->load(std::memory_order_relaxed)) {
+      out->stats.budget_hit = true;
+      return false;
+    }
+    return true;
+  };
+  body_search.ForEach(collect);
+  out->stats.MergeFrom(body_search.stats());
+  // End-of-task deadline read, mirroring the kCarried branch: a pass of
+  // many small member searches — each under Backtrack's 512-node and the
+  // stream's 256-match cadences — must still observe the wall clock at
+  // least once per task, or a serial matching phase could overshoot a
+  // clamped milliseconds-scale deadline by the whole task list.
+  if (!out->stats.budget_hit && base_options.deadline != nullptr &&
+      base_options.deadline->Expired()) {
+    out->stats.budget_hit = true;
+    out->stats.deadline_hit = true;
+  }
+}
+
+// Builds the pass's task list in the canonical task order: carried
+// re-checks first (in carry order), then per-dependency body searches (in
+// dependency order, partition members in seed-row order). The list is a
+// pure function of (config, delta_begin, carried size, instance size), so
+// serial and pooled runs execute the same searches.
+std::vector<MatchTask> BuildMatchTasks(const DependencySet& deps,
+                                       const ChaseConfig& config,
+                                       std::size_t delta_begin,
+                                       std::size_t num_tuples,
+                                       std::size_t num_carried) {
+  std::vector<MatchTask> tasks;
+  for (std::size_t ci = 0; ci < num_carried; ++ci) {
+    MatchTask t;
+    t.kind = MatchTask::Kind::kCarried;
+    t.carried_index = ci;
+    tasks.push_back(t);
+  }
+  const bool nothing_new = config.use_delta && delta_begin >= num_tuples;
+  if (nothing_new) {
+    // Every match was enumerated in an earlier pass and is witnessed.
+    return tasks;
+  }
+  // The partition pays one restricted search per body row; when the delta
+  // is most of the instance (a pumping pass), those members cost more
+  // together than the full scan they replace. Use the partition only while
+  // the delta is the minority — the canonical fire order keeps results
+  // identical whichever matcher ran.
+  const bool partition = config.use_delta && delta_begin > 0 &&
+                         (num_tuples - delta_begin) * 2 <= num_tuples;
+  for (std::size_t di = 0; di < deps.items.size(); ++di) {
+    MatchTask t;
+    t.kind = MatchTask::Kind::kSearch;
+    t.dep_index = static_cast<int>(di);
+    if (partition) {
+      // Union of the semi-naive partition: seed row s in the delta, rows
+      // before s in the old region, rows after s unrestricted. Every
+      // delta-touching match is enumerated exactly once; all-old matches —
+      // already enumerated (and fired or witnessed) in the pass that saw
+      // their newest tuple — are skipped entirely.
+      t.delta_begin = static_cast<int>(delta_begin);
+      for (int s = 0; s < deps.items[di].body().num_rows(); ++s) {
+        t.delta_seed_row = s;
+        tasks.push_back(t);
+      }
+    } else if (config.use_delta && delta_begin > 0) {
+      // Majority delta: one pruned scan ("any row hits the delta") — never
+      // more nodes than naive, and the all-old matches' head checks are
+      // still skipped.
+      t.delta_begin = static_cast<int>(delta_begin);
+      t.delta_seed_row = -1;
+      tasks.push_back(t);
+    } else {
+      // Naive mode or the first pass: one unrestricted scan.
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
 }  // namespace
 
 bool HasApplicableStep(const Dependency& dep, const Instance& instance,
                        const HomSearchOptions& options) {
   bool applicable = false;
-  bool budget_hit = false;
-  std::uint64_t nodes = 0;
+  HomSearchStats stats;
   HomomorphismSearch body_search(dep.body(), instance, options);
   body_search.ForEach([&](const Valuation& h) {
-    if (!HeadWitnessed(dep, instance, h, options, &nodes, &budget_hit)) {
+    if (!HeadWitnessed(dep, instance, h, options, &stats)) {
       applicable = true;
       return false;
     }
@@ -92,7 +266,6 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   // shares the run's deadline, so even one huge homomorphism search is cut
   // off close to the wall-clock budget.
   hom_options.deadline = &deadline;
-  bool budget_hit = false;
 
   // When the deadline and the node budget trip together, the wall clock is
   // the binding constraint; report it.
@@ -104,16 +277,6 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     result.status = ChaseStatus::kGoal;
     return result;
   }
-
-  // One pass over a pumped instance can enumerate an enormous stream of
-  // body matches (each with a head-witness sub-search), so waiting for the
-  // end of a dependency's enumeration to look at the clock lets a deadline
-  // overshoot by seconds. Check it inside the match stream too, amortized
-  // over kDeadlineCheckInterval matches to keep clock reads off the
-  // per-match fast path.
-  constexpr std::uint64_t kDeadlineCheckInterval = 256;
-  std::uint64_t matches_seen = 0;
-  bool timed_out = false;
 
   // Tuples with id >= delta_begin are "new" since the previous matching
   // phase. 0 on the first pass, so pass 1 matches the whole seed instance
@@ -129,109 +292,80 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   while (true) {
     ++result.passes;
     std::size_t pass_start = instance->NumTuples();
-    // Collect applicable steps against the pass-start instance. The
+
+    // ---- Matching phase: read-only over the pass-start instance ----------
+    //
+    // The task list, and hence the set of searches, is identical in serial
+    // and pooled mode; only where each search runs differs. The collected
     // valuations stay valid as tuples are only ever added.
-    std::vector<PendingStep> pending;
-    // Re-filter the carry-overs first: a fire since they were collected may
-    // have witnessed them (the naive scan drops those the same way).
-    for (PendingStep& step : carried) {
-      const Dependency& dep = deps.items[step.dep_index];
-      if (!HeadWitnessed(dep, *instance, step.match, hom_options,
-                         &result.hom_nodes, &budget_hit)) {
-        pending.push_back(std::move(step));
-      }
-      if (budget_hit) {
-        result.status = limit_status();
-        return result;
-      }
-      if (++matches_seen % kDeadlineCheckInterval == 0 && deadline.Expired()) {
-        result.status = ChaseStatus::kTimeout;
-        return result;
+    std::vector<MatchTask> tasks =
+        BuildMatchTasks(deps, config, delta_begin, pass_start, carried.size());
+    std::vector<MatchOutput> outputs(tasks.size());
+    result.match_tasks += tasks.size();
+
+    if (config.pool != nullptr && tasks.size() > 1) {
+      // Fan out. Tasks write only their own output slot; a budget/deadline
+      // trip in any task raises the shared cancel flag so sibling searches
+      // wind down instead of completing doomed work.
+      std::atomic<bool> cancel{false};
+      HomSearchOptions task_options = hom_options;
+      task_options.cancel = &cancel;
+      ParallelFor(
+          config.pool, tasks.size(),
+          [&](std::size_t i) {
+            // The pass is already doomed once any sibling tripped; skipping
+            // outright (like the serial early break below) only changes
+            // budget-tripped runs, which are outside the parity guarantee.
+            if (cancel.load(std::memory_order_relaxed)) return;
+            RunMatchTask(tasks[i], deps, *instance, task_options, &carried,
+                         &outputs[i]);
+            if (outputs[i].stats.budget_hit) {
+              cancel.store(true, std::memory_order_relaxed);
+            }
+          },
+          kMatchTaskPriority);
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        RunMatchTask(tasks[i], deps, *instance, hom_options, &carried,
+                     &outputs[i]);
+        if (outputs[i].stats.budget_hit) break;  // remaining work is doomed
       }
     }
     carried.clear();
-    for (std::size_t di = 0; di < deps.items.size(); ++di) {
-      const Dependency& dep = deps.items[di];
-      // `search` is the enumeration currently driving the callback; its
-      // row_tuples() is the match's body image, already computed by the
-      // backtracker — no per-row FindTuple on the hot path.
-      HomomorphismSearch* search = nullptr;
-      auto collect = [&](const Valuation& h) {
-        if (!HeadWitnessed(dep, *instance, h, hom_options, &result.hom_nodes,
-                           &budget_hit)) {
-          pending.push_back(
-              PendingStep{static_cast<int>(di), h, search->row_tuples()});
-        }
-        if (budget_hit) return false;
-        if (++matches_seen % kDeadlineCheckInterval == 0 &&
-            deadline.Expired()) {
-          timed_out = true;
-          return false;
-        }
-        return true;
-      };
-      const std::size_t num_tuples = instance->NumTuples();
-      const bool nothing_new = config.use_delta && delta_begin >= num_tuples;
-      // The partition pays one restricted search per body row; when the
-      // delta is most of the instance (a pumping pass), those members cost
-      // more together than the full scan they replace. Use the partition
-      // only while the delta is the minority — the canonical fire order
-      // keeps results identical whichever matcher ran.
-      const bool partition = config.use_delta && !nothing_new &&
-                             delta_begin > 0 &&
-                             (num_tuples - delta_begin) * 2 <= num_tuples;
-      if (nothing_new) {
-        // Every match was enumerated in an earlier pass and is witnessed.
-      } else if (!partition) {
-        HomSearchOptions body_options = hom_options;
-        if (config.use_delta && delta_begin > 0) {
-          // Majority delta: one pruned scan ("any row hits the delta") —
-          // never more nodes than naive, and the all-old matches' head
-          // checks are still skipped.
-          body_options.delta_begin = static_cast<int>(delta_begin);
-          body_options.delta_seed_row = -1;
-        }
-        HomomorphismSearch body_search(dep.body(), *instance, body_options);
-        search = &body_search;
-        if (body_search.ForEach(collect) == HomSearchStatus::kBudget) {
-          budget_hit = true;
-        }
-        result.hom_nodes += body_search.nodes_explored();
-      } else {
-        // Union of the semi-naive partition: seed row s in the delta, rows
-        // before s in the old region, rows after s unrestricted. Every
-        // delta-touching match is enumerated exactly once; all-old matches
-        // — already enumerated (and fired or witnessed) in the pass that
-        // saw their newest tuple — are skipped entirely.
-        for (int s = 0; s < dep.body().num_rows(); ++s) {
-          HomSearchOptions body_options = hom_options;
-          body_options.delta_begin = static_cast<int>(delta_begin);
-          body_options.delta_seed_row = s;
-          HomomorphismSearch body_search(dep.body(), *instance, body_options);
-          search = &body_search;
-          if (body_search.ForEach(collect) == HomSearchStatus::kBudget) {
-            budget_hit = true;
-          }
-          result.hom_nodes += body_search.nodes_explored();
-          if (budget_hit || timed_out) break;
-        }
-      }
-      if (timed_out) {
-        result.status = ChaseStatus::kTimeout;
-        return result;
-      }
-      if (budget_hit) {
-        result.status = limit_status();
-        return result;
-      }
-      if (deadline.Expired()) {
-        result.status = ChaseStatus::kTimeout;
-        return result;
-      }
+
+    // Aggregate per-task stats — the explicit sum-after-join that keeps
+    // HomSearchStats search-local (no shared counters between live
+    // searches).
+    HomSearchStats match_stats;
+    for (const MatchOutput& out : outputs) match_stats.MergeFrom(out.stats);
+    result.hom_nodes += match_stats.nodes;
+    if (match_stats.budget_hit) {
+      result.status =
+          match_stats.deadline_hit ? ChaseStatus::kTimeout : limit_status();
+      return result;
     }
+    if (deadline.Expired()) {
+      result.status = ChaseStatus::kTimeout;
+      return result;
+    }
+
     // Every dependency has now been matched against the first `pass_start`
     // tuples; the next pass only needs to see what the fires below add.
     delta_begin = pass_start;
+
+    // Merge the per-task buffers. Task order is canonical, but the sort
+    // below is what actually fixes the fire order: entries with equal
+    // (dep_index, row_ids) are fully identical (the body image determines
+    // the valuation), so the merge order cannot leak into the result.
+    std::size_t total_pending = 0;
+    for (const MatchOutput& out : outputs) total_pending += out.pending.size();
+    std::vector<PendingStep> pending;
+    pending.reserve(total_pending);
+    for (MatchOutput& out : outputs) {
+      for (PendingStep& step : out.pending) {
+        pending.push_back(std::move(step));
+      }
+    }
 
     if (pending.empty()) {
       result.status = ChaseStatus::kFixpoint;
@@ -241,7 +375,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     // Fire in canonical (dependency, body image) order. Decoupling the fire
     // order from enumeration order is what makes the result — including the
     // ids of invented nulls — a function of the *set* of applicable steps,
-    // identical across matching strategies.
+    // identical across matching strategies and thread counts.
     std::sort(pending.begin(), pending.end(),
               [](const PendingStep& a, const PendingStep& b) {
                 if (a.dep_index != b.dep_index) {
@@ -250,6 +384,8 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                 return a.row_ids < b.row_ids;
               });
 
+    // ---- Firing phase: serial, on the calling thread ---------------------
+    HomSearchStats fire_stats;
     std::uint64_t fired_this_pass = 0;
     for (std::size_t pi = 0; pi < pending.size(); ++pi) {
       if (config.max_fires_per_pass > 0 &&
@@ -266,14 +402,14 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       PendingStep& step = pending[pi];
       const Dependency& dep = deps.items[step.dep_index];
       // An earlier fire in this pass may have witnessed this head already.
-      if (HeadWitnessed(dep, *instance, step.match, hom_options,
-                        &result.hom_nodes, &budget_hit)) {
-        continue;
-      }
-      if (budget_hit) {
+      bool witnessed = HeadWitnessed(dep, *instance, step.match, hom_options,
+                                     &fire_stats);
+      if (fire_stats.budget_hit) {
+        result.hom_nodes += fire_stats.nodes;
         result.status = limit_status();
         return result;
       }
+      if (witnessed) continue;
       std::vector<int> new_ids = FireStep(dep, instance, step.match);
       ++result.steps;
       ++fired_this_pass;
@@ -282,22 +418,27 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
             ChaseStep{step.dep_index, step.match, std::move(new_ids)});
       }
       if (config.eager_goal_check && goal && goal(*instance)) {
+        result.hom_nodes += fire_stats.nodes;
         result.status = ChaseStatus::kGoal;
         return result;
       }
       if (config.max_steps > 0 && result.steps >= config.max_steps) {
+        result.hom_nodes += fire_stats.nodes;
         result.status = ChaseStatus::kStepLimit;
         return result;
       }
       if (config.max_tuples > 0 && instance->NumTuples() >= config.max_tuples) {
+        result.hom_nodes += fire_stats.nodes;
         result.status = ChaseStatus::kTupleLimit;
         return result;
       }
       if (deadline.Expired()) {
+        result.hom_nodes += fire_stats.nodes;
         result.status = ChaseStatus::kTimeout;
         return result;
       }
     }
+    result.hom_nodes += fire_stats.nodes;
 
     if (!config.eager_goal_check && goal && goal(*instance)) {
       result.status = ChaseStatus::kGoal;

@@ -23,6 +23,7 @@
 #include "core/dependency.h"
 #include "logic/homomorphism.h"
 #include "logic/instance.h"
+#include "util/executor.h"
 
 namespace tdlib {
 
@@ -64,6 +65,24 @@ struct ChaseConfig {
   /// the full re-match (naive mode); both modes stay byte-identical.
   std::uint64_t max_fires_per_pass = 0;
 
+  /// Optional thread pool for the matching phase. Each pass's match tasks —
+  /// carried-step re-checks plus one body search per dependency (or per
+  /// semi-naive partition member (dependency, seed row)) — are independent
+  /// read-only searches over the pass-start instance; with a pool they fan
+  /// out across workers, collect pending steps into per-task buffers, and
+  /// merge in the canonical (dependency, body-image) order, so the fired
+  /// steps — and therefore instances, traces and statuses — are
+  /// byte-identical to a serial run at ANY thread count. Null (the default)
+  /// is the serial fallback used by --naive-chase and single-thread
+  /// ablations. Firing, tracing and goal checks always stay on the calling
+  /// thread; the instance is never mutated while match tasks run. The
+  /// byte-identity guarantee is scoped exactly like use_delta's: a binding
+  /// hom_max_nodes or deadline_seconds can stop serial and pooled runs at
+  /// different points (a budget trip in one task cancels its siblings
+  /// through a shared atomic flag, so hom_nodes and statuses may then
+  /// diverge).
+  TaskExecutor* pool = nullptr;
+
   HomSearchOptions HomOptions() const {
     HomSearchOptions o;
     o.max_nodes = hom_max_nodes;
@@ -94,6 +113,7 @@ struct ChaseResult {
   std::uint64_t steps = 0;          ///< fires
   std::uint64_t passes = 0;         ///< full scans over the dependency set
   std::uint64_t hom_nodes = 0;      ///< total homomorphism search nodes
+  std::uint64_t match_tasks = 0;    ///< match-phase tasks (parallel units)
   std::vector<ChaseStep> trace;     ///< populated when record_trace
 
   std::string ToString() const;
@@ -130,6 +150,11 @@ using ChaseGoal = std::function<bool(const Instance&)>;
 /// matching work into different searches, so a binding hom_max_nodes or
 /// deadline_seconds can stop them at different points (statuses may then
 /// differ, e.g. kHomBudget in one mode only).
+///
+/// With ChaseConfig::pool set, the match tasks of each pass run
+/// concurrently on the pool while the instance is read-only; the canonical
+/// merge makes the result byte-identical to the serial run at any thread
+/// count (same budget-trip caveat as above). Firing is always serial.
 ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                      const ChaseConfig& config, const ChaseGoal& goal = {});
 

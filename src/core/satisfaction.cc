@@ -4,6 +4,11 @@
 
 namespace tdlib {
 
+// Pure function: builds and returns a FRESH valuation on every call, with
+// no shared scratch buffer or cached result. The parallel chase calls this
+// from concurrent match tasks (one head-witness search per body match), so
+// any future memoization here must be per-caller, never a shared static —
+// a shared seed valuation would be written by every task at once.
 Valuation HeadSeedValuation(const Dependency& dep,
                             const Valuation& body_match) {
   Valuation initial = Valuation::For(dep.head());
@@ -21,7 +26,10 @@ SatisfactionResult CheckSatisfaction(const Dependency& dep,
                                      const Instance& instance,
                                      HomSearchOptions options) {
   SatisfactionResult result;
-  bool budget_hit = false;
+  // Per-call stats aggregation: each search owns its HomSearchStats and the
+  // counters are summed here after each search finishes (the same
+  // sum-after-join discipline the parallel chase uses).
+  HomSearchStats stats;
 
   HomomorphismSearch body_search(dep.body(), instance, options);
   HomSearchStatus body_status = body_search.ForEach([&](const Valuation& h) {
@@ -31,9 +39,8 @@ SatisfactionResult CheckSatisfaction(const Dependency& dep,
     HomomorphismSearch head_search(dep.head(), instance, options);
     head_search.SetInitial(HeadSeedValuation(dep, h));
     HomSearchStatus head_status = head_search.FindAny(nullptr);
-    result.nodes += head_search.nodes_explored();
+    stats.MergeFrom(head_search.stats());
     if (head_status == HomSearchStatus::kBudget) {
-      budget_hit = true;
       return false;
     }
     if (head_status == HomSearchStatus::kExhausted) {
@@ -42,9 +49,10 @@ SatisfactionResult CheckSatisfaction(const Dependency& dep,
     }
     return true;
   });
-  result.nodes += body_search.nodes_explored();
+  stats.MergeFrom(body_search.stats());
+  result.nodes = stats.nodes;
 
-  if (budget_hit || body_status == HomSearchStatus::kBudget) {
+  if (stats.budget_hit || body_status == HomSearchStatus::kBudget) {
     result.verdict = Satisfaction::kUnknown;
     result.counterexample.reset();
   } else if (result.counterexample.has_value()) {

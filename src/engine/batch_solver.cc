@@ -21,7 +21,13 @@ double ClampDeadline(double phase_deadline, double budget) {
 }
 
 // Executes one job under batch semantics. `deadline` is the global batch
-// deadline (shared), `cancelled` the batch cancel flag.
+// deadline (shared), `cancelled` the batch cancel flag, `pool` the batch's
+// own thread pool (null = keep the job's chases serial).
+//
+// Lending the pool to the chase cannot deadlock even though this function
+// itself runs on a pool worker: the chase fans out through ParallelFor,
+// whose caller claims tasks from the same cursor as the helpers it submits
+// and therefore never blocks on queued work (util/parallel.h).
 //
 // SolveImplication grants base_chase/base_counterexample their deadline
 // afresh in EVERY escalation round and never rechecks the wall clock
@@ -31,8 +37,9 @@ double ClampDeadline(double phase_deadline, double budget) {
 // keeps the whole job inside the batch budget (at the price of
 // under-feeding early rounds, which is fine: early rounds are the cheap
 // ones by construction).
-JobResult ExecuteJob(const Job& job, const Deadline& deadline,
-                     const Timer& batch_timer, double deadline_seconds,
+JobResult ExecuteJob(const Job& job, TaskExecutor* pool,
+                     const Deadline& deadline, const Timer& batch_timer,
+                     double deadline_seconds,
                      const std::atomic<bool>& cancelled) {
   if (cancelled.load(std::memory_order_relaxed) || deadline.Expired()) {
     JobResult skipped;
@@ -40,18 +47,23 @@ JobResult ExecuteJob(const Job& job, const Deadline& deadline,
     skipped.status = JobStatus::kSkipped;
     return skipped;
   }
-  if (deadline_seconds <= 0) return RunJob(job);
-
-  double remaining = deadline_seconds - batch_timer.ElapsedSeconds();
-  if (remaining < 1e-3) remaining = 1e-3;  // already started: tiny budget
-  const int rounds = job.config.rounds > 0 ? job.config.rounds : 1;
-  const double per_phase = remaining / (2.0 * rounds);
-  Job bounded = job;
-  bounded.config.base_chase.deadline_seconds =
-      ClampDeadline(bounded.config.base_chase.deadline_seconds, per_phase);
-  bounded.config.base_counterexample.deadline_seconds = ClampDeadline(
-      bounded.config.base_counterexample.deadline_seconds, per_phase);
-  return RunJob(bounded);
+  if (pool == nullptr && deadline_seconds <= 0) return RunJob(job);
+  // Override only the config (a small value struct); copying the whole Job
+  // — dependency set, tableaux, goal — per execution would put allocation
+  // churn on the batch throughput path.
+  DualSolverConfig config = job.config;
+  config.base_chase.pool = pool;
+  if (deadline_seconds > 0) {
+    double remaining = deadline_seconds - batch_timer.ElapsedSeconds();
+    if (remaining < 1e-3) remaining = 1e-3;  // already started: tiny budget
+    const int rounds = config.rounds > 0 ? config.rounds : 1;
+    const double per_phase = remaining / (2.0 * rounds);
+    config.base_chase.deadline_seconds =
+        ClampDeadline(config.base_chase.deadline_seconds, per_phase);
+    config.base_counterexample.deadline_seconds =
+        ClampDeadline(config.base_counterexample.deadline_seconds, per_phase);
+  }
+  return RunJob(job, config);
 }
 
 bool IsRefutation(const JobResult& r) {
@@ -128,18 +140,27 @@ BatchSummary BatchSolver::Run(const std::vector<Job>& jobs) {
 
   {
     ThreadPool pool(summary.num_threads);
+    // One pool, two levels: job tasks at their own priorities, chase match
+    // tasks (submitted from inside jobs) at high priority. Null when the
+    // ablation asks for serial chases.
+    TaskExecutor* chase_pool = options_.chase_parallelism ? &pool : nullptr;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const Job& job = jobs[i];
       JobResult* slot = &summary.results[i];
       pool.Submit(
-          [this, &job, slot, &deadline, &batch_timer, early_stop] {
-            *slot = ExecuteJob(job, deadline, batch_timer,
+          [this, &job, slot, chase_pool, &deadline, &batch_timer, early_stop] {
+            *slot = ExecuteJob(job, chase_pool, deadline, batch_timer,
                                options_.deadline_seconds, cancel_);
             if (early_stop && IsRefutation(*slot)) Cancel();
           },
           job.priority);
     }
-    pool.Shutdown();  // drain the queue, join the workers
+    // Drain via WaitIdle, not Shutdown: Shutdown flips the pool to
+    // rejecting submissions immediately, which would refuse every nested
+    // chase match task for the entire batch. WaitIdle keeps the pool open
+    // while jobs (and their nested tasks) run, then the scope-exit
+    // destructor joins the workers.
+    pool.WaitIdle();
   }
 
   summary.wall_seconds = batch_timer.ElapsedSeconds();
@@ -158,7 +179,9 @@ BatchSummary RunSerial(const std::vector<Job>& jobs,
   std::atomic<bool> cancelled{false};
 
   for (const Job& job : jobs) {
-    JobResult r = ExecuteJob(job, deadline, batch_timer,
+    // The reference mode is serial at every level: no job pool, no chase
+    // pool. Pooled runs must reproduce its results byte for byte.
+    JobResult r = ExecuteJob(job, /*pool=*/nullptr, deadline, batch_timer,
                              options.deadline_seconds, cancelled);
     if (options.stop_on_first_refutation && IsRefutation(r)) {
       cancelled.store(true, std::memory_order_relaxed);

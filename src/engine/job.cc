@@ -55,11 +55,13 @@ std::vector<std::string> JobResult::CsvRow() const {
           std::to_string(wall_seconds)};
 }
 
-JobResult RunJob(const Job& job) {
+JobResult RunJob(const Job& job) { return RunJob(job, job.config); }
+
+JobResult RunJob(const Job& job, const DualSolverConfig& config) {
   JobResult result;
   result.name = job.name;
   Timer timer;
-  DualResult dual = SolveImplication(job.dependencies, job.goal, job.config);
+  DualResult dual = SolveImplication(job.dependencies, job.goal, config);
   result.wall_seconds = timer.ElapsedSeconds();
   result.status = JobStatus::kCompleted;
   result.verdict = dual.verdict;

@@ -77,6 +77,12 @@ struct JobResult {
 /// This is the single execution path shared by serial and batch modes.
 JobResult RunJob(const Job& job);
 
+/// Same, but with the solver config overridden (batch-clamped deadlines,
+/// the lent chase pool). Copying the small config instead of the whole Job
+/// — dependency set, tableaux, goal — keeps per-job overhead off the
+/// batch throughput path.
+JobResult RunJob(const Job& job, const DualSolverConfig& config);
+
 /// Human-readable name of a DualVerdict ("IMPLIED", ...).
 std::string_view DualVerdictName(DualVerdict verdict);
 

@@ -20,17 +20,23 @@
 #include <thread>
 #include <vector>
 
+#include "util/executor.h"
+
 namespace tdlib {
 
 /// Fixed-size thread pool. Workers start immediately; the destructor (or an
 /// explicit Shutdown) drains the queue and joins every worker.
-class ThreadPool {
+///
+/// Implements util/TaskExecutor so lower layers (the chase's parallel match
+/// phase) can borrow the pool through ChaseConfig::pool without the layering
+/// inversion of including engine headers.
+class ThreadPool : public TaskExecutor {
  public:
   /// Starts `num_threads` workers (values < 1 are clamped to 1).
   explicit ThreadPool(int num_threads);
 
   /// Drains and joins (equivalent to Shutdown()).
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -38,7 +44,7 @@ class ThreadPool {
   /// Enqueues a task. Higher `priority` runs first; ties run in submission
   /// order (the queue is stable). Returns false iff the pool is shutting
   /// down, in which case the task is dropped.
-  bool Submit(std::function<void()> task, int priority = 0);
+  bool Submit(std::function<void()> task, int priority = 0) override;
 
   /// Stops accepting tasks, runs everything already queued, and joins all
   /// workers. Idempotent; safe to call concurrently with Submit. The first
@@ -50,10 +56,10 @@ class ThreadPool {
   /// keeps accepting tasks afterwards (unlike Shutdown).
   void WaitIdle();
 
-  int num_threads() const { return num_threads_; }
+  int num_threads() const override { return num_threads_; }
 
   /// Tasks currently queued (not yet picked up by a worker).
-  std::size_t QueueDepth() const;
+  std::size_t QueueDepth() const override;
 
  private:
   struct Entry {

@@ -39,15 +39,14 @@ HomSearchStatus HomomorphismSearch::FindAny(Valuation* result) {
 
 HomSearchStatus HomomorphismSearch::ForEach(
     const std::function<bool(const Valuation&)>& visit) {
-  nodes_ = 0;
-  budget_hit_ = false;
-  deadline_hit_ = false;
+  stats_ = HomSearchStats{};
   delta_rows_bound_ = 0;
   std::fill(row_done_.begin(), row_done_.end(), false);
   bool stopped = false;
   Backtrack(0, visit, &stopped);
   if (stopped) return HomSearchStatus::kFound;
-  return budget_hit_ ? HomSearchStatus::kBudget : HomSearchStatus::kExhausted;
+  return stats_.budget_hit ? HomSearchStatus::kBudget
+                           : HomSearchStatus::kExhausted;
 }
 
 std::pair<int, int> HomomorphismSearch::RowIdBounds(int row_idx) const {
@@ -162,20 +161,28 @@ void HomomorphismSearch::UndoBindings(
 bool HomomorphismSearch::Backtrack(
     int depth, const std::function<bool(const Valuation&)>& visit,
     bool* stopped) {
-  if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
-    budget_hit_ = true;
+  if (options_.max_nodes > 0 && stats_.nodes >= options_.max_nodes) {
+    stats_.budget_hit = true;
     return false;
   }
-  // Amortized wall-clock check: a single pumped search can run for seconds,
-  // so waiting for the caller to look at the clock between searches lets a
-  // deadline overshoot arbitrarily.
-  if (options_.deadline != nullptr && (nodes_ & 0x1FF) == 0x1FF &&
-      options_.deadline->Expired()) {
-    budget_hit_ = true;
-    deadline_hit_ = true;
-    return false;
+  // Amortized wall-clock / cancel check: a single pumped search can run for
+  // seconds, so waiting for the caller to look at the clock between
+  // searches lets a deadline overshoot arbitrarily. The cancel flag rides
+  // the same cadence — it is how a concurrent sibling search's budget trip
+  // winds this one down.
+  if ((stats_.nodes & 0x1FF) == 0x1FF) {
+    if (options_.deadline != nullptr && options_.deadline->Expired()) {
+      stats_.budget_hit = true;
+      stats_.deadline_hit = true;
+      return false;
+    }
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      stats_.budget_hit = true;
+      return false;
+    }
   }
-  ++nodes_;
+  ++stats_.nodes;
   if (depth == source_.num_rows()) {
     // All rows matched. Complete the valuation on variables that appear in
     // no row (possible when the variable space is wider than the rows): they
@@ -215,7 +222,7 @@ bool HomomorphismSearch::Backtrack(
     bool keep_going = Backtrack(depth + 1, visit, stopped);
     delta_rows_bound_ -= in_delta ? 1 : 0;
     UndoBindings(undo);
-    if (!keep_going && (*stopped || budget_hit_)) {
+    if (!keep_going && (*stopped || stats_.budget_hit)) {
       row_done_[row_idx] = false;
       return false;
     }

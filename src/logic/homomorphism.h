@@ -15,12 +15,21 @@
 // proportional to the batch, not the instance. The chase unions the
 // partition members and fires in a canonical order (chase/chase.h), which
 // is how delta mode reproduces the naive chase byte for byte.
+//
+// Concurrency: a HomomorphismSearch object is strictly single-thread — all
+// of its mutable state (valuation, row bookkeeping, stats) lives in the
+// object. Any number of searches may run concurrently over the SAME target
+// instance as long as no thread mutates it (see the concurrent-read
+// contract in logic/instance.h); the parallel chase runs one search object
+// per task and aggregates HomSearchStats after the join.
 #ifndef TDLIB_LOGIC_HOMOMORPHISM_H_
 #define TDLIB_LOGIC_HOMOMORPHISM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "logic/instance.h"
@@ -41,6 +50,29 @@ struct Valuation {
   void Set(int attr, int var, int value) { values[attr][var] = value; }
   bool Bound(int attr, int var) const { return values[attr][var] >= 0; }
 };
+
+/// Counters one search produced. Search-local by design: every
+/// HomomorphismSearch owns exactly one HomSearchStats and nothing else ever
+/// writes it, so concurrent searches race on nothing. Aggregation across
+/// searches (the chase's per-pass totals) is an explicit MergeFrom of
+/// per-task copies after the tasks have joined — never two searches
+/// pointing at one struct.
+struct HomSearchStats {
+  std::uint64_t nodes = 0;   ///< search-tree nodes explored
+  bool budget_hit = false;   ///< a node/deadline/cancel limit stopped a search
+  bool deadline_hit = false; ///< specifically the wall-clock deadline
+
+  void MergeFrom(const HomSearchStats& other) {
+    nodes += other.nodes;
+    budget_hit = budget_hit || other.budget_hit;
+    deadline_hit = deadline_hit || other.deadline_hit;
+  }
+};
+// Plain counters only: no pointers, no atomics, nothing shareable. If this
+// ever grows a reference to shared state, the parallel chase's sum-after-
+// join aggregation breaks — keep it trivially copyable.
+static_assert(std::is_trivially_copyable<HomSearchStats>::value,
+              "HomSearchStats must stay per-search value data");
 
 /// Tuning and budget knobs for the search.
 struct HomSearchOptions {
@@ -78,7 +110,17 @@ struct HomSearchOptions {
   /// Backtrack so one huge search cannot overshoot a caller's budget. On
   /// expiry the search reports kBudget (the space was not exhausted) and
   /// deadline_hit() is set; the borrowed Deadline must outlive the search.
+  /// Deadline reads are const and thread-safe, so concurrent searches may
+  /// share one Deadline object.
   const Deadline* deadline = nullptr;
+
+  /// Optional cooperative cancel flag, checked on the same amortized cadence
+  /// as the deadline. This is how a budget trip in one of the chase's
+  /// concurrent match tasks binds across all of them: the tripping task sets
+  /// the shared flag and every sibling search winds down within a few
+  /// hundred nodes, reporting kBudget. Null (the default) disables the
+  /// check; the flag must outlive the search.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Outcome of a search that may exhaust its budget.
@@ -108,8 +150,11 @@ class HomomorphismSearch {
   /// target (and touches the delta, if one is set) is visited exactly once.
   HomSearchStatus ForEach(const std::function<bool(const Valuation&)>& visit);
 
+  /// Counters for the last call (reset by every FindAny/ForEach).
+  const HomSearchStats& stats() const { return stats_; }
+
   /// Search-tree nodes explored by the last call.
-  std::uint64_t nodes_explored() const { return nodes_; }
+  std::uint64_t nodes_explored() const { return stats_.nodes; }
 
   /// The tuple id each source row is bound to, in tableau row order — the
   /// "body image" of the match being visited. Valid only inside a ForEach/
@@ -118,7 +163,7 @@ class HomomorphismSearch {
 
   /// True iff the last call stopped because options.deadline expired
   /// (reported as kBudget; this disambiguates for timeout accounting).
-  bool deadline_hit() const { return deadline_hit_; }
+  bool deadline_hit() const { return stats_.deadline_hit; }
 
  private:
   bool Backtrack(int depth, const std::function<bool(const Valuation&)>& visit,
@@ -141,9 +186,7 @@ class HomomorphismSearch {
   std::vector<bool> row_done_;
   std::vector<int> row_tuples_;
   int delta_rows_bound_ = 0;  ///< "any row" mode: rows on delta tuples now
-  std::uint64_t nodes_ = 0;
-  bool budget_hit_ = false;
-  bool deadline_hit_ = false;
+  HomSearchStats stats_;
 };
 
 /// Convenience wrapper: is there any homomorphism source -> target?

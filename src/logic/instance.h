@@ -12,6 +12,17 @@
 // are keyed on arena offsets (tuple ids), never on owning vectors, so the
 // hot chase/matching paths touch one contiguous buffer. TupleRefs are
 // invalidated by AddTuple; ids are stable (tuples are never removed).
+//
+// Concurrent-read contract: Instance has no internal synchronization, but
+// every const member (tuple, TuplesWith, NumTuples, FindTuple, Contains,
+// DomainSize, ValueName, IsLabeledNull, ...) is a pure read — no lazy
+// caches, no mutable members, no shared scratch (TupleStore::Find probes
+// the hash table in place). Any number of threads may therefore call const
+// members concurrently AS LONG AS no thread mutates the instance (AddTuple,
+// AddValue, InternValue, Reserve). The parallel chase leans on exactly this:
+// its match tasks share one instance read-only, and every mutation (firing)
+// happens serially between matching phases. Mutations must be fenced from
+// reads by the caller (the chase's task join provides the fence).
 #ifndef TDLIB_LOGIC_INSTANCE_H_
 #define TDLIB_LOGIC_INSTANCE_H_
 

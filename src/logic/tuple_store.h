@@ -12,6 +12,13 @@
 // Invalidation contract: a TupleRef is a borrowed view; any Insert may grow
 // the arena and invalidate outstanding refs. Ids are stable forever (tuples
 // are never removed), so persist ids, not refs, across mutations.
+//
+// Concurrent-read contract: const members (operator[], Find, size,
+// CheckInvariants) perform pure reads — Find probes the slot table in place
+// and never touches the mutable `scratch_` staging row (only Insert does).
+// Concurrent const calls from many threads are safe while no thread calls
+// Insert/Reserve; writers must be externally fenced from readers. This is
+// the foundation of the chase's read-only parallel match phase.
 #ifndef TDLIB_LOGIC_TUPLE_STORE_H_
 #define TDLIB_LOGIC_TUPLE_STORE_H_
 

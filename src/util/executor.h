@@ -1,0 +1,42 @@
+// TaskExecutor: the minimal task-submission interface the lower layers see.
+//
+// The chase (src/chase/) wants to fan its per-pass match tasks out on the
+// engine's thread pool, but the engine layer sits *above* the chase in the
+// dependency order (engine -> chase -> logic -> util). This interface breaks
+// the cycle: ThreadPool (engine) implements it, ChaseConfig (chase) holds a
+// pointer to it, and neither layer includes the other's headers.
+//
+// Implementations must be thread-safe: Submit, num_threads and QueueDepth
+// may be called concurrently from any thread, including from inside a task
+// running on the executor itself (nested submission). An executor may reject
+// a submission (e.g. during shutdown) by returning false; callers must then
+// run the task themselves or drop it — util/parallel.h's ParallelFor does
+// the former, which is what makes nested fan-out deadlock-free.
+#ifndef TDLIB_UTIL_EXECUTOR_H_
+#define TDLIB_UTIL_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace tdlib {
+
+/// Abstract task submission target (implemented by engine/ThreadPool).
+class TaskExecutor {
+ public:
+  virtual ~TaskExecutor() = default;
+
+  /// Enqueues a task; higher `priority` runs first. Returns false iff the
+  /// executor refuses the task (it will then never run).
+  virtual bool Submit(std::function<void()> task, int priority) = 0;
+
+  /// Number of worker threads (the executor's maximum useful parallelism).
+  virtual int num_threads() const = 0;
+
+  /// Tasks queued but not yet picked up; a congestion signal for callers
+  /// deciding whether nested fan-out would help or just churn the queue.
+  virtual std::size_t QueueDepth() const = 0;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_EXECUTOR_H_

@@ -1,30 +1,50 @@
 #include "util/interner.h"
 
+#include <functional>
+
 namespace tdlib {
 
+Interner::Shard& Interner::ShardFor(std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % kNumShards];
+}
+
 int Interner::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = ids_.find(std::string(name));
-  if (it != ids_.end()) return it->second;
-  int id = static_cast<int>(names_.size());
-  names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(std::string(name));
+  if (it != shard.ids.end()) return it->second;
+  // New name: claim the next dense id under the global names lock (held
+  // briefly, inside the shard lock — see the lock-order note in the
+  // header). Holding the shard lock across the whole insert is what makes
+  // the id unique per name: a racing Intern of the same name waits here and
+  // then finds the entry.
+  int id;
+  {
+    std::lock_guard<std::mutex> names_lock(names_mu_);
+    id = static_cast<int>(names_.size());
+    names_.emplace_back(name);
+  }
+  shard.ids.emplace(std::string(name), id);
   return id;
 }
 
 int Interner::Lookup(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = ids_.find(std::string(name));
-  return it == ids_.end() ? -1 : it->second;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(std::string(name));
+  return it == shard.ids.end() ? -1 : it->second;
 }
 
 const std::string& Interner::NameOf(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // The deque never shrinks and entries are never rewritten, so the
+  // returned reference is stable; the lock only fences the read of the
+  // deque's internal structure against a concurrent push_back.
+  std::lock_guard<std::mutex> lock(names_mu_);
   return names_[static_cast<std::size_t>(id)];
 }
 
 std::size_t Interner::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(names_mu_);
   return names_.size();
 }
 

@@ -15,13 +15,26 @@ namespace tdlib {
 /// tdlib uses interners for attribute names, semigroup symbols and variable
 /// names so that all hot-path comparisons are integer comparisons.
 ///
-/// Thread-safety: all members may be called concurrently. Interning is off
-/// the solver hot path (it happens during parsing and construction, before
-/// jobs run), so the audit for the engine layer chose a plain mutex here —
-/// it costs nothing where it matters and removes the class from the list
-/// of things a concurrent caller must think about. Names are stored in a
-/// deque so the reference returned by NameOf stays valid while other
-/// threads intern.
+/// Thread-safety: all members may be called concurrently. The name -> id
+/// map is sharded by string hash with one mutex per shard, so concurrent
+/// Intern/Lookup calls on different names proceed in parallel — the chase's
+/// parallel match phase made the old single global mutex the one
+/// write-shared structure every worker could serialize on. The id -> name
+/// side stays global (ids must be dense across shards) behind its own
+/// mutex, but its critical sections are a deque push_back or an index read;
+/// the string hashing and map probing — the actual work — happen under the
+/// shard lock only. Names are stored in a deque so the reference returned
+/// by NameOf stays valid while other threads intern.
+///
+/// Lock order: shard mutex, then names mutex; nothing ever takes them the
+/// other way around, so the pair cannot deadlock.
+///
+/// Determinism note: ids are assigned in Intern arrival order. Single-
+/// threaded construction (parsing, generators — all current callers) gets
+/// the same dense ids as before; concurrent interning of NEW names gets
+/// scheduling-dependent ids, so keep construction single-threaded where id
+/// stability matters (hot paths only intern existing names, which is
+/// id-stable and shard-parallel).
 class Interner {
  public:
   /// Returns the id of `name`, interning it if new.
@@ -40,9 +53,21 @@ class Interner {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  // 16 shards: enough to make same-shard collisions rare at the pool widths
+  // the engine runs (hardware threads), small enough that the array of
+  // mutexes stays cache-resident.
+  static constexpr std::size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, int> ids;
+  };
+
+  Shard& ShardFor(std::string_view name) const;
+
+  mutable Shard shards_[kNumShards];
+  mutable std::mutex names_mu_;
   std::deque<std::string> names_;  ///< deque: stable references under growth
-  std::unordered_map<std::string, int> ids_;
 };
 
 }  // namespace tdlib

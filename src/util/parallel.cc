@@ -1,0 +1,69 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace tdlib {
+
+void ParallelFor(TaskExecutor* pool, std::size_t n,
+                 std::function<void(std::size_t)> fn, int priority) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1 || pool->num_threads() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared by the caller and every helper thunk. Heap-allocated because a
+  // helper may be dequeued *after* the caller has returned (all indices
+  // were claimed by faster threads); such a stale helper must still be able
+  // to read `next`, see the cursor exhausted, and exit without touching
+  // anything stack-bound. fn lives here for the same reason — though a
+  // stale helper never actually invokes it (the cursor check comes first).
+  struct State {
+    std::function<void(std::size_t)> fn;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = std::move(fn);
+  state->n = n;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      s->fn(i);
+      // acq_rel keeps the RMW chain a release sequence: the waiter's
+      // acquire load of the final count synchronizes with every task's
+      // writes, not just the last one's.
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);  // pairs with the cv wait
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t width = static_cast<std::size_t>(pool->num_threads());
+  std::size_t helpers = std::min(n - 1, width);
+  if (pool->QueueDepth() >= width) helpers = 0;  // saturated: don't pile on
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // A refused submission (pool shutting down) is fine: the caller's own
+    // drain below completes every unclaimed index.
+    if (!pool->Submit([state, drain] { drain(state); }, priority)) break;
+  }
+
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace tdlib

@@ -1,0 +1,46 @@
+// ParallelFor: deadlock-free nested fan-out over a TaskExecutor.
+//
+// The chase's match phase and any similar "N independent read-only tasks"
+// workload share one scheduling problem: the caller may itself be running
+// on a pool worker (a BatchSolver job), so it cannot simply submit N tasks
+// and block — if every worker did that, the pool would deadlock with all
+// workers waiting and all tasks queued. ParallelFor sidesteps the cycle by
+// making the *caller* a worker: indices are claimed from a shared atomic
+// cursor, helper thunks are submitted to the pool, and the caller drains
+// the same cursor on its own thread. The caller only ever waits for indices
+// actively running on other workers — never for queued work — so progress
+// is guaranteed with any pool width, including zero available workers.
+//
+// Determinism: which thread runs fn(i) is scheduling-dependent, but every i
+// in [0, n) runs exactly once and ParallelFor returns only after all
+// invocations (on any thread) have completed, with their writes visible to
+// the caller. Callers that need a deterministic result must make fn(i)
+// write only to per-index slots and merge in index order afterwards — the
+// chase does exactly that.
+#ifndef TDLIB_UTIL_PARALLEL_H_
+#define TDLIB_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/executor.h"
+
+namespace tdlib {
+
+/// Runs fn(0), ..., fn(n-1), each exactly once, using `pool` workers plus
+/// the calling thread; returns after every invocation has completed. With a
+/// null pool (or n <= 1, or a single-thread pool) this is a plain serial
+/// loop — the serial fallback ablations rely on.
+///
+/// Work-count heuristic: when the pool's queue is already at least as deep
+/// as its width, every worker has a backlog and helper thunks would only
+/// churn the queue, so none are submitted and the caller drains all indices
+/// itself (results are identical either way). `priority` is the submission
+/// priority for helper thunks; nested callers pass a high value so inner
+/// tasks jump ahead of queued outer work and shorten the critical path.
+void ParallelFor(TaskExecutor* pool, std::size_t n,
+                 std::function<void(std::size_t)> fn, int priority = 0);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_PARALLEL_H_

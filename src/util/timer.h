@@ -34,6 +34,10 @@ class Timer {
 
 /// A soft deadline: Expired() becomes true once the budget elapses.
 /// A non-positive budget means "no deadline".
+///
+/// Thread-safe for concurrent Expired() calls: both members are immutable
+/// after construction and each call reads the monotonic clock afresh. The
+/// chase shares one Deadline across all of a pass's parallel match tasks.
 class Deadline {
  public:
   explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}

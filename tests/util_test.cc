@@ -1,11 +1,16 @@
 // Unit tests for the util substrate.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/csv_writer.h"
 #include "util/hash.h"
 #include "util/interner.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -74,6 +79,59 @@ TEST(Interner, RoundTrip) {
   EXPECT_EQ(interner.Lookup("gamma"), -1);
   EXPECT_TRUE(interner.Contains("alpha"));
   EXPECT_FALSE(interner.Contains("gamma"));
+}
+
+TEST(ParallelFor, NullPoolRunsSeriallyInIndexOrder) {
+  // The serial fallback is the contract --naive-chase and single-thread
+  // ablations rely on: no pool, no threads, plain in-order loop.
+  std::vector<std::size_t> order;
+  ParallelFor(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroTasksIsANoop) {
+  bool ran = false;
+  ParallelFor(nullptr, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Interner, ConcurrentInterningYieldsDenseUniqueIds) {
+  // The sharded interner must hand out dense ids exactly once per distinct
+  // name under contention. 8 threads intern an overlapping window of names
+  // (thread t covers [t*8, t*8 + 32)), so most names are interned by
+  // several threads at once across many shards.
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kNames = (kThreads - 1) * 8 + 32;  // union of the windows
+  std::vector<std::vector<int>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &ids, t] {
+      for (int i = t * 8; i < t * 8 + 32; ++i) {
+        ids[t].push_back(interner.Intern("name" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 32; ++i) {
+      const std::string name = "name" + std::to_string(t * 8 + i);
+      // Every thread that interned `name` got the same id, and the id
+      // round-trips through both directions of the map.
+      EXPECT_EQ(ids[t][static_cast<std::size_t>(i)], interner.Lookup(name));
+      EXPECT_EQ(interner.NameOf(ids[t][static_cast<std::size_t>(i)]), name);
+    }
+  }
+  // Dense: the ids are exactly 0..kNames-1.
+  std::set<int> seen;
+  for (int i = 0; i < kNames; ++i) {
+    seen.insert(interner.Lookup("name" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNames));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), kNames - 1);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
