@@ -1,20 +1,21 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and leaves machine-readable perf records
-# (BENCH_engine.json, BENCH_chase.json, BENCH_chase_parallel.json) so
-# successive PRs accumulate a throughput trajectory.
+# (BENCH_engine.json, BENCH_chase.json, BENCH_chase_parallel.json,
+# BENCH_service.json) so successive PRs accumulate a throughput trajectory.
 #
 #   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json] \
-#                           [chase-parallel-out.json]
+#                           [chase-parallel-out.json] [service-out.json]
 #
-# The build dir must already contain bench/bench_batch_engine and
-# bench/bench_chase (configure with -DTDLIB_BUILD_BENCHMARKS=ON, the
-# default, and build).
+# The build dir must already contain bench/bench_batch_engine,
+# bench/bench_chase and bench/bench_service (configure with
+# -DTDLIB_BUILD_BENCHMARKS=ON, the default, and build).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 ENGINE_OUT="${2:-BENCH_engine.json}"
 CHASE_OUT="${3:-BENCH_chase.json}"
 CHASE_PARALLEL_OUT="${4:-BENCH_chase_parallel.json}"
+SERVICE_OUT="${5:-BENCH_service.json}"
 
 run_bench() {
   local bin="$1" out="$2" filter="${3:-}"
@@ -42,6 +43,9 @@ run_bench "$BUILD_DIR/bench/bench_batch_engine" "$ENGINE_OUT"
 run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_OUT" '-BM_ChaseParallel'
 run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_PARALLEL_OUT" \
   'BM_ChaseParallel'
+# The service API record: submit-to-complete latency percentiles at pool
+# widths 1/2/4/8, plus the escalation-resume wall-time series.
+run_bench "$BUILD_DIR/bench/bench_service" "$SERVICE_OUT"
 
 # Console recap of the headline series. Best-effort without python3, but
 # when python3 exists the parallel parity check at the bottom is a hard
@@ -51,7 +55,7 @@ if ! command -v python3 > /dev/null; then
   echo "python3 not found; skipping recap + parity check"
   exit 0
 fi
-python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" <<'EOF'
+python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" "$SERVICE_OUT" <<'EOF'
 import json, sys
 
 data = json.load(open(sys.argv[1]))
@@ -111,4 +115,28 @@ for (family, key), runs in sorted(groups.items()):
                       f"{b.get(field)}")
 if not ok:
     sys.exit(1)
+
+# Service recap: the latency-percentile series per pool width, then the
+# escalation-resume pair (identical chase_steps is the parity signal; the
+# wall-time ratio is what resume buys).
+svc = json.load(open(sys.argv[4]))
+resume_modes = {}
+for b in svc.get("benchmarks", []):
+    name = b["name"].split("/")[0]
+    if name == "BM_ServiceLatency":
+        print(f"{b['name']:<40} p50={b['lat_p50_us'] / 1e3:8.2f}ms "
+              f"p90={b['lat_p90_us'] / 1e3:8.2f}ms "
+              f"p99={b['lat_p99_us'] / 1e3:8.2f}ms "
+              f"({b['jobs_per_sec']:.1f} jobs/s)")
+    elif name == "BM_ServiceEscalationResume":
+        resume_modes[int(b["use_resume"])] = b
+if 0 in resume_modes and 1 in resume_modes:
+    off, on = resume_modes[0], resume_modes[1]
+    ratio = off["real_time"] / on["real_time"] if on["real_time"] else 0
+    same = off.get("chase_steps") == on.get("chase_steps")
+    print(f"escalation-resume: rerun {off['real_time'] / 1e6:.1f}ms -> "
+          f"resume {on['real_time'] / 1e6:.1f}ms ({ratio:.2f}x), "
+          f"chase_steps parity={'OK' if same else 'VIOLATION'}")
+    if not same:
+        sys.exit(1)
 EOF

@@ -1,12 +1,12 @@
-// tdbatch: the batch front end to the parallel inference engine.
+// tdbatch: the batch front end to the asynchronous inference service.
 //
-// Runs a named workload (or a list of .td files) through engine/BatchSolver
-// and prints a per-job summary table; optionally writes the same rows as
-// CSV for the experiment harness.
+// Runs a named workload (or a list of .td files) through engine/SolverService
+// and prints a per-job summary table; optionally streams each result as it
+// completes and/or writes the same rows as CSV for the experiment harness.
 //
 //   $ ./build/examples/tdbatch --workload=reduction-sweep --size=12 --threads=4
 //   $ ./build/examples/tdbatch --workload=random --seed=7 --deadline=2.5
-//   $ ./build/examples/tdbatch a.td b.td c.td --csv=out.csv
+//   $ ./build/examples/tdbatch a.td b.td c.td --csv=out.csv --stream
 //
 // Flags:
 //   --workload=NAME   reduction-sweep (default) or random; ignored when
@@ -19,25 +19,38 @@
 //                     families contain gap instances that pump forever)
 //   --chase-steps=N   chase budget per round (default 2000, same reason)
 //   --max-tuples=N    finite-counterexample size bound (default 3)
-//   --deadline=S      global wall-clock budget in seconds (default none)
+//   --deadline=S      per-job wall-clock budget in seconds, measured from
+//                     submission — submissions all happen up front, so this
+//                     doubles as the old global batch budget (default none)
+//   --stream          print each job's result line the moment it completes
+//                     (completion order, from the service's on_complete
+//                     callback) instead of only the table at the end
 //   --naive-chase     disable delta-driven matching (ablation baseline;
 //                     verdicts are identical, the chase just re-matches
 //                     the whole instance every pass)
 //   --serial-chase    keep each job's chase matching phase on its own
-//                     thread (disable lending the batch pool to the chase;
-//                     results are byte-identical, this is the ablation
-//                     baseline for chase-level parallelism)
-//   --stop-on-refutation   cancel the batch at the first refuted job
+//                     thread (disable lending the service pool to the
+//                     chase; results are byte-identical, this is the
+//                     ablation baseline for chase-level parallelism)
+//   --no-resume       make escalation rounds re-run the chase from scratch
+//                     instead of resuming the previous round's checkpoint
+//                     (ablation baseline; results are byte-identical, the
+//                     chase just re-derives every round's prefix)
+//   --stop-on-refutation   skip jobs not yet started once any job refutes
 //   --serial          run on the calling thread (reference mode)
 //   --csv=PATH        also write per-job rows as CSV
+#include <atomic>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "engine/batch_solver.h"
+#include "engine/service.h"
 #include "engine/workload.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 using namespace tdlib;
 
@@ -47,7 +60,8 @@ int Usage() {
   std::cerr << "usage: tdbatch [--workload=reduction-sweep|random] [--size=N]\n"
                "               [--seed=N] [--threads=N] [--rounds=N]\n"
                "               [--chase-steps=N] [--max-tuples=N]\n"
-               "               [--deadline=S] [--naive-chase] [--serial-chase]\n"
+               "               [--deadline=S] [--stream] [--naive-chase]\n"
+               "               [--serial-chase] [--no-resume]\n"
                "               [--stop-on-refutation] [--serial]\n"
                "               [--csv=PATH] [file.td ...]\n";
   return 2;
@@ -58,8 +72,12 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string family = "reduction-sweep";
   WorkloadOptions workload;
-  BatchOptions batch;
+  int num_threads = 0;
+  bool chase_parallelism = true;
+  bool stop_on_refutation = false;
+  double deadline_seconds = 0;
   bool serial = false;
+  bool stream = false;
   std::string csv_path;
   std::vector<std::string> files;
 
@@ -73,7 +91,7 @@ int main(int argc, char** argv) {
       } else if (StartsWith(arg, "--seed=")) {
         workload.seed = std::stoull(arg.substr(7));
       } else if (StartsWith(arg, "--threads=")) {
-        batch.num_threads = std::stoi(arg.substr(10));
+        num_threads = std::stoi(arg.substr(10));
       } else if (StartsWith(arg, "--rounds=")) {
         workload.solver.rounds = std::stoi(arg.substr(9));
       } else if (StartsWith(arg, "--chase-steps=")) {
@@ -82,13 +100,17 @@ int main(int argc, char** argv) {
         workload.solver.base_counterexample.max_tuples =
             std::stoi(arg.substr(13));
       } else if (StartsWith(arg, "--deadline=")) {
-        batch.deadline_seconds = std::stod(arg.substr(11));
+        deadline_seconds = std::stod(arg.substr(11));
+      } else if (arg == "--stream") {
+        stream = true;
       } else if (arg == "--naive-chase") {
         workload.solver.base_chase.use_delta = false;
       } else if (arg == "--serial-chase") {
-        batch.chase_parallelism = false;
+        chase_parallelism = false;
+      } else if (arg == "--no-resume") {
+        workload.solver.resume_chase = false;
       } else if (arg == "--stop-on-refutation") {
-        batch.stop_on_first_refutation = true;
+        stop_on_refutation = true;
       } else if (arg == "--serial") {
         serial = true;
       } else if (StartsWith(arg, "--csv=")) {
@@ -118,10 +140,63 @@ int main(int argc, char** argv) {
 
   BatchSummary summary;
   if (serial) {
+    BatchOptions batch;
+    batch.deadline_seconds = deadline_seconds;
+    batch.stop_on_first_refutation = stop_on_refutation;
     summary = RunSerial(jobs.value(), batch);
+    if (stream) {
+      // The reference mode has no worker callbacks; completion order IS
+      // submission order, so stream after the fact.
+      for (const JobResult& r : summary.results) {
+        std::cout << r.ToString() << "\n";
+      }
+    }
   } else {
-    BatchSolver solver(batch);
-    summary = solver.Run(jobs.value());
+    // The asynchronous path: one submission per job, results observed
+    // through handles. --stream and --stop-on-refutation both ride the
+    // per-submission on_complete callback; early stop closes a shared
+    // admission gate so queued jobs are skipped, exactly like the old
+    // batch-global control.
+    Timer wall;
+    ServiceOptions service_options;
+    service_options.num_threads = num_threads;
+    service_options.chase_parallelism = chase_parallelism;
+    SolverService service(service_options);
+    summary.num_threads = service.num_threads();
+
+    std::mutex stream_mu;
+    std::atomic<bool> refuted{false};
+    std::vector<JobHandle> handles;
+    handles.reserve(jobs.value().size());
+    for (const Job& job : jobs.value()) {
+      SubmitOptions submit;
+      submit.deadline_seconds = deadline_seconds;
+      if (stop_on_refutation) submit.skip_when = &refuted;
+      if (stream || stop_on_refutation) {
+        submit.on_complete = [&](const JobResult& r) {
+          if (stop_on_refutation && IsRefutation(r)) {
+            refuted.store(true, std::memory_order_relaxed);
+          }
+          if (stream) {
+            std::lock_guard<std::mutex> lock(stream_mu);
+            std::cout << r.ToString() << "\n";
+          }
+        };
+      }
+      handles.push_back(service.Submit(job, submit));
+    }
+    summary.results.reserve(handles.size());
+    for (const JobHandle& handle : handles) {
+      summary.results.push_back(handle.Wait());
+    }
+    summary.wall_seconds = wall.ElapsedSeconds();
+    for (const JobResult& r : summary.results) {
+      if (r.status == JobStatus::kCompleted) {
+        ++summary.completed;
+      } else {
+        ++summary.skipped;
+      }
+    }
   }
 
   std::cout << summary.ToTable();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <istream>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
@@ -76,12 +78,8 @@ std::vector<int> FireStep(const Dependency& dep, Instance* instance,
 // canonical sort key that makes the fire order independent of how matches
 // were enumerated (full scan, semi-naive partition, any interleaving of
 // concurrent tasks), which is what keeps naive/delta and serial/pooled runs
-// byte-identical.
-struct PendingStep {
-  int dep_index;
-  Valuation match;
-  std::vector<int> row_ids;
-};
+// byte-identical. Public (chase.h) because ChaseCheckpoint persists these.
+using PendingStep = PendingChaseStep;
 
 // One unit of a pass's matching phase: the re-check of one carried step, or
 // one body search (a full/any-row scan, or one member (dependency,
@@ -163,6 +161,15 @@ void RunMatchTask(const MatchTask& task, const DependencySet& deps,
     if (base_options.cancel != nullptr &&
         base_options.cancel->load(std::memory_order_relaxed)) {
       out->stats.budget_hit = true;
+      return false;
+    }
+    // The job-level cancel flag rides the same per-match cadence, so a
+    // cancelled job stops promptly even when each individual search is
+    // smaller than Backtrack's own check interval.
+    if (base_options.job_cancel != nullptr &&
+        base_options.job_cancel->load(std::memory_order_relaxed)) {
+      out->stats.budget_hit = true;
+      out->stats.cancel_hit = true;
       return false;
     }
     return true;
@@ -259,6 +266,12 @@ bool HasApplicableStep(const Dependency& dep, const Instance& instance,
 
 ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                      const ChaseConfig& config, const ChaseGoal& goal) {
+  return RunChase(instance, deps, config, goal, /*checkpoint=*/nullptr);
+}
+
+ChaseResult RunChase(Instance* instance, const DependencySet& deps,
+                     const ChaseConfig& config, const ChaseGoal& goal,
+                     ChaseCheckpoint* checkpoint) {
   ChaseResult result;
   Deadline deadline(config.deadline_seconds);
   HomSearchOptions hom_options = config.HomOptions();
@@ -266,17 +279,20 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   // shares the run's deadline, so even one huge homomorphism search is cut
   // off close to the wall-clock budget.
   hom_options.deadline = &deadline;
+  // The engine's cancel flag reaches every search the same way.
+  hom_options.job_cancel = config.cancel;
 
-  // When the deadline and the node budget trip together, the wall clock is
-  // the binding constraint; report it.
-  auto limit_status = [&] {
-    return deadline.Expired() ? ChaseStatus::kTimeout : ChaseStatus::kHomBudget;
+  // When several limits trip together: a cancel request outranks everything
+  // (the caller asked for it), then the wall clock, then the node budget.
+  auto limit_status = [&](const HomSearchStats& stats) {
+    if (stats.cancel_hit) return ChaseStatus::kCancelled;
+    if (stats.deadline_hit || deadline.Expired()) return ChaseStatus::kTimeout;
+    return ChaseStatus::kHomBudget;
   };
-
-  if (goal && goal(*instance)) {
-    result.status = ChaseStatus::kGoal;
-    return result;
-  }
+  auto cancelled = [&] {
+    return config.cancel != nullptr &&
+           config.cancel->load(std::memory_order_relaxed);
+  };
 
   // Tuples with id >= delta_begin are "new" since the previous matching
   // phase. 0 on the first pass, so pass 1 matches the whole seed instance
@@ -289,104 +305,174 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   // would never see it again.
   std::vector<PendingStep> carried;
 
+  // The firing phase below runs over these; hoisted out of the loop so a
+  // checkpoint resume can re-enter the phase mid-pass.
+  std::vector<PendingStep> pending;
+  std::uint64_t fired_this_pass = 0;
+  bool resuming = false;
+
+  if (checkpoint != nullptr && checkpoint->valid) {
+    // Continue the interrupted firing phase: the caller restored (or kept)
+    // the instance the checkpoint was taken against and verified
+    // ResumableWith. Counters continue, so the eventual ChaseResult is the
+    // one an uninterrupted run would have produced.
+    delta_begin = checkpoint->delta_begin;
+    fired_this_pass = checkpoint->fired_this_pass;
+    pending = std::move(checkpoint->pending);
+    result.steps = checkpoint->steps;
+    result.passes = checkpoint->passes;
+    result.hom_nodes = checkpoint->hom_nodes;
+    result.match_tasks = checkpoint->match_tasks;
+    result.carried_passes = checkpoint->carried_passes;
+    result.trace = std::move(checkpoint->trace);
+    checkpoint->Reset();  // consumed; refilled only on a resumable stop
+    resuming = true;
+    // No initial goal check: the uninterrupted run checked the goal after
+    // the last fire (eager mode) and found it false, or defers to the pass
+    // end (lazy mode) — the resumed loop reproduces both.
+  } else {
+    if (checkpoint != nullptr) checkpoint->Reset();
+    if (goal && goal(*instance)) {
+      result.status = ChaseStatus::kGoal;
+      return result;
+    }
+  }
+
+  // Captures the resumable state right before a kStepLimit / kTupleLimit
+  // return: the not-yet-fired tail of the pending list plus the cumulative
+  // counters (result already includes the firing phase's hom nodes by the
+  // time this runs).
+  auto take_checkpoint = [&](std::size_t next_index) {
+    if (checkpoint == nullptr) return;
+    checkpoint->Reset();
+    checkpoint->valid = true;
+    checkpoint->delta_begin = delta_begin;
+    checkpoint->fired_this_pass = fired_this_pass;
+    checkpoint->pending.assign(
+        std::make_move_iterator(pending.begin() +
+                                static_cast<std::ptrdiff_t>(next_index)),
+        std::make_move_iterator(pending.end()));
+    checkpoint->steps = result.steps;
+    checkpoint->passes = result.passes;
+    checkpoint->hom_nodes = result.hom_nodes;
+    checkpoint->match_tasks = result.match_tasks;
+    checkpoint->carried_passes = result.carried_passes;
+    checkpoint->trace = result.trace;
+    checkpoint->CaptureShape(config);
+  };
+
   while (true) {
-    ++result.passes;
-    std::size_t pass_start = instance->NumTuples();
-
-    // ---- Matching phase: read-only over the pass-start instance ----------
-    //
-    // The task list, and hence the set of searches, is identical in serial
-    // and pooled mode; only where each search runs differs. The collected
-    // valuations stay valid as tuples are only ever added.
-    std::vector<MatchTask> tasks =
-        BuildMatchTasks(deps, config, delta_begin, pass_start, carried.size());
-    std::vector<MatchOutput> outputs(tasks.size());
-    result.match_tasks += tasks.size();
-
-    if (config.pool != nullptr && tasks.size() > 1) {
-      // Fan out. Tasks write only their own output slot; a budget/deadline
-      // trip in any task raises the shared cancel flag so sibling searches
-      // wind down instead of completing doomed work.
-      std::atomic<bool> cancel{false};
-      HomSearchOptions task_options = hom_options;
-      task_options.cancel = &cancel;
-      ParallelFor(
-          config.pool, tasks.size(),
-          [&](std::size_t i) {
-            // The pass is already doomed once any sibling tripped; skipping
-            // outright (like the serial early break below) only changes
-            // budget-tripped runs, which are outside the parity guarantee.
-            if (cancel.load(std::memory_order_relaxed)) return;
-            RunMatchTask(tasks[i], deps, *instance, task_options, &carried,
-                         &outputs[i]);
-            if (outputs[i].stats.budget_hit) {
-              cancel.store(true, std::memory_order_relaxed);
-            }
-          },
-          kMatchTaskPriority);
+    if (resuming) {
+      // Skip the matching phase once: `pending` already holds the
+      // interrupted pass's unfired steps in canonical order.
+      resuming = false;
     } else {
-      for (std::size_t i = 0; i < tasks.size(); ++i) {
-        RunMatchTask(tasks[i], deps, *instance, hom_options, &carried,
-                     &outputs[i]);
-        if (outputs[i].stats.budget_hit) break;  // remaining work is doomed
+      ++result.passes;
+      if (!carried.empty()) ++result.carried_passes;
+      std::size_t pass_start = instance->NumTuples();
+      if (cancelled()) {
+        result.status = ChaseStatus::kCancelled;
+        return result;
       }
-    }
-    carried.clear();
 
-    // Aggregate per-task stats — the explicit sum-after-join that keeps
-    // HomSearchStats search-local (no shared counters between live
-    // searches).
-    HomSearchStats match_stats;
-    for (const MatchOutput& out : outputs) match_stats.MergeFrom(out.stats);
-    result.hom_nodes += match_stats.nodes;
-    if (match_stats.budget_hit) {
-      result.status =
-          match_stats.deadline_hit ? ChaseStatus::kTimeout : limit_status();
-      return result;
-    }
-    if (deadline.Expired()) {
-      result.status = ChaseStatus::kTimeout;
-      return result;
-    }
+      // ---- Matching phase: read-only over the pass-start instance --------
+      //
+      // The task list, and hence the set of searches, is identical in serial
+      // and pooled mode; only where each search runs differs. The collected
+      // valuations stay valid as tuples are only ever added.
+      std::vector<MatchTask> tasks = BuildMatchTasks(deps, config, delta_begin,
+                                                     pass_start,
+                                                     carried.size());
+      std::vector<MatchOutput> outputs(tasks.size());
+      result.match_tasks += tasks.size();
 
-    // Every dependency has now been matched against the first `pass_start`
-    // tuples; the next pass only needs to see what the fires below add.
-    delta_begin = pass_start;
-
-    // Merge the per-task buffers. Task order is canonical, but the sort
-    // below is what actually fixes the fire order: entries with equal
-    // (dep_index, row_ids) are fully identical (the body image determines
-    // the valuation), so the merge order cannot leak into the result.
-    std::size_t total_pending = 0;
-    for (const MatchOutput& out : outputs) total_pending += out.pending.size();
-    std::vector<PendingStep> pending;
-    pending.reserve(total_pending);
-    for (MatchOutput& out : outputs) {
-      for (PendingStep& step : out.pending) {
-        pending.push_back(std::move(step));
+      if (config.pool != nullptr && tasks.size() > 1) {
+        // Fan out. Tasks write only their own output slot; a budget/deadline
+        // trip in any task raises the shared cancel flag so sibling searches
+        // wind down instead of completing doomed work.
+        std::atomic<bool> cancel{false};
+        HomSearchOptions task_options = hom_options;
+        task_options.cancel = &cancel;
+        ParallelFor(
+            config.pool, tasks.size(),
+            [&](std::size_t i) {
+              // The pass is already doomed once any sibling tripped; skipping
+              // outright (like the serial early break below) only changes
+              // budget-tripped runs, which are outside the parity guarantee.
+              if (cancel.load(std::memory_order_relaxed)) return;
+              RunMatchTask(tasks[i], deps, *instance, task_options, &carried,
+                           &outputs[i]);
+              if (outputs[i].stats.budget_hit) {
+                cancel.store(true, std::memory_order_relaxed);
+              }
+            },
+            kMatchTaskPriority);
+      } else {
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          RunMatchTask(tasks[i], deps, *instance, hom_options, &carried,
+                       &outputs[i]);
+          if (outputs[i].stats.budget_hit) break;  // remaining work is doomed
+        }
       }
-    }
+      carried.clear();
 
-    if (pending.empty()) {
-      result.status = ChaseStatus::kFixpoint;
-      return result;
-    }
+      // Aggregate per-task stats — the explicit sum-after-join that keeps
+      // HomSearchStats search-local (no shared counters between live
+      // searches).
+      HomSearchStats match_stats;
+      for (const MatchOutput& out : outputs) match_stats.MergeFrom(out.stats);
+      result.hom_nodes += match_stats.nodes;
+      if (match_stats.budget_hit) {
+        result.status = limit_status(match_stats);
+        return result;
+      }
+      if (deadline.Expired()) {
+        result.status = ChaseStatus::kTimeout;
+        return result;
+      }
 
-    // Fire in canonical (dependency, body image) order. Decoupling the fire
-    // order from enumeration order is what makes the result — including the
-    // ids of invented nulls — a function of the *set* of applicable steps,
-    // identical across matching strategies and thread counts.
-    std::sort(pending.begin(), pending.end(),
-              [](const PendingStep& a, const PendingStep& b) {
-                if (a.dep_index != b.dep_index) {
-                  return a.dep_index < b.dep_index;
-                }
-                return a.row_ids < b.row_ids;
-              });
+      // Every dependency has now been matched against the first `pass_start`
+      // tuples; the next pass only needs to see what the fires below add.
+      delta_begin = pass_start;
+
+      // Merge the per-task buffers. Task order is canonical, but the sort
+      // below is what actually fixes the fire order: entries with equal
+      // (dep_index, row_ids) are fully identical (the body image determines
+      // the valuation), so the merge order cannot leak into the result.
+      std::size_t total_pending = 0;
+      for (const MatchOutput& out : outputs) {
+        total_pending += out.pending.size();
+      }
+      pending.clear();
+      pending.reserve(total_pending);
+      for (MatchOutput& out : outputs) {
+        for (PendingStep& step : out.pending) {
+          pending.push_back(std::move(step));
+        }
+      }
+
+      if (pending.empty()) {
+        result.status = ChaseStatus::kFixpoint;
+        return result;
+      }
+
+      // Fire in canonical (dependency, body image) order. Decoupling the
+      // fire order from enumeration order is what makes the result —
+      // including the ids of invented nulls — a function of the *set* of
+      // applicable steps, identical across matching strategies and thread
+      // counts.
+      std::sort(pending.begin(), pending.end(),
+                [](const PendingStep& a, const PendingStep& b) {
+                  if (a.dep_index != b.dep_index) {
+                    return a.dep_index < b.dep_index;
+                  }
+                  return a.row_ids < b.row_ids;
+                });
+      fired_this_pass = 0;
+    }
 
     // ---- Firing phase: serial, on the calling thread ---------------------
     HomSearchStats fire_stats;
-    std::uint64_t fired_this_pass = 0;
     for (std::size_t pi = 0; pi < pending.size(); ++pi) {
       if (config.max_fires_per_pass > 0 &&
           fired_this_pass >= config.max_fires_per_pass) {
@@ -399,6 +485,14 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
         }
         break;
       }
+      if (cancelled()) {
+        // Between-fire cancel check: a cancelled job must not keep firing a
+        // huge pending burst to the end of the pass. No checkpoint — the
+        // caller asked the job to die, not to pause deterministically.
+        result.hom_nodes += fire_stats.nodes;
+        result.status = ChaseStatus::kCancelled;
+        return result;
+      }
       PendingStep& step = pending[pi];
       const Dependency& dep = deps.items[step.dep_index];
       // An earlier fire in this pass may have witnessed this head already.
@@ -406,7 +500,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                                      &fire_stats);
       if (fire_stats.budget_hit) {
         result.hom_nodes += fire_stats.nodes;
-        result.status = limit_status();
+        result.status = limit_status(fire_stats);
         return result;
       }
       if (witnessed) continue;
@@ -425,11 +519,13 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       if (config.max_steps > 0 && result.steps >= config.max_steps) {
         result.hom_nodes += fire_stats.nodes;
         result.status = ChaseStatus::kStepLimit;
+        take_checkpoint(pi + 1);
         return result;
       }
       if (config.max_tuples > 0 && instance->NumTuples() >= config.max_tuples) {
         result.hom_nodes += fire_stats.nodes;
         result.status = ChaseStatus::kTupleLimit;
+        take_checkpoint(pi + 1);
         return result;
       }
       if (deadline.Expired()) {
@@ -455,8 +551,202 @@ std::string_view ChaseStatusName(ChaseStatus status) {
     case ChaseStatus::kTupleLimit: return "tuple-limit";
     case ChaseStatus::kTimeout: return "timeout";
     case ChaseStatus::kHomBudget: return "hom-budget";
+    case ChaseStatus::kCancelled: return "cancelled";
   }
   return "?";
+}
+
+bool ChaseCheckpoint::BudgetsExceedProgress(const ChaseConfig& config,
+                                            const Instance& instance) const {
+  if (config.max_steps > 0 && steps >= config.max_steps) return false;
+  if (config.max_tuples > 0 && instance.NumTuples() >= config.max_tuples) {
+    return false;
+  }
+  return true;
+}
+
+bool ChaseCheckpoint::CompatibleWith(const ChaseConfig& config,
+                                     const Instance& instance,
+                                     const DependencySet& deps) const {
+  if (!valid) return false;
+  // A different shape would evolve differently from here on; the resumed
+  // run would no longer replay an uninterrupted one.
+  if (use_delta != config.use_delta ||
+      max_fires_per_pass != config.max_fires_per_pass ||
+      record_trace != config.record_trace ||
+      eager_goal_check != config.eager_goal_check ||
+      hom_max_nodes != config.hom_max_nodes) {
+    return false;
+  }
+  // Semantic validation against this (deps, instance): checkpoints may come
+  // from disk, and RunChase (and trace consumers like FormatChaseStep)
+  // index deps/tuples/valuations unchecked — so a corrupt file must die
+  // here, cleanly.
+  const std::size_t num_tuples = instance.NumTuples();
+  if (delta_begin > num_tuples) return false;
+  // The valuation must be shaped exactly like its dependency's variable
+  // space (FireStep and the head-witness search index it by (attr, var))
+  // and bind only existing domain values.
+  auto valid_match = [&](int dep_index, const Valuation& match) {
+    if (dep_index < 0 || dep_index >= static_cast<int>(deps.items.size())) {
+      return false;
+    }
+    const Valuation reference = Valuation::For(deps.items[dep_index].body());
+    if (match.values.size() != reference.values.size()) return false;
+    for (std::size_t attr = 0; attr < reference.values.size(); ++attr) {
+      if (match.values[attr].size() != reference.values[attr].size()) {
+        return false;
+      }
+      for (int v : match.values[attr]) {
+        if (v < -1 || v >= instance.DomainSize(static_cast<int>(attr))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  auto valid_ids = [num_tuples](const std::vector<int>& ids) {
+    for (int id : ids) {
+      if (id < 0 || id >= static_cast<int>(num_tuples)) return false;
+    }
+    return true;
+  };
+  for (const PendingChaseStep& step : pending) {
+    if (!valid_match(step.dep_index, step.match) ||
+        !valid_ids(step.row_ids)) {
+      return false;
+    }
+  }
+  for (const ChaseStep& step : trace) {
+    if (!valid_match(step.dependency_index, step.body_match) ||
+        !valid_ids(step.new_tuples)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ChaseCheckpoint::CaptureShape(const ChaseConfig& config) {
+  use_delta = config.use_delta;
+  max_fires_per_pass = config.max_fires_per_pass;
+  record_trace = config.record_trace;
+  eager_goal_check = config.eager_goal_check;
+  hom_max_nodes = config.hom_max_nodes;
+}
+
+namespace {
+
+// Checkpoint text format helpers: everything is whitespace-separated
+// integers behind a magic tag, so the format is portable and diffable.
+// (Domain-value names live in Instance::Serialize, not here — a checkpoint
+// holds only variable/tuple ids.)
+void WriteIntVec(std::ostream& os, const std::vector<int>& v) {
+  os << v.size();
+  for (int x : v) os << ' ' << x;
+  os << '\n';
+}
+
+// Untrusted-count discipline: a corrupt header can declare any element
+// count, so deserializers never pre-size from it — they append one
+// stream-checked element at a time (a lying count then fails at end of
+// input instead of throwing length_error / OOMing on resize).
+bool ReadIntVec(std::istream& is, std::vector<int>* v) {
+  std::size_t n;
+  if (!(is >> n)) return false;
+  v->clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    int x;
+    if (!(is >> x)) return false;
+    v->push_back(x);
+  }
+  return true;
+}
+
+void WriteValuation(std::ostream& os, const Valuation& v) {
+  os << v.values.size() << '\n';
+  for (const std::vector<int>& column : v.values) WriteIntVec(os, column);
+}
+
+bool ReadValuation(std::istream& is, Valuation* v) {
+  std::size_t attrs;
+  if (!(is >> attrs)) return false;
+  v->values.clear();
+  for (std::size_t a = 0; a < attrs; ++a) {
+    std::vector<int> column;
+    if (!ReadIntVec(is, &column)) return false;
+    v->values.push_back(std::move(column));
+  }
+  return true;
+}
+
+constexpr char kCheckpointMagic[] = "tdckpt1";
+
+}  // namespace
+
+void ChaseCheckpoint::Serialize(std::ostream& os) const {
+  os << kCheckpointMagic << ' ' << (valid ? 1 : 0) << '\n';
+  if (!valid) return;
+  os << delta_begin << ' ' << fired_this_pass << '\n';
+  os << steps << ' ' << passes << ' ' << hom_nodes << ' ' << match_tasks << ' '
+     << carried_passes << '\n';
+  os << (use_delta ? 1 : 0) << ' ' << max_fires_per_pass << ' '
+     << (record_trace ? 1 : 0) << ' ' << (eager_goal_check ? 1 : 0) << ' '
+     << hom_max_nodes << '\n';
+  os << pending.size() << '\n';
+  for (const PendingChaseStep& step : pending) {
+    os << step.dep_index << '\n';
+    WriteValuation(os, step.match);
+    WriteIntVec(os, step.row_ids);
+  }
+  os << trace.size() << '\n';
+  for (const ChaseStep& step : trace) {
+    os << step.dependency_index << '\n';
+    WriteValuation(os, step.body_match);
+    WriteIntVec(os, step.new_tuples);
+  }
+}
+
+std::optional<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::istream& is) {
+  std::string magic;
+  int valid_flag;
+  if (!(is >> magic >> valid_flag) || magic != kCheckpointMagic) {
+    return std::nullopt;
+  }
+  ChaseCheckpoint ckpt;
+  if (valid_flag == 0) return ckpt;  // an empty (non-resumable) checkpoint
+  ckpt.valid = true;
+  int use_delta_flag, record_trace_flag, eager_flag;
+  std::size_t num_pending, num_trace;
+  if (!(is >> ckpt.delta_begin >> ckpt.fired_this_pass >> ckpt.steps >>
+        ckpt.passes >> ckpt.hom_nodes >> ckpt.match_tasks >>
+        ckpt.carried_passes >> use_delta_flag >> ckpt.max_fires_per_pass >>
+        record_trace_flag >> eager_flag >> ckpt.hom_max_nodes >>
+        num_pending)) {
+    return std::nullopt;
+  }
+  ckpt.use_delta = use_delta_flag != 0;
+  ckpt.record_trace = record_trace_flag != 0;
+  ckpt.eager_goal_check = eager_flag != 0;
+  // Same untrusted-count discipline as ReadIntVec: append, never resize.
+  for (std::size_t i = 0; i < num_pending; ++i) {
+    PendingChaseStep step;
+    if (!(is >> step.dep_index) || !ReadValuation(is, &step.match) ||
+        !ReadIntVec(is, &step.row_ids)) {
+      return std::nullopt;
+    }
+    ckpt.pending.push_back(std::move(step));
+  }
+  if (!(is >> num_trace)) return std::nullopt;
+  for (std::size_t i = 0; i < num_trace; ++i) {
+    ChaseStep step;
+    if (!(is >> step.dependency_index) ||
+        !ReadValuation(is, &step.body_match) ||
+        !ReadIntVec(is, &step.new_tuples)) {
+      return std::nullopt;
+    }
+    ckpt.trace.push_back(std::move(step));
+  }
+  return ckpt;
 }
 
 std::string ChaseResult::ToString() const {

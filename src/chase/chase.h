@@ -14,8 +14,10 @@
 #ifndef TDLIB_CHASE_CHASE_H_
 #define TDLIB_CHASE_CHASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -83,6 +85,15 @@ struct ChaseConfig {
   /// diverge).
   TaskExecutor* pool = nullptr;
 
+  /// Optional cooperative cancel flag (the engine's JobHandle::Cancel routes
+  /// here). Observed inside every homomorphism search on the amortized
+  /// ~512-node cadence (HomSearchOptions::job_cancel), once per enumerated
+  /// body match, and between fires — so even a pumping chase stops within
+  /// one cadence interval of the flag being raised. A trip reports
+  /// ChaseStatus::kCancelled and never produces a resumable checkpoint
+  /// (searches were cut mid-stream). Null disables; must outlive the run.
+  const std::atomic<bool>* cancel = nullptr;
+
   HomSearchOptions HomOptions() const {
     HomSearchOptions o;
     o.max_nodes = hom_max_nodes;
@@ -98,6 +109,7 @@ enum class ChaseStatus {
   kTupleLimit,  ///< max_tuples exhausted
   kTimeout,     ///< deadline exceeded
   kHomBudget,   ///< a homomorphism search ran out of nodes (result unreliable)
+  kCancelled,   ///< ChaseConfig::cancel was raised mid-run
 };
 
 /// One fired chase step (recorded when ChaseConfig::record_trace is set).
@@ -114,9 +126,99 @@ struct ChaseResult {
   std::uint64_t passes = 0;         ///< full scans over the dependency set
   std::uint64_t hom_nodes = 0;      ///< total homomorphism search nodes
   std::uint64_t match_tasks = 0;    ///< match-phase tasks (parallel units)
+  std::uint64_t carried_passes = 0; ///< passes entered with carried pending
+                                    ///  steps (burst-cap backlog re-checks)
   std::vector<ChaseStep> trace;     ///< populated when record_trace
 
   std::string ToString() const;
+};
+
+/// One collected-but-not-yet-fired chase step: the dependency, the body
+/// match, and the body image (the tuple id each body row maps to, in tableau
+/// row order — the canonical fire-order sort key). This is the unit the
+/// burst cap carries between passes and the unit a ChaseCheckpoint persists.
+struct PendingChaseStep {
+  int dep_index;
+  Valuation match;
+  std::vector<int> row_ids;
+};
+
+/// The complete resumable state of a budget-stopped chase, minus the
+/// instance itself (the caller owns that; ChaseSession in chase/implication.h
+/// bundles the two, and Instance::Serialize persists the tuple arena).
+///
+/// A checkpoint is taken exactly when a run stops DETERMINISTICALLY inside
+/// the firing phase — kStepLimit or kTupleLimit, the two budgets the dual
+/// solver's escalation rounds raise. Those stops happen between fires, with
+/// the instance in a well-defined state and the remaining pending steps in
+/// hand, so a resumed run replays the continuation of an uninterrupted run
+/// byte for byte: same tuples, same invented nulls, same trace, same
+/// cumulative counters. Nondeterministic stops (kTimeout, kHomBudget,
+/// kCancelled) cut homomorphism searches mid-stream and leave no checkpoint
+/// (valid stays false); resuming after one falls back to a fresh run.
+///
+/// Counters are cumulative: a resumed ChaseResult continues them, so its
+/// totals equal an uninterrupted run's — which is what keeps the dual
+/// solver's escalation-resume invisible in DeterministicSummary.
+struct ChaseCheckpoint {
+  bool valid = false;
+
+  // ---- Resume point (inside the firing phase of pass `passes`) ----------
+  std::size_t delta_begin = 0;      ///< frontier: ids >= this are the delta
+  std::uint64_t fired_this_pass = 0;  ///< burst-cap progress within the pass
+  std::vector<PendingChaseStep> pending;  ///< still-unfired steps, canonical
+                                          ///  (dep, body-image) order
+
+  // ---- Cumulative counters (ChaseResult so far) -------------------------
+  std::uint64_t steps = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t match_tasks = 0;
+  std::uint64_t carried_passes = 0;
+  std::vector<ChaseStep> trace;     ///< populated when record_trace
+
+  // ---- Config shape the checkpoint was taken under ----------------------
+  // Resuming under a different shape would diverge from an uninterrupted
+  // run; ResumableWith refuses and the caller starts fresh instead.
+  bool use_delta = true;
+  std::uint64_t max_fires_per_pass = 0;
+  bool record_trace = false;
+  bool eager_goal_check = true;
+  std::uint64_t hom_max_nodes = 0;
+
+  /// True iff this checkpoint belongs with (config-shape, instance, deps):
+  /// it is valid, the config shape matches, and — because checkpoints may
+  /// arrive from disk — every pending and trace entry's dependency index,
+  /// tuple ids and valuation are in range for the given dependency set and
+  /// instance (a corrupt file fails here, not as an out-of-bounds access
+  /// inside RunChase or a trace consumer). Budgets are NOT considered: a
+  /// compatible checkpoint whose progress exceeds the current budgets is
+  /// worth keeping for a later, bigger-budget round.
+  bool CompatibleWith(const ChaseConfig& config, const Instance& instance,
+                      const DependencySet& deps) const;
+
+  /// True iff `config`'s step/tuple budgets exceed the recorded progress —
+  /// resuming under budgets at or below it would stop after at most one
+  /// fire instead of replaying an uninterrupted run.
+  bool BudgetsExceedProgress(const ChaseConfig& config,
+                             const Instance& instance) const;
+
+  /// CompatibleWith && BudgetsExceedProgress: safe to hand to RunChase.
+  bool ResumableWith(const ChaseConfig& config, const Instance& instance,
+                     const DependencySet& deps) const {
+    return CompatibleWith(config, instance, deps) &&
+           BudgetsExceedProgress(config, instance);
+  }
+
+  /// Remembers `config`'s shape fields (called when the checkpoint is taken).
+  void CaptureShape(const ChaseConfig& config);
+
+  void Reset() { *this = ChaseCheckpoint(); }
+
+  /// Text round-trip (whitespace-separated; Valuations and traces included).
+  /// Deserialize returns std::nullopt on malformed input.
+  void Serialize(std::ostream& os) const;
+  static std::optional<ChaseCheckpoint> Deserialize(std::istream& is);
 };
 
 /// A goal predicate evaluated against the evolving instance; the chase stops
@@ -157,6 +259,27 @@ using ChaseGoal = std::function<bool(const Instance&)>;
 /// count (same budget-trip caveat as above). Firing is always serial.
 ChaseResult RunChase(Instance* instance, const DependencySet& deps,
                      const ChaseConfig& config, const ChaseGoal& goal = {});
+
+/// Resumable variant. `checkpoint` is in/out:
+///
+///   * On entry, if checkpoint->valid, the run CONTINUES from it instead of
+///     starting a first pass — `instance` must be the very instance (or a
+///     restored copy) the checkpoint was taken against, and the caller must
+///     have verified checkpoint->ResumableWith(config, *instance, deps). The
+///     checkpoint is consumed (valid flips false).
+///   * On exit, if the run stopped at kStepLimit or kTupleLimit, the
+///     checkpoint is refilled (valid = true) so a later call — possibly in
+///     another process, via Instance/ChaseCheckpoint serialization — can
+///     continue. Any other stop leaves it invalid.
+///
+/// Interrupted-vs-uninterrupted byte-identity: for any budgets B1 < B2,
+/// running to B1, checkpointing, and resuming to B2 yields the same
+/// ChaseResult (status, counters, trace) and the same instance as one
+/// uninterrupted run to B2. tests/checkpoint_test.cc enforces this across
+/// workload families, including through a serialize/deserialize round trip.
+ChaseResult RunChase(Instance* instance, const DependencySet& deps,
+                     const ChaseConfig& config, const ChaseGoal& goal,
+                     ChaseCheckpoint* checkpoint);
 
 /// Returns true iff `dep` has a body match in `instance` that does not
 /// extend to its head (i.e. a chase step is applicable). Exposed for tests

@@ -75,6 +75,8 @@ CounterexampleResult FindFiniteCounterexample(
     bool exhausted_level = false;
     while (!exhausted_level) {
       if (deadline.Expired() ||
+          (config.cancel != nullptr &&
+           config.cancel->load(std::memory_order_relaxed)) ||
           (config.max_candidates > 0 &&
            result.candidates_checked >= config.max_candidates)) {
         result.status = CounterexampleStatus::kLimit;

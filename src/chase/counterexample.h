@@ -16,6 +16,7 @@
 #ifndef TDLIB_CHASE_COUNTEREXAMPLE_H_
 #define TDLIB_CHASE_COUNTEREXAMPLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -37,6 +38,13 @@ struct CounterexampleConfig {
 
   /// Wall-clock budget in seconds (<= 0 = none).
   double deadline_seconds = 0;
+
+  /// Optional cooperative cancel flag, checked once per candidate database
+  /// (each candidate is small — at most max_tuples rows — so the per-check
+  /// model tests bound the cancel latency). A trip reports kLimit; the
+  /// engine's service layer, which owns the flag, rewrites the job status
+  /// to kCancelled. Null disables; must outlive the search.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Outcome of a search.

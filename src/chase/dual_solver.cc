@@ -6,15 +6,34 @@ namespace tdlib {
 
 DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
                             const DualSolverConfig& config) {
+  return SolveImplication(d, d0, config, /*session=*/nullptr);
+}
+
+DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
+                            const DualSolverConfig& config,
+                            ChaseSession* session) {
   DualResult result;
+  // The chase side threads one session through every round: round k's
+  // kStepLimit checkpoint is round k+1's starting point (resume_chase), so
+  // escalation re-derives nothing. A caller-owned session extends the same
+  // continuation across SolveImplication calls (ResumeWithBudget).
+  ChaseSession local;
+  ChaseSession* chase_session = session != nullptr ? session : &local;
+  if (!config.resume_chase) chase_session->Reset();
+  auto cancelled = [&config] {
+    return config.cancel != nullptr &&
+           config.cancel->load(std::memory_order_relaxed);
+  };
   for (int round = 0; round < config.rounds; ++round) {
     result.rounds_used = round + 1;
 
     ChaseConfig chase = config.base_chase;
+    chase.cancel = config.cancel;
     std::uint64_t scale = 1ULL << round;
     if (chase.max_steps > 0) chase.max_steps *= scale;
     if (chase.max_tuples > 0) chase.max_tuples *= scale;
-    result.implication = ChaseImplies(d, d0, chase);
+    result.implication = ChaseImplies(
+        d, d0, chase, config.resume_chase ? chase_session : nullptr);
     if (result.implication.verdict == Implication::kImplied) {
       result.verdict = DualVerdict::kImplied;
       return result;
@@ -25,12 +44,22 @@ DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
       result.verdict = DualVerdict::kRefutedByFixpoint;
       return result;
     }
+    if (cancelled() ||
+        result.implication.chase.status == ChaseStatus::kCancelled) {
+      result.verdict = DualVerdict::kUnknown;
+      return result;
+    }
 
     CounterexampleConfig cex = config.base_counterexample;
     cex.max_tuples += round;
+    cex.cancel = config.cancel;
     result.counterexample = FindFiniteCounterexample(d, d0, cex);
     if (result.counterexample.status == CounterexampleStatus::kFound) {
       result.verdict = DualVerdict::kRefutedFinite;
+      return result;
+    }
+    if (cancelled()) {
+      result.verdict = DualVerdict::kUnknown;
       return result;
     }
   }

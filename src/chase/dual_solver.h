@@ -15,6 +15,7 @@
 #ifndef TDLIB_CHASE_DUAL_SOLVER_H_
 #define TDLIB_CHASE_DUAL_SOLVER_H_
 
+#include <atomic>
 #include <string>
 
 #include "chase/counterexample.h"
@@ -30,6 +31,25 @@ struct DualSolverConfig {
 
   ChaseConfig base_chase;                  ///< chase budgets for round 0
   CounterexampleConfig base_counterexample;  ///< model-search budgets for round 0
+
+  /// Escalation rounds resume the previous round's chase from its
+  /// checkpoint instead of re-running it from scratch (round k re-derives
+  /// nothing: it continues from the step-limit stop of round k-1). This is
+  /// observably invisible — verdicts, counters and traces equal the
+  /// re-running implementation's, because a resumed chase replays an
+  /// uninterrupted run byte for byte — but on pumping instances it saves
+  /// roughly half the total chase work across a geometric budget schedule.
+  /// Off = the historical re-run-from-scratch behavior (ablation baseline).
+  /// One caveat: under a binding wall-clock deadline, resume lets a round
+  /// get FURTHER than a from-scratch re-run would have in the same time;
+  /// deadline-bound runs are nondeterministic in either mode.
+  bool resume_chase = true;
+
+  /// Optional cooperative cancel flag (JobHandle::Cancel routes here).
+  /// Observed between phases and, through ChaseConfig/CounterexampleConfig,
+  /// inside them; a cancelled solve stops promptly and reports kUnknown.
+  /// Null disables; must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// What the dual solver concluded.
@@ -53,6 +73,17 @@ struct DualResult {
 /// budgets until either side produces a certificate.
 DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
                             const DualSolverConfig& config = {});
+
+/// Session-threading variant: the chase side runs through `session`
+/// (chase/implication.h), so a kUnknown exit leaves the pumped instance and
+/// its checkpoint behind and a LATER call — JobHandle::ResumeWithBudget with
+/// bigger budgets — continues where this one stopped instead of starting
+/// over. The escalation rounds inside one call always resume each other
+/// (config.resume_chase); the session extends that across calls.
+/// session == nullptr degrades to the plain overload.
+DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
+                            const DualSolverConfig& config,
+                            ChaseSession* session);
 
 }  // namespace tdlib
 

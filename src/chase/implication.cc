@@ -1,8 +1,72 @@
 #include "chase/implication.h"
 
+#include <istream>
+#include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace tdlib {
+
+std::uint64_t QuestionFingerprint(const DependencySet& d,
+                                  const Dependency& d0) {
+  // FNV-1a over the structural content — arity, then every body/head row's
+  // variable ids with separators. No pretty-printing, no allocation: this
+  // runs once per session-threaded ChaseImplies call (i.e. per escalation
+  // round), so it must stay linear in the rows and cheap. Stable across
+  // processes, and sensitive to any change in the dependencies or the goal
+  // at the id level — which is exactly the granularity the chase sees.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_tableau = [&](const Tableau& t, int arity) {
+    mix(0xabcdefULL);  // tableau separator
+    for (const Row& row : t.rows()) {
+      mix(0x123456ULL);  // row separator
+      for (int attr = 0; attr < arity; ++attr) {
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(row[attr])));
+      }
+    }
+  };
+  auto mix_dependency = [&](const Dependency& dep) {
+    const int arity = dep.schema().arity();
+    mix(static_cast<std::uint64_t>(arity));
+    mix_tableau(dep.body(), arity);
+    mix_tableau(dep.head(), arity);
+  };
+  for (const Dependency& dep : d.items) mix_dependency(dep);
+  mix(0xfedcbaULL);  // goal separator
+  mix_dependency(d0);
+  return h;
+}
+
+void ChaseSession::Serialize(std::ostream& os) const {
+  os << "tdsess1 " << question_fingerprint << ' '
+     << (instance.has_value() ? 1 : 0) << '\n';
+  if (instance.has_value()) instance->Serialize(os);
+  checkpoint.Serialize(os);
+}
+
+std::optional<ChaseSession> ChaseSession::Deserialize(const SchemaPtr& schema,
+                                                      std::istream& is) {
+  std::string magic;
+  std::uint64_t fingerprint;
+  int has_instance;
+  if (!(is >> magic >> fingerprint >> has_instance) || magic != "tdsess1") {
+    return std::nullopt;
+  }
+  ChaseSession session;
+  session.question_fingerprint = fingerprint;
+  if (has_instance != 0) {
+    session.instance = Instance::Deserialize(schema, is);
+    if (!session.instance.has_value()) return std::nullopt;
+  }
+  std::optional<ChaseCheckpoint> ckpt = ChaseCheckpoint::Deserialize(is);
+  if (!ckpt.has_value()) return std::nullopt;
+  session.checkpoint = std::move(*ckpt);
+  return session;
+}
 
 ChaseGoal ConclusionGoal(const Dependency& d0, HomSearchOptions options) {
   return [&d0, options](const Instance& instance) {
@@ -22,20 +86,72 @@ ChaseGoal ConclusionGoal(const Dependency& d0, HomSearchOptions options) {
 
 ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
                                const ChaseConfig& config) {
+  return ChaseImplies(d, d0, config, /*session=*/nullptr);
+}
+
+ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
+                               const ChaseConfig& config,
+                               ChaseSession* session) {
   ImplicationResult result;
-  Instance instance = d0.body().Freeze();
+  ChaseSession local;
+  ChaseSession* s = session != nullptr ? session : &local;
+  // A session checkpoint whose recorded progress already exceeds this
+  // call's budgets is kept PARKED: this round chases a fresh throwaway
+  // instance, and a later round (or resume) with bigger budgets continues
+  // the parked state — destroying it here would silently re-derive
+  // everything ResumeWithBudget promised to keep.
+  bool parked = false;
+  if (session == nullptr) {
+    // Sessionless: no resume to consider, so skip the fingerprint (a full
+    // structural hash of the dependency set — waste on every legacy call).
+    s->instance.emplace(d0.body().Freeze());
+  } else {
+    const std::uint64_t fingerprint = QuestionFingerprint(d, d0);
+    const bool compatible =
+        s->question_fingerprint == fingerprint && s->CanResume() &&
+        s->checkpoint.CompatibleWith(config, *s->instance, d);
+    if (compatible &&
+        !s->checkpoint.BudgetsExceedProgress(config, *s->instance)) {
+      parked = true;
+    } else if (!compatible) {
+      // Fresh start: freeze D0's antecedents and chase from scratch. A
+      // stale, shape-mismatched, or other-question checkpoint must not
+      // survive into RunChase.
+      s->Reset();
+      s->instance.emplace(d0.body().Freeze());
+      s->question_fingerprint = fingerprint;
+    }
+  }
+  if (parked) {
+    local.instance.emplace(d0.body().Freeze());
+    s = &local;  // this round runs beside the parked session, not over it
+  }
   ChaseGoal goal = ConclusionGoal(d0, config.HomOptions());
-  result.chase = RunChase(&instance, d, config, goal);
+  // Sessionless (and parked-round) callers get no checkpoint plumbing at
+  // all — taking one copies the whole trace and pending tail at every
+  // budget stop, pure waste when the state dies at return.
+  result.chase = RunChase(&*s->instance, d, config, goal,
+                          session != nullptr && !parked ? &s->checkpoint
+                                                        : nullptr);
   switch (result.chase.status) {
     case ChaseStatus::kGoal:
       result.verdict = Implication::kImplied;
+      // Certificate reached: nothing left to resume — clear the caller's
+      // session even if this round ran beside it.
+      if (session != nullptr) session->Reset();
+      s->Reset();
       break;
     case ChaseStatus::kFixpoint:
       result.verdict = Implication::kNotImplied;
-      result.counterexample = std::move(instance);
+      result.counterexample = std::move(*s->instance);
+      if (session != nullptr) session->Reset();
+      s->Reset();
       break;
     default:
       result.verdict = Implication::kUnknown;
+      // kStepLimit/kTupleLimit left a valid checkpoint in the session; any
+      // other stop left it invalid, and the next call starts fresh. A
+      // parked session is untouched and waits for a bigger budget.
       break;
   }
   return result;

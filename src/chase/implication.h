@@ -13,6 +13,7 @@
 #ifndef TDLIB_CHASE_IMPLICATION_H_
 #define TDLIB_CHASE_IMPLICATION_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -20,6 +21,49 @@
 #include "core/dependency.h"
 
 namespace tdlib {
+
+/// Persistent chase state for one (D, D0) question: the evolving chase
+/// instance plus the checkpoint of the last budget-stopped run. Threading a
+/// session through ChaseImplies lets successive calls — the dual solver's
+/// escalation rounds, or JobHandle::ResumeWithBudget much later — CONTINUE
+/// the previous chase instead of re-deriving everything from the frozen
+/// body. Resuming is observably invisible: a resumed run produces the exact
+/// ChaseResult (status, counters, trace) and instance an uninterrupted run
+/// under the final budgets would have, because checkpoints are only taken at
+/// deterministic stops and carry cumulative counters.
+///
+/// A session is only meaningful for a fixed (D, D0) and config shape;
+/// ChaseImplies falls back to a fresh run (and resets the session) whenever
+/// the stored checkpoint is absent, non-resumable, or shape-mismatched.
+struct ChaseSession {
+  std::optional<Instance> instance;
+  ChaseCheckpoint checkpoint;
+
+  /// Identity of the (D, D0) question this session belongs to (a hash of
+  /// the printed dependencies; 0 = not yet bound). ChaseImplies stamps it
+  /// on every run and refuses to resume a session whose fingerprint does
+  /// not match the question at hand — otherwise a deserialized session for
+  /// a DIFFERENT question with a compatible shape would resume silently
+  /// and yield a confidently wrong verdict.
+  std::uint64_t question_fingerprint = 0;
+
+  /// True iff the session holds a chase that stopped resumably.
+  bool CanResume() const { return instance.has_value() && checkpoint.valid; }
+
+  void Reset() {
+    instance.reset();
+    checkpoint.Reset();
+    question_fingerprint = 0;
+  }
+
+  /// Text round trip (Instance::Serialize + ChaseCheckpoint::Serialize), so
+  /// a budget-stopped chase can be parked outside the process and picked up
+  /// again. Deserialize returns std::nullopt on malformed input; the caller
+  /// supplies the schema (it owns the dependency set).
+  void Serialize(std::ostream& os) const;
+  static std::optional<ChaseSession> Deserialize(const SchemaPtr& schema,
+                                                 std::istream& is);
+};
 
 /// Three-valued implication verdict.
 enum class Implication {
@@ -48,6 +92,28 @@ struct ImplicationResult {
 /// `config` ran out (raise it and retry, or accept undecidability).
 ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
                                const ChaseConfig& config = {});
+
+/// Session-threading variant. With a non-null `session`:
+///
+///   * if the session holds a checkpoint resumable under `config`, the
+///     chase continues from it — no re-freezing, no re-derivation;
+///   * otherwise the session is reset and a fresh chase starts from
+///     d0.body().Freeze();
+///   * on return, the session holds the new state when the run stopped
+///     resumably (kUnknown verdicts with a kStepLimit/kTupleLimit chase),
+///     and is reset on certificates (kImplied / kNotImplied — the instance
+///     moves into ImplicationResult::counterexample for the latter).
+///
+/// session == nullptr degrades to the plain overload.
+ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
+                               const ChaseConfig& config,
+                               ChaseSession* session);
+
+/// The identity hash ChaseSession::question_fingerprint stores: a digest of
+/// the printed forms of every dependency in `d` plus `d0`. Exposed for
+/// callers that park sessions externally and want to label them.
+std::uint64_t QuestionFingerprint(const DependencySet& d,
+                                  const Dependency& d0);
 
 /// Returns a goal predicate that is true when `d0`'s conclusion is matched
 /// in an instance whose first values per attribute are the frozen body

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
-#include <thread>
 
-#include "engine/thread_pool.h"
+#include "engine/service.h"
 #include "util/csv_writer.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
@@ -12,71 +11,6 @@
 
 namespace tdlib {
 namespace {
-
-// Clamps a per-phase solver deadline to `budget`.
-double ClampDeadline(double phase_deadline, double budget) {
-  if (budget <= 0) return phase_deadline;
-  if (phase_deadline <= 0) return budget;
-  return std::min(phase_deadline, budget);
-}
-
-// Executes one job under batch semantics. `deadline` is the global batch
-// deadline (shared), `cancelled` the batch cancel flag, `pool` the batch's
-// own thread pool (null = keep the job's chases serial).
-//
-// Lending the pool to the chase cannot deadlock even though this function
-// itself runs on a pool worker: the chase fans out through ParallelFor,
-// whose caller claims tasks from the same cursor as the helpers it submits
-// and therefore never blocks on queued work (util/parallel.h).
-//
-// SolveImplication grants base_chase/base_counterexample their deadline
-// afresh in EVERY escalation round and never rechecks the wall clock
-// between rounds, so handing each phase the full remaining batch time
-// would let one job overshoot the global deadline by up to 2*rounds. The
-// remaining time is therefore split across all 2*rounds phases, which
-// keeps the whole job inside the batch budget (at the price of
-// under-feeding early rounds, which is fine: early rounds are the cheap
-// ones by construction).
-JobResult ExecuteJob(const Job& job, TaskExecutor* pool,
-                     const Deadline& deadline, const Timer& batch_timer,
-                     double deadline_seconds,
-                     const std::atomic<bool>& cancelled) {
-  if (cancelled.load(std::memory_order_relaxed) || deadline.Expired()) {
-    JobResult skipped;
-    skipped.name = job.name;
-    skipped.status = JobStatus::kSkipped;
-    return skipped;
-  }
-  if (pool == nullptr && deadline_seconds <= 0) return RunJob(job);
-  // Override only the config (a small value struct); copying the whole Job
-  // — dependency set, tableaux, goal — per execution would put allocation
-  // churn on the batch throughput path.
-  DualSolverConfig config = job.config;
-  config.base_chase.pool = pool;
-  if (deadline_seconds > 0) {
-    double remaining = deadline_seconds - batch_timer.ElapsedSeconds();
-    if (remaining < 1e-3) remaining = 1e-3;  // already started: tiny budget
-    const int rounds = config.rounds > 0 ? config.rounds : 1;
-    const double per_phase = remaining / (2.0 * rounds);
-    config.base_chase.deadline_seconds =
-        ClampDeadline(config.base_chase.deadline_seconds, per_phase);
-    config.base_counterexample.deadline_seconds =
-        ClampDeadline(config.base_counterexample.deadline_seconds, per_phase);
-  }
-  return RunJob(job, config);
-}
-
-bool IsRefutation(const JobResult& r) {
-  return r.status == JobStatus::kCompleted &&
-         (r.verdict == DualVerdict::kRefutedFinite ||
-          r.verdict == DualVerdict::kRefutedByFixpoint);
-}
-
-int ResolveThreads(int requested) {
-  if (requested > 0) return requested;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
-}
 
 void Summarize(BatchSummary* summary) {
   summary->completed = 0;
@@ -99,11 +33,13 @@ double BatchSummary::Throughput() const {
 
 std::string BatchSummary::ToTable() const {
   TablePrinter table({"job", "verdict", "rounds", "steps", "passes",
-                      "hom_nodes", "candidates", "seconds"});
+                      "hom_nodes", "match_tasks", "carried", "candidates",
+                      "seconds"});
   for (const JobResult& r : results) {
     table.AddRowValues(r.name, std::string(r.VerdictName()), r.rounds_used,
                        r.chase_steps, r.chase_passes, r.hom_nodes,
-                       r.candidates_checked, r.wall_seconds);
+                       r.match_tasks, r.carried_passes, r.candidates_checked,
+                       r.wall_seconds);
   }
   std::ostringstream oss;
   oss << table.ToString();
@@ -131,36 +67,46 @@ BatchSummary BatchSolver::Run(const std::vector<Job>& jobs) {
   cancel_.store(false, std::memory_order_relaxed);
 
   BatchSummary summary;
-  summary.num_threads = ResolveThreads(options_.num_threads);
-  summary.results.resize(jobs.size());
+  summary.results.reserve(jobs.size());
 
   Timer batch_timer;
-  Deadline deadline(options_.deadline_seconds);
   const bool early_stop = options_.stop_on_first_refutation;
 
   {
-    ThreadPool pool(summary.num_threads);
-    // One pool, two levels: job tasks at their own priorities, chase match
-    // tasks (submitted from inside jobs) at high priority. Null when the
-    // ablation asks for serial chases.
-    TaskExecutor* chase_pool = options_.chase_parallelism ? &pool : nullptr;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const Job& job = jobs[i];
-      JobResult* slot = &summary.results[i];
-      pool.Submit(
-          [this, &job, slot, chase_pool, &deadline, &batch_timer, early_stop] {
-            *slot = ExecuteJob(job, chase_pool, deadline, batch_timer,
-                               options_.deadline_seconds, cancel_);
-            if (early_stop && IsRefutation(*slot)) Cancel();
-          },
-          job.priority);
+    // The batch is a straight projection onto the service: the global
+    // deadline becomes every submission's deadline (they are all submitted
+    // at batch start, so the epochs coincide), the batch cancel flag
+    // becomes every submission's admission gate, and early stop is an
+    // on_complete callback that closes the gate. The service lends its
+    // pool to each job's chase exactly as the old batch loop did.
+    ServiceOptions service_options;
+    service_options.num_threads = options_.num_threads;
+    service_options.chase_parallelism = options_.chase_parallelism;
+    SolverService service(service_options);
+    summary.num_threads = service.num_threads();
+
+    // Submit copies each job once into its handle's shared state — the
+    // price of handles that may outlive the caller's vector. That is one
+    // copy per job per Run (not per execution), on the submission path
+    // before any solving; the per-execution path still copies only the
+    // small config struct (ExecuteOnWorker).
+    std::vector<JobHandle> handles;
+    handles.reserve(jobs.size());
+    for (const Job& job : jobs) {
+      SubmitOptions submit;
+      submit.deadline_seconds = options_.deadline_seconds;
+      submit.skip_when = &cancel_;
+      if (early_stop) {
+        submit.on_complete = [this](const JobResult& r) {
+          if (IsRefutation(r)) Cancel();
+        };
+      }
+      handles.push_back(service.Submit(job, submit));
     }
-    // Drain via WaitIdle, not Shutdown: Shutdown flips the pool to
-    // rejecting submissions immediately, which would refuse every nested
-    // chase match task for the entire batch. WaitIdle keeps the pool open
-    // while jobs (and their nested tasks) run, then the scope-exit
-    // destructor joins the workers.
-    pool.WaitIdle();
+    // Collect in submission order regardless of completion order.
+    for (const JobHandle& handle : handles) {
+      summary.results.push_back(handle.Wait());
+    }
   }
 
   summary.wall_seconds = batch_timer.ElapsedSeconds();
@@ -176,16 +122,26 @@ BatchSummary RunSerial(const std::vector<Job>& jobs,
 
   Timer batch_timer;
   Deadline deadline(options.deadline_seconds);
-  std::atomic<bool> cancelled{false};
+  bool cancelled = false;
 
   for (const Job& job : jobs) {
     // The reference mode is serial at every level: no job pool, no chase
-    // pool. Pooled runs must reproduce its results byte for byte.
-    JobResult r = ExecuteJob(job, /*pool=*/nullptr, deadline, batch_timer,
-                             options.deadline_seconds, cancelled);
-    if (options.stop_on_first_refutation && IsRefutation(r)) {
-      cancelled.store(true, std::memory_order_relaxed);
+    // pool. Pooled runs must reproduce its results byte for byte. The
+    // deadline arithmetic is the service's own (ClampConfigToBudget), so
+    // both modes express identical budget semantics.
+    JobResult r;
+    if (cancelled || deadline.Expired()) {
+      r.name = job.name;
+      r.status = JobStatus::kSkipped;
+    } else if (options.deadline_seconds <= 0) {
+      r = RunJob(job);
+    } else {
+      DualSolverConfig config = job.config;
+      ClampConfigToBudget(
+          &config, options.deadline_seconds - batch_timer.ElapsedSeconds());
+      r = RunJob(job, config);
     }
+    if (options.stop_on_first_refutation && IsRefutation(r)) cancelled = true;
     summary.results.push_back(std::move(r));
   }
 

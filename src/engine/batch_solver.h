@@ -1,7 +1,15 @@
 // The batch solver: many implication questions, all cores, one deadline.
 //
-// Submits every job of a batch to a ThreadPool and collects JobResults in
-// submission order. Three controls matter in production:
+// This is now a thin compatibility wrapper over the asynchronous
+// SolverService (engine/service.h): Run submits every job with the batch's
+// deadline as its per-submission deadline, the batch cancel flag as its
+// admission gate, and (under stop_on_first_refutation) an on_complete
+// callback that closes the gate — then waits for the handles in submission
+// order. Batch semantics are therefore preserved by construction, including
+// byte-identical DeterministicSummary output; callers who need streaming,
+// per-job cancellation or resumable budgets use the service directly.
+//
+// Three controls matter in production:
 //
 //   * num_threads     — pool width; 0 means hardware concurrency.
 //   * deadline        — a global wall-clock budget. A job that starts
@@ -87,7 +95,8 @@ struct BatchSummary {
 };
 
 /// Runs batches. A solver object may run several batches in sequence; each
-/// Run builds a fresh pool so thread-count changes take effect per call.
+/// Run builds a fresh SolverService (and with it a fresh pool) so
+/// thread-count changes take effect per call.
 class BatchSolver {
  public:
   explicit BatchSolver(BatchOptions options = {});

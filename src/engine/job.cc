@@ -16,8 +16,15 @@ std::string_view DualVerdictName(DualVerdict verdict) {
   return "UNKNOWN";
 }
 
+bool IsRefutation(const JobResult& result) {
+  return result.status == JobStatus::kCompleted &&
+         (result.verdict == DualVerdict::kRefutedFinite ||
+          result.verdict == DualVerdict::kRefutedByFixpoint);
+}
+
 std::string_view JobResult::VerdictName() const {
   if (status == JobStatus::kSkipped) return "SKIPPED";
+  if (status == JobStatus::kCancelled) return "CANCELLED";
   return DualVerdictName(verdict);
 }
 
@@ -38,19 +45,35 @@ std::string JobResult::DeterministicSummary() const {
 }
 
 std::vector<std::string> JobResult::CsvHeader() {
-  return {"job",         "status",       "verdict",
-          "rounds_used", "chase_steps",  "chase_passes",
-          "hom_nodes",   "candidates",   "wall_seconds"};
+  return {"job",          "status",        "verdict",
+          "rounds_used",  "chase_steps",   "chase_passes",
+          "hom_nodes",    "match_tasks",   "carried_passes",
+          "candidates",   "wall_seconds"};
 }
+
+namespace {
+
+std::string_view JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kSkipped: return "skipped";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::vector<std::string> JobResult::CsvRow() const {
   return {name,
-          status == JobStatus::kCompleted ? "completed" : "skipped",
+          std::string(JobStatusName(status)),
           std::string(DualVerdictName(verdict)),
           std::to_string(rounds_used),
           std::to_string(chase_steps),
           std::to_string(chase_passes),
           std::to_string(hom_nodes),
+          std::to_string(match_tasks),
+          std::to_string(carried_passes),
           std::to_string(candidates_checked),
           std::to_string(wall_seconds)};
 }
@@ -58,10 +81,16 @@ std::vector<std::string> JobResult::CsvRow() const {
 JobResult RunJob(const Job& job) { return RunJob(job, job.config); }
 
 JobResult RunJob(const Job& job, const DualSolverConfig& config) {
+  return RunJob(job, config, /*session=*/nullptr);
+}
+
+JobResult RunJob(const Job& job, const DualSolverConfig& config,
+                 ChaseSession* session) {
   JobResult result;
   result.name = job.name;
   Timer timer;
-  DualResult dual = SolveImplication(job.dependencies, job.goal, config);
+  DualResult dual = SolveImplication(job.dependencies, job.goal, config,
+                                     session);
   result.wall_seconds = timer.ElapsedSeconds();
   result.status = JobStatus::kCompleted;
   result.verdict = dual.verdict;
@@ -69,6 +98,8 @@ JobResult RunJob(const Job& job, const DualSolverConfig& config) {
   result.chase_steps = dual.implication.chase.steps;
   result.chase_passes = dual.implication.chase.passes;
   result.hom_nodes = dual.implication.chase.hom_nodes;
+  result.match_tasks = dual.implication.chase.match_tasks;
+  result.carried_passes = dual.implication.chase.carried_passes;
   result.candidates_checked = dual.counterexample.candidates_checked;
   return result;
 }

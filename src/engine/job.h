@@ -34,10 +34,11 @@ struct Job {
   int priority = 0;          ///< higher runs earlier under contention
 };
 
-/// How a job left the batch.
+/// How a job left the engine.
 enum class JobStatus {
   kCompleted,  ///< the dual solver ran to a verdict (possibly kUnknown)
-  kSkipped,    ///< never started: batch deadline passed or batch cancelled
+  kSkipped,    ///< never started: deadline passed or an admission gate closed
+  kCancelled,  ///< JobHandle::Cancel() stopped it (queued or mid-run)
 };
 
 /// Structured outcome of one job.
@@ -51,13 +52,16 @@ struct JobResult {
   std::uint64_t chase_steps = 0;
   std::uint64_t chase_passes = 0;
   std::uint64_t hom_nodes = 0;
+  std::uint64_t match_tasks = 0;     ///< match-phase tasks (parallel units)
+  std::uint64_t carried_passes = 0;  ///< passes with burst-cap carried steps
 
   // Model-search-side statistics (last attempt).
   std::uint64_t candidates_checked = 0;
 
   double wall_seconds = 0;  ///< nondeterministic; excluded from comparisons
 
-  /// "IMPLIED", "REFUTED-FINITE", "REFUTED-FIXPOINT", "UNKNOWN", "SKIPPED".
+  /// "IMPLIED", "REFUTED-FINITE", "REFUTED-FIXPOINT", "UNKNOWN", "SKIPPED",
+  /// "CANCELLED".
   std::string_view VerdictName() const;
 
   /// One-line human-readable rendering (includes wall time).
@@ -65,7 +69,9 @@ struct JobResult {
 
   /// Rendering of every deterministic field, for batch-vs-serial
   /// equivalence checks. Two runs of the same job must produce identical
-  /// strings regardless of thread count or machine load.
+  /// strings regardless of thread count or machine load. The format is a
+  /// cross-version contract (resume-vs-rerun parity is checked against it);
+  /// new statistics go in CsvRow/ToTable, not here.
   std::string DeterministicSummary() const;
 
   /// CSV schema used by tdbatch and the benches.
@@ -83,8 +89,19 @@ JobResult RunJob(const Job& job);
 /// batch throughput path.
 JobResult RunJob(const Job& job, const DualSolverConfig& config);
 
+/// Same, threading a persistent ChaseSession so a budget-exhausted job can
+/// later be continued (JobHandle::ResumeWithBudget) instead of re-run. The
+/// session must belong to THIS job — it encodes the chase of this (D, D0).
+JobResult RunJob(const Job& job, const DualSolverConfig& config,
+                 ChaseSession* session);
+
 /// Human-readable name of a DualVerdict ("IMPLIED", ...).
 std::string_view DualVerdictName(DualVerdict verdict);
+
+/// True iff the job ran and refuted its implication (finitely or by chase
+/// fixpoint) — the predicate behind stop_on_first_refutation and the CLI's
+/// --stop-on-refutation, kept in one place so they cannot diverge.
+bool IsRefutation(const JobResult& result);
 
 }  // namespace tdlib
 

@@ -1,0 +1,103 @@
+#include "engine/job_handle.h"
+
+#include <utility>
+
+#include "engine/service.h"
+
+namespace tdlib {
+
+namespace {
+const std::string kEmptyName;
+}  // namespace
+
+const std::string& JobHandle::name() const {
+  return state_ != nullptr ? state_->job.name : kEmptyName;
+}
+
+JobResult JobHandle::Wait() const {
+  if (state_ == nullptr) return JobResult{};
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+std::optional<JobResult> JobHandle::Poll() const {
+  if (state_ == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (!state_->done) return std::nullopt;
+  return state_->result;
+}
+
+bool JobHandle::Cancel() const {
+  if (state_ == nullptr) return false;
+  std::function<void(const JobResult&)> callback;
+  JobResult cancelled;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->done) return false;   // finished/skipped: harmless no-op
+    if (state_->claimed) return true; // another Cancel is completing this run
+    // The store is what a running solver observes (HomSearchOptions'
+    // amortized cadence). A race where the job completes between the done
+    // check and this store is benign: the flag is only read again by a
+    // ResumeWithBudget run, which clears it first.
+    state_->cancel.store(true, std::memory_order_relaxed);
+    if (state_->started) return true;  // running: cooperative stop, soon
+    // Still queued: terminal right here, not when a worker finally gets to
+    // it — a cancelled submission must not wait behind unrelated work.
+    // `claimed` fences the worker out (it returns without running or
+    // re-firing the callback) while we complete the run outside the lock.
+    state_->claimed = true;
+    cancelled.name = state_->job.name;
+    cancelled.status = JobStatus::kCancelled;
+    callback = state_->on_complete;
+  }
+  // Exactly-once-per-run, and BEFORE the terminal state is published (the
+  // same ordering the worker gives every other run: a returned Wait()
+  // implies the callback finished). It fires on the cancelling thread, the
+  // one exception to the on-a-worker rule (documented in SubmitOptions).
+  if (callback) callback(cancelled);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->result = cancelled;
+    state_->done = true;
+  }
+  state_->cv.notify_all();
+  return true;
+}
+
+bool JobHandle::ResumeWithBudget(const DualSolverConfig& config) const {
+  if (state_ == nullptr) return false;
+  std::shared_ptr<engine_internal::ServiceCore> core = state_->core.lock();
+  if (core == nullptr) return false;  // service is gone
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->done) return false;  // still queued or running
+    state_->config = config;
+    // A resumed job starts with a clean cancel flag and a fresh deadline
+    // epoch (deadline_seconds now counts from the resume). Both resets
+    // happen BEFORE done flips, inside the lock: a Cancel() that observes
+    // done == false targets the resumed run and must never be erased.
+    state_->cancel.store(false, std::memory_order_relaxed);
+    state_->submit_timer.Reset();
+    state_->done = false;
+    state_->started = false;  // the resumed run is queued again
+    state_->claimed = false;
+    // Orphan any task still queued for a previous run (a queued Cancel
+    // leaves one behind): only the task enqueued below may execute.
+    ++state_->run_generation;
+  }
+  if (!core->Enqueue(state_, state_->priority)) {
+    // Pool already shutting down: restore terminal state (the previous
+    // result stands) and notify, so a Wait() that raced in while done was
+    // briefly false is not stranded.
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tdlib

@@ -1,0 +1,139 @@
+// JobHandle: the caller's end of one submitted implication question.
+//
+// SolverService::Submit returns a handle instead of blocking; the handle is
+// a cheap shared reference to the job's state, so it can be copied, stored,
+// waited on from several threads, and outlive the service itself. Four
+// capabilities define the surface:
+//
+//   * Wait()   — block until the job is terminal and return its JobResult.
+//   * Poll()   — non-blocking peek: the result if terminal, nullopt if not.
+//   * Cancel() — cooperative cancellation. The request is routed through the
+//                solver stack's atomic cancel flag (HomSearchOptions), which
+//                every homomorphism search observes on an amortized ~512-
+//                node cadence, every match stream per match, the chase per
+//                fire and the enumerator per candidate — so even a pumping
+//                (non-terminating) chase stops within one cadence interval
+//                and the job reports JobStatus::kCancelled. Cancelling a
+//                queued job makes it terminal without running; cancelling a
+//                finished or skipped job is a harmless no-op.
+//   * ResumeWithBudget() — re-arm a terminal job with bigger budgets. The
+//                job's ChaseSession (the pumped instance + checkpoint of the
+//                last budget-stopped chase) is kept across runs, so the new
+//                run CONTINUES the previous chase instead of re-deriving it;
+//                the final JobResult is byte-identical to running the bigger
+//                budget from scratch, minus the re-derivation time.
+//
+// Because TD implication is undecidable (the paper's main result), every
+// question is an open-ended, budgeted computation; this handle is the API
+// shape of that fact: submit, observe, cancel, escalate.
+#ifndef TDLIB_ENGINE_JOB_HANDLE_H_
+#define TDLIB_ENGINE_JOB_HANDLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "engine/job.h"
+#include "util/timer.h"
+
+namespace tdlib {
+
+class SolverService;
+
+namespace engine_internal {
+
+struct ServiceCore;
+
+/// Shared state of one submission. Owned jointly by the service (until the
+/// job is terminal) and by every JobHandle copy. All mutable fields are
+/// guarded by `mu` except the lock-free control flags.
+struct JobState {
+  // Job has no default constructor (a Dependency is never empty), so the
+  // state is born around its job.
+  explicit JobState(Job j) : job(std::move(j)), config(job.config) {}
+
+  // Immutable after Submit.
+  Job job;                      ///< owned copy: the service outlives callers
+  int priority = 0;             ///< effective (override or Job::priority);
+                                ///  reused by ResumeWithBudget re-enqueues
+  double deadline_seconds = 0;  ///< per-submission budget, from submit time
+  const std::atomic<bool>* skip_when = nullptr;  ///< admission gate
+  std::weak_ptr<ServiceCore> core;  ///< for ResumeWithBudget re-enqueue
+
+  // Lock-free control.
+  std::atomic<bool> cancel{false};  ///< cooperative cancel, solver-observed
+
+  // Guarded by mu.
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool started = false;  ///< a worker picked this run up (false while queued)
+  bool claimed = false;  ///< a queued Cancel() owns this run's termination
+  std::uint64_t run_generation = 0;  ///< bumped by every ResumeWithBudget;
+                                     ///  a pool task only executes the run
+                                     ///  it was enqueued for, so a task
+                                     ///  orphaned by a queued Cancel can
+                                     ///  never race a later resume's task
+  JobResult result;
+  DualSolverConfig config;          ///< budgets for the current/next run
+  ChaseSession session;             ///< resumable chase of THIS (D, D0)
+  std::function<void(const JobResult&)> on_complete;
+  Timer submit_timer;               ///< deadline epoch; reset on resume
+};
+
+}  // namespace engine_internal
+
+/// See the file comment. Default-constructed handles are empty (valid() is
+/// false); every other handle comes from SolverService::Submit.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// The submitted job's name ("" for an empty handle).
+  const std::string& name() const;
+
+  /// Blocks until the job reaches a terminal state and returns the result.
+  /// Safe to call repeatedly and from several threads.
+  JobResult Wait() const;
+
+  /// Returns the result if the job is terminal, std::nullopt while it is
+  /// queued or running. Never blocks.
+  std::optional<JobResult> Poll() const;
+
+  /// Requests cooperative cancellation. Returns true iff the request was
+  /// registered while the job was still queued or running; the job then
+  /// becomes terminal promptly, normally with JobStatus::kCancelled (a job
+  /// that was in the last instants of finishing may still publish its
+  /// completed result — cancellation is a request, not a rollback). False
+  /// if the job was already terminal: nothing changes (harmless no-op).
+  bool Cancel() const;
+
+  /// Re-arms a TERMINAL job with new budgets and re-enqueues it on its
+  /// service; Wait()/Poll() then track the new run. The retained
+  /// ChaseSession makes the new run continue the previous chase when its
+  /// last stop was resumable (step/tuple budget), and start afresh
+  /// otherwise — either way the result equals a from-scratch run under
+  /// `config`. Returns false (and changes nothing) if the job is still
+  /// queued/running or the service is gone. Not safe to race with another
+  /// Resume on the same handle; Wait/Poll/Cancel may race freely.
+  bool ResumeWithBudget(const DualSolverConfig& config) const;
+
+ private:
+  friend class SolverService;
+  explicit JobHandle(std::shared_ptr<engine_internal::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<engine_internal::JobState> state_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_ENGINE_JOB_HANDLE_H_

@@ -1,0 +1,161 @@
+#include "engine/service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace tdlib {
+namespace {
+
+// Clamps a per-phase solver deadline to `budget`.
+double ClampDeadline(double phase_deadline, double budget) {
+  if (budget <= 0) return phase_deadline;
+  if (phase_deadline <= 0) return budget;
+  return std::min(phase_deadline, budget);
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+void ClampConfigToBudget(DualSolverConfig* config, double remaining_seconds) {
+  // Already-started jobs get at least a token budget so they terminate with
+  // a result instead of hanging on a zero deadline.
+  if (remaining_seconds < 1e-3) remaining_seconds = 1e-3;
+  const int rounds = config->rounds > 0 ? config->rounds : 1;
+  const double per_phase = remaining_seconds / (2.0 * rounds);
+  config->base_chase.deadline_seconds =
+      ClampDeadline(config->base_chase.deadline_seconds, per_phase);
+  config->base_counterexample.deadline_seconds =
+      ClampDeadline(config->base_counterexample.deadline_seconds, per_phase);
+}
+
+namespace engine_internal {
+namespace {
+
+// Runs one submission on the worker thread that dequeued it. This is the
+// single execution path for every service job (and, by construction, for
+// everything the BatchSolver wrapper runs).
+//
+// `core` is a raw pointer on purpose: tasks only run inside the pool's
+// lifetime, which is inside the core's — capturing a shared_ptr here would
+// let a worker thread become ServiceCore's last owner and join the pool
+// from inside itself.
+void ExecuteOnWorker(ServiceCore* core, const std::shared_ptr<JobState>& s,
+                     std::uint64_t generation) {
+  JobResult r;
+  r.name = s->job.name;
+  DualSolverConfig config;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    // A queued Cancel() claimed (or already completed) this run's
+    // termination and fires its callback itself; and a task enqueued for an
+    // earlier generation is an orphan (its run was cancelled while queued,
+    // then the job was resumed — only the resume's own task may execute, or
+    // two workers would race on the shared session).
+    if (s->done || s->claimed || s->run_generation != generation) return;
+    s->started = true;
+    config = s->config;
+  }
+  const double elapsed = s->submit_timer.ElapsedSeconds();
+  if (s->cancel.load(std::memory_order_relaxed)) {
+    // Cancelled while queued: terminal without running.
+    r.status = JobStatus::kCancelled;
+  } else if ((s->skip_when != nullptr &&
+              s->skip_when->load(std::memory_order_relaxed)) ||
+             (s->deadline_seconds > 0 && elapsed >= s->deadline_seconds)) {
+    r.status = JobStatus::kSkipped;
+  } else {
+    config.cancel = &s->cancel;
+    config.base_chase.pool =
+        core->options.chase_parallelism ? &core->pool : nullptr;
+    if (s->deadline_seconds > 0) {
+      ClampConfigToBudget(&config, s->deadline_seconds - elapsed);
+    }
+    // The session persists across runs of this state: a later
+    // ResumeWithBudget continues this run's chase from its checkpoint.
+    r = RunJob(s->job, config, &s->session);
+    if (s->cancel.load(std::memory_order_relaxed) &&
+        r.verdict == DualVerdict::kUnknown) {
+      // A solve the cancel flag actually cut short reports kUnknown
+      // (SolveImplication stops between phases); rewrite that to the
+      // honest kCancelled, keeping the partial statistics. A run that
+      // reached a REAL verdict before the flag was observed publishes it —
+      // cancellation is a request, not a rollback of finished work.
+      r.status = JobStatus::kCancelled;
+    }
+  }
+
+  // The streaming callback runs BEFORE the terminal state is published:
+  // once any Wait()/Poll() observes the result, its on_complete has already
+  // finished. That ordering is what lets a caller stream per-job output and
+  // still collect afterwards without synchronizing against stray callbacks.
+  // (Corollary: the callback must not Wait() on its own handle.)
+  if (s->on_complete) s->on_complete(r);
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->result = r;
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(const ServiceOptions& opts)
+    : options(opts), pool(ResolveThreads(opts.num_threads)) {}
+
+bool ServiceCore::Enqueue(const std::shared_ptr<JobState>& state,
+                          int priority) {
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    generation = state->run_generation;
+  }
+  return pool.Submit(
+      [this, state, generation] { ExecuteOnWorker(this, state, generation); },
+      priority);
+}
+
+}  // namespace engine_internal
+
+SolverService::SolverService(ServiceOptions options)
+    : core_(std::make_shared<engine_internal::ServiceCore>(options)) {}
+
+SolverService::~SolverService() {
+  // Every submitted job must reach a terminal state before the pool joins;
+  // handles outliving the service then always see done == true eventually.
+  core_->pool.WaitIdle();
+}
+
+JobHandle SolverService::Submit(Job job, SubmitOptions options) {
+  const int priority = options.priority.value_or(job.priority);
+  auto state = std::make_shared<engine_internal::JobState>(std::move(job));
+  state->priority = priority;
+  state->deadline_seconds = options.deadline_seconds;
+  state->skip_when = options.skip_when;
+  state->on_complete = std::move(options.on_complete);
+  state->core = core_;
+  state->submit_timer.Reset();
+  if (!core_->Enqueue(state, priority)) {
+    // Pool shutting down (service mid-destruction): terminal immediately.
+    // The exactly-once-per-run callback contract holds on this path too —
+    // streaming consumers count one callback per submission.
+    JobResult skipped;
+    skipped.name = state->job.name;
+    skipped.status = JobStatus::kSkipped;
+    if (state->on_complete) state->on_complete(skipped);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = skipped;
+    state->done = true;
+  }
+  return JobHandle(std::move(state));
+}
+
+void SolverService::WaitIdle() { core_->pool.WaitIdle(); }
+
+}  // namespace tdlib

@@ -1,0 +1,144 @@
+// SolverService: the engine's long-lived, asynchronous public surface.
+//
+// TD implication is undecidable, so a production engine can never promise a
+// one-shot answer; the honest API shape is a service that accepts questions
+// as they arrive and hands back observable, cancellable, resumable handles:
+//
+//   SolverService service(options);            // options.num_threads = 8
+//   JobHandle h = service.Submit(job, submit); // submit.deadline_seconds = 2
+//   ...
+//   JobResult r = h.Wait();                  // or h.Poll(), h.Cancel()
+//   if (r.verdict == DualVerdict::kUnknown)  // budgets ran out — escalate
+//     h.ResumeWithBudget(bigger), r = h.Wait();
+//
+// Submissions carry their own deadline, priority and completion callback —
+// the per-batch-only controls of the old blocking BatchSolver::Run are now
+// per question. BatchSolver still exists as a thin compatibility wrapper
+// over this service (engine/batch_solver.h), so the collect-everything
+// batch mode and its byte-identical DeterministicSummary are preserved by
+// construction.
+//
+// Execution model: one fixed-width ThreadPool serves job-level parallelism
+// and (via ChaseConfig::pool) chase-level match fan-out, exactly as the
+// batch engine did — nested ParallelFor cannot deadlock and the pool never
+// oversubscribes. Jobs run on workers; Submit never blocks on solver work.
+//
+// Lifetime: the destructor waits for every submitted job to reach a
+// terminal state (queued jobs still run). Handles are shared state and
+// stay valid after the service is gone; only ResumeWithBudget then fails.
+#ifndef TDLIB_ENGINE_SERVICE_H_
+#define TDLIB_ENGINE_SERVICE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "engine/job_handle.h"
+#include "engine/thread_pool.h"
+
+namespace tdlib {
+
+/// Service-wide knobs (fixed at construction).
+struct ServiceOptions {
+  /// Worker count; 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+
+  /// Lend the pool to each job's chase as ChaseConfig::pool (see
+  /// BatchOptions::chase_parallelism — same mechanism, same byte-identity).
+  bool chase_parallelism = true;
+};
+
+/// Per-submission controls — what used to be batch-global.
+struct SubmitOptions {
+  /// Wall-clock budget in seconds, measured from Submit (<= 0 = none). A
+  /// job whose deadline passed before it started is kSkipped; a started job
+  /// has the remaining time split across its 2*rounds solver phases, so
+  /// even a pumping job stays inside the budget.
+  double deadline_seconds = 0;
+
+  /// Scheduling priority (higher runs earlier under contention); overrides
+  /// Job::priority when set.
+  std::optional<int> priority;
+
+  /// Streaming callback: invoked exactly once PER RUN, on the worker
+  /// thread, the moment this job reaches a terminal state — i.e. callbacks
+  /// across jobs arrive in COMPLETION order, not submission order, and a
+  /// ResumeWithBudget re-fires the callback when the resumed run finishes.
+  /// (One exception to "on the worker thread": a job cancelled while still
+  /// queued terminates — and fires its callback — on the cancelling
+  /// thread.) It runs BEFORE the
+  /// terminal state becomes observable, so a Wait() that returns implies
+  /// this job's callback already finished (no stray-callback races when
+  /// collecting after a streamed batch). Consequently it must not Wait() on
+  /// its own handle, and its Poll() still reads nullopt — the result is the
+  /// argument. Keep it cheap and thread-safe; it runs on the pool's
+  /// critical path.
+  std::function<void(const JobResult&)> on_complete;
+
+  /// Admission gate: read once when a worker picks the job up; true means
+  /// the job is kSkipped without running. This is how a family of related
+  /// submissions implements early stop ("any refutation cancels the rest"):
+  /// point every submission at one shared flag and raise it from an
+  /// on_complete callback. The flag must outlive the job.
+  const std::atomic<bool>* skip_when = nullptr;
+};
+
+namespace engine_internal {
+
+/// The shared guts: the pool plus the options. JobStates hold a weak_ptr so
+/// ResumeWithBudget can re-enqueue while the service lives and fail cleanly
+/// after it is gone.
+struct ServiceCore : std::enable_shared_from_this<ServiceCore> {
+  explicit ServiceCore(const ServiceOptions& options);
+
+  /// Schedules `state` on the pool at `priority`. Returns false (leaving
+  /// the state untouched) iff the pool is shutting down.
+  bool Enqueue(const std::shared_ptr<JobState>& state, int priority);
+
+  ServiceOptions options;
+  ThreadPool pool;
+};
+
+}  // namespace engine_internal
+
+/// See the file comment.
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions options = {});
+
+  /// Blocks until every submitted job is terminal, then joins the workers.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Enqueues one implication question. Never blocks on solver work. The
+  /// job is copied into the handle's shared state, so the caller's Job may
+  /// die immediately.
+  JobHandle Submit(Job job, SubmitOptions options = {});
+
+  /// Blocks until every job submitted so far is terminal. The service keeps
+  /// accepting submissions afterwards.
+  void WaitIdle();
+
+  /// Pool width actually in use.
+  int num_threads() const { return core_->pool.num_threads(); }
+
+ private:
+  std::shared_ptr<engine_internal::ServiceCore> core_;
+};
+
+/// Splits `remaining_seconds` of wall clock across the 2*rounds phases of a
+/// dual-solver run and clamps config's per-phase deadlines accordingly.
+/// SolveImplication grants each phase its deadline afresh every round and
+/// never rechecks the clock between rounds, so handing every phase the full
+/// remaining time would overshoot by up to 2*rounds; the split keeps the
+/// whole job inside the budget (under-feeding the cheap early rounds).
+/// Shared by the service workers and the RunSerial reference mode so both
+/// express identical deadline semantics.
+void ClampConfigToBudget(DualSolverConfig* config, double remaining_seconds);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_ENGINE_SERVICE_H_

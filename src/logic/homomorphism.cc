@@ -181,6 +181,12 @@ bool HomomorphismSearch::Backtrack(
       stats_.budget_hit = true;
       return false;
     }
+    if (options_.job_cancel != nullptr &&
+        options_.job_cancel->load(std::memory_order_relaxed)) {
+      stats_.budget_hit = true;
+      stats_.cancel_hit = true;
+      return false;
+    }
   }
   ++stats_.nodes;
   if (depth == source_.num_rows()) {

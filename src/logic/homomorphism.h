@@ -61,11 +61,13 @@ struct HomSearchStats {
   std::uint64_t nodes = 0;   ///< search-tree nodes explored
   bool budget_hit = false;   ///< a node/deadline/cancel limit stopped a search
   bool deadline_hit = false; ///< specifically the wall-clock deadline
+  bool cancel_hit = false;   ///< specifically the job-level cancel flag
 
   void MergeFrom(const HomSearchStats& other) {
     nodes += other.nodes;
     budget_hit = budget_hit || other.budget_hit;
     deadline_hit = deadline_hit || other.deadline_hit;
+    cancel_hit = cancel_hit || other.cancel_hit;
   }
 };
 // Plain counters only: no pointers, no atomics, nothing shareable. If this
@@ -121,6 +123,15 @@ struct HomSearchOptions {
   /// hundred nodes, reporting kBudget. Null (the default) disables the
   /// check; the flag must outlive the search.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Optional job-level cancel flag, checked on the same cadence as `cancel`
+  /// but with distinct reporting: a trip here sets stats.cancel_hit, which
+  /// lets callers (the chase, and through it the engine's JobHandle::Cancel)
+  /// tell a user-requested cancellation apart from an ordinary budget stop.
+  /// `cancel` stays reserved for the chase's sibling-trip propagation — the
+  /// two flags have different owners and different lifetimes, so they ride
+  /// as separate pointers. Null disables; must outlive the search.
+  const std::atomic<bool>* job_cancel = nullptr;
 };
 
 /// Outcome of a search that may exhaust its budget.

@@ -1,10 +1,35 @@
 #include "logic/instance.h"
 
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "util/table_printer.h"
 
 namespace tdlib {
+namespace {
+
+constexpr char kInstanceMagic[] = "tdinst1";
+
+// Length-prefixed string ("<len>:<bytes>"): value names are user-supplied
+// and may contain whitespace, so token-based IO cannot carry them.
+void WriteString(std::ostream& os, const std::string& s) {
+  os << s.size() << ':' << s;
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  std::size_t len;
+  char colon;
+  if (!(is >> len) || !is.get(colon) || colon != ':') return false;
+  if (len > (1u << 20)) return false;  // corrupt-input guard
+  s->resize(len);
+  if (len > 0 && !is.read(&(*s)[0], static_cast<std::streamsize>(len))) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Instance::Instance(SchemaPtr schema)
     : schema_(std::move(schema)),
@@ -57,6 +82,57 @@ void Instance::Reserve(std::size_t tuples, std::size_t values_per_attr) {
     is_null_[attr].reserve(values_per_attr);
     index_[attr].reserve(values_per_attr);
   }
+}
+
+void Instance::Serialize(std::ostream& os) const {
+  os << kInstanceMagic << ' ' << schema_->arity() << '\n';
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    os << value_names_[attr].size() << '\n';
+    for (std::size_t v = 0; v < value_names_[attr].size(); ++v) {
+      os << (is_null_[attr][v] ? 1 : 0) << ' ';
+      WriteString(os, value_names_[attr][v]);
+      os << '\n';
+    }
+  }
+  store_.Serialize(os);
+}
+
+std::optional<Instance> Instance::Deserialize(SchemaPtr schema,
+                                              std::istream& is) {
+  std::string magic;
+  int arity;
+  if (!(is >> magic >> arity) || magic != kInstanceMagic ||
+      arity != schema->arity()) {
+    return std::nullopt;
+  }
+  Instance instance(std::move(schema));
+  for (int attr = 0; attr < arity; ++attr) {
+    std::size_t domain;
+    if (!(is >> domain)) return std::nullopt;
+    for (std::size_t v = 0; v < domain; ++v) {
+      int null_flag;
+      std::string name;
+      if (!(is >> null_flag) || !ReadString(is, &name)) return std::nullopt;
+      // AddValue appends, so restored ids are dense and identical.
+      instance.AddValue(attr, std::move(name), null_flag != 0);
+    }
+  }
+  std::optional<TupleStore> store = TupleStore::Deserialize(is);
+  if (!store.has_value() || store->arity() != arity) return std::nullopt;
+  // Route tuples through AddTuple so the inverted index (and dedup table)
+  // are rebuilt; insertion in id order reproduces ids and ascending index
+  // lists exactly.
+  instance.Reserve(store->size(), 0);
+  for (std::size_t id = 0; id < store->size(); ++id) {
+    TupleRef t = (*store)[id];
+    for (int attr = 0; attr < arity; ++attr) {
+      if (t[attr] < 0 || t[attr] >= instance.DomainSize(attr)) {
+        return std::nullopt;
+      }
+    }
+    if (!instance.AddTuple(t)) return std::nullopt;
+  }
+  return instance;
 }
 
 std::string Instance::ToString() const {

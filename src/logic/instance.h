@@ -29,6 +29,7 @@
 #include <cassert>
 #include <cstdint>
 #include <initializer_list>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -123,6 +124,25 @@ class Instance {
   /// vectors; cuts rehash/realloc churn when the final shape is known
   /// (chase seeds, generators, Freeze).
   void Reserve(std::size_t tuples, std::size_t values_per_attr);
+
+  // ---- Persistence ---------------------------------------------------------
+
+  /// Writes domains (names length-prefixed, so any byte except the
+  /// terminator survives), null flags and the tuple arena as portable text.
+  /// The schema itself is NOT written — the caller owns it and passes it
+  /// back to Deserialize (a chase checkpoint's consumer already holds the
+  /// dependency set, and with it the schema).
+  ///
+  /// Restoration invariant: value ids, tuple ids, names, null flags and the
+  /// inverted index are all reproduced exactly, so a restored instance is
+  /// indistinguishable from the original to every reader — including a
+  /// resumed chase, whose checkpoints persist ids into this id space.
+  void Serialize(std::ostream& os) const;
+
+  /// Round-trips Serialize against `schema` (which must have the serialized
+  /// arity). Returns std::nullopt on malformed input.
+  static std::optional<Instance> Deserialize(SchemaPtr schema,
+                                             std::istream& is);
 
   // ---- Debugging -----------------------------------------------------------
 

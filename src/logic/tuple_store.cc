@@ -1,11 +1,17 @@
 #include "logic/tuple_store.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
 #include "util/hash.h"
 
 namespace tdlib {
 namespace {
 
 constexpr std::size_t kInitialSlots = 16;  // power of two
+
+constexpr char kStoreMagic[] = "tdstore1";
 
 }  // namespace
 
@@ -81,6 +87,41 @@ void TupleStore::Reserve(std::size_t tuples) {
   // Size the table so `tuples` entries stay under the 0.75 load factor.
   while (want * 3 < tuples * 4) want *= 2;
   if (want > slots_.size()) Rehash(want);
+}
+
+void TupleStore::Serialize(std::ostream& os) const {
+  os << kStoreMagic << ' ' << arity_ << ' ' << num_tuples_ << '\n';
+  for (std::size_t id = 0; id < num_tuples_; ++id) {
+    const std::int32_t* row = arena_.data() + id * arity_;
+    for (int i = 0; i < arity_; ++i) {
+      os << row[i] << (i + 1 == arity_ ? '\n' : ' ');
+    }
+  }
+}
+
+std::optional<TupleStore> TupleStore::Deserialize(std::istream& is) {
+  std::string magic;
+  int arity;
+  std::size_t count;
+  if (!(is >> magic >> arity >> count) || magic != kStoreMagic || arity < 0 ||
+      arity > (1 << 20)) {  // untrusted arity: reject before row allocation
+    return std::nullopt;
+  }
+  TupleStore store(arity);
+  // The count is untrusted input: pre-size only up to a sane bound (the
+  // table grows on demand past it), so a corrupt header cannot OOM here —
+  // a lying count just fails at end of input below.
+  store.Reserve(std::min<std::size_t>(count, 1u << 20));
+  std::vector<std::int32_t> row(static_cast<std::size_t>(arity));
+  for (std::size_t id = 0; id < count; ++id) {
+    for (std::int32_t& x : row) {
+      if (!(is >> x)) return std::nullopt;
+    }
+    auto [got_id, inserted] = store.Insert(row.data());
+    // Re-insertion in id order must reproduce the original ids exactly.
+    if (!inserted || got_id != static_cast<int>(id)) return std::nullopt;
+  }
+  return store;
 }
 
 std::string TupleStore::CheckInvariants() const {

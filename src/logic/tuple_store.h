@@ -24,6 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -93,6 +95,19 @@ class TupleStore {
   /// "" when consistent, else a description of the first violation
   /// (arena/table size drift, table entry out of range, missed dedup).
   std::string CheckInvariants() const;
+
+  /// Writes the arena as portable whitespace-separated text
+  /// ("tdstore1 arity count" + the raw components in id order). Ids are the
+  /// persistence contract: tuples are written — and re-inserted — in id
+  /// order, so a restored store assigns every tuple its original id and the
+  /// dedup table converges to the same layout. This is what lets a chase
+  /// checkpoint (which persists ids, not refs) resume against a restored
+  /// instance byte for byte.
+  void Serialize(std::ostream& os) const;
+
+  /// Round-trips Serialize. Returns std::nullopt on malformed input or a
+  /// duplicate row (a serialized store is dedup-consistent by construction).
+  static std::optional<TupleStore> Deserialize(std::istream& is);
 
  private:
   std::size_t HashRow(const std::int32_t* row) const;
