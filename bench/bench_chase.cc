@@ -245,6 +245,162 @@ void BM_ChaseZigzagReachability(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaseZigzagReachability)->ArgsProduct({{8, 16, 32}, {0, 1}});
 
+// ---- Data layout axis: {row-major, SoA} x {single-list, intersection} -------
+//
+// The BM_Layout* family is split into BENCH_layout.json by run_benchmarks.sh
+// (filter: BM_Layout). Axes: arg0 = columnar (SoA) tuple store, arg1 =
+// posting-list intersection. Determinism contract on display: fired_steps
+// and hom_nodes MUST be identical across all four combos — the layout is
+// physical and the intersection is node-invariant — while hom_candidates
+// drops under intersection (that is the pruning) and wall time is the
+// payoff. A recap-script failure on the parity fields is a correctness
+// regression, not a perf regression.
+
+// Scopes a default-layout override to one benchmark run (instances are
+// constructed inside the timed region, so the global must be set around it).
+class ScopedLayout {
+ public:
+  explicit ScopedLayout(bool soa) {
+    SetDefaultTupleLayout(soa ? TupleLayout::kColumnar
+                              : TupleLayout::kRowMajor);
+  }
+  ~ScopedLayout() { SetDefaultTupleLayout(TupleLayout::kRowMajor); }
+};
+
+void BM_LayoutReductionSweep(benchmark::State& state) {
+  // The headline series: the paper's own gadget instances (arity = 2n + 2 —
+  // the wide-schema regime the columnar mode targets) in the capped
+  // production regime.
+  const bool soa = state.range(0) != 0;
+  const bool intersect = state.range(1) != 0;
+  ScopedLayout layout(soa);
+  WorkloadOptions options;
+  options.size = 12;
+  std::vector<Job> jobs = ReductionSweepWorkload(options);
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t hom_candidates = 0;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    hom_nodes = 0;
+    hom_candidates = 0;
+    steps = 0;
+    for (const Job& job : jobs) {
+      ChaseConfig config = job.config.base_chase;
+      config.max_fires_per_pass = 64;
+      config.use_intersection = intersect;
+      ImplicationResult r = ChaseImplies(job.dependencies, job.goal, config);
+      benchmark::DoNotOptimize(r.verdict);
+      hom_nodes += r.chase.hom_nodes;
+      hom_candidates += r.chase.hom_candidates;
+      steps += r.chase.steps;
+    }
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["soa"] = soa ? 1 : 0;
+  state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+  state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
+  state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
+}
+BENCHMARK(BM_LayoutReductionSweep)->ArgsProduct({{0, 1}, {0, 1}});
+
+void BM_LayoutWideSchema(benchmark::State& state) {
+  // The arity sweep's widest point, isolated: two-row join TD over 24
+  // attributes — rows span 96 bytes, so row-major candidate probes touch
+  // two cache lines where a columnar attribute scan touches a fraction of
+  // one.
+  const bool soa = state.range(0) != 0;
+  const bool intersect = state.range(1) != 0;
+  ScopedLayout layout(soa);
+  const int arity = 24;
+  SchemaPtr schema =
+      std::make_shared<const Schema>(Schema::Numbered(arity, "X"));
+  Dependency::Builder builder(schema);
+  Row r1(arity), r2(arity), head(arity);
+  int shared = builder.Var(0);
+  r1[0] = r2[0] = head[0] = shared;
+  for (int attr = 1; attr < arity; ++attr) {
+    r1[attr] = builder.Var(attr);
+    r2[attr] = builder.Var(attr);
+    head[attr] = attr + 1 == arity ? r2[attr] : r1[attr];
+  }
+  Dependency::Builder b2 = std::move(builder);
+  b2.AddBodyRow(r1);
+  b2.AddBodyRow(r2);
+  b2.AddHeadRow(head);
+  DependencySet deps;
+  deps.Add(std::move(b2).Build().value());
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t hom_candidates = 0;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Instance inst = SeedInstance(schema, 10, 3, 11);
+    state.ResumeTiming();
+    ChaseConfig config = UnboundedConfig(/*use_delta=*/true);
+    config.use_intersection = intersect;
+    ChaseResult result = RunChase(&inst, deps, config);
+    benchmark::DoNotOptimize(result.steps);
+    steps = result.steps;
+    hom_nodes = result.hom_nodes;
+    hom_candidates = result.hom_candidates;
+  }
+  state.counters["arity"] = arity;
+  state.counters["soa"] = soa ? 1 : 0;
+  state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+  state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
+  state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
+}
+BENCHMARK(BM_LayoutWideSchema)->ArgsProduct({{0, 1}, {0, 1}});
+
+void BM_LayoutZigzag(benchmark::State& state) {
+  // The fixpoint-heavy closure: many small partition members per pass, rows
+  // with 2+ bound positions once the chain is under way — the shape the
+  // multi-list intersection prunes hardest.
+  const bool soa = state.range(0) != 0;
+  const bool intersect = state.range(1) != 0;
+  ScopedLayout layout(soa);
+  const int n = 32;
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(ParseDependency(
+               schema, "R(a,b) & R(a2,b) & R(a2,b2) => R(a,b2)"))
+               .value(),
+           "reach");
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t hom_candidates = 0;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Instance inst(schema);
+    inst.Reserve(static_cast<std::size_t>(n) * n, n + 1);
+    for (int v = 0; v <= n; ++v) {
+      inst.AddValue(0);
+      inst.AddValue(1);
+    }
+    for (int i = 0; i < n; ++i) {
+      inst.AddTuple({i, i});
+      inst.AddTuple({i + 1, i});
+    }
+    state.ResumeTiming();
+    ChaseConfig config = UnboundedConfig(/*use_delta=*/true);
+    config.use_intersection = intersect;
+    ChaseResult result = RunChase(&inst, deps, config);
+    benchmark::DoNotOptimize(result.steps);
+    steps = result.steps;
+    hom_nodes = result.hom_nodes;
+    hom_candidates = result.hom_candidates;
+  }
+  state.counters["path_length"] = n;
+  state.counters["soa"] = soa ? 1 : 0;
+  state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+  state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
+  state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
+}
+BENCHMARK(BM_LayoutZigzag)->ArgsProduct({{0, 1}, {0, 1}});
+
 // ---- Parallel match phase: the threads axis ---------------------------------
 //
 // The BM_ChaseParallel* family is split into BENCH_chase_parallel.json by

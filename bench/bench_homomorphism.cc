@@ -62,6 +62,49 @@ void RunConfig(benchmark::State& state, bool use_index, bool use_order) {
   state.counters["nodes"] = static_cast<double>(nodes);
 }
 
+// ---- Data layout axis: {row-major, SoA} x {single-list, intersection} -------
+//
+// Pure match-phase microbenchmark (no chase): enumerate every embedding of
+// the chain query, axes arg1 = columnar store, arg2 = posting-list
+// intersection. `nodes` must be identical across all four combos (the
+// contract the chase's parity suites enforce end to end); `candidates`
+// shows what the intersection prunes. Split into BENCH_layout_hom.json by
+// run_benchmarks.sh.
+void BM_LayoutHomChain(benchmark::State& state) {
+  const int tuples = static_cast<int>(state.range(0));
+  const bool soa = state.range(1) != 0;
+  const bool intersect = state.range(2) != 0;
+  SetDefaultTupleLayout(soa ? TupleLayout::kColumnar
+                            : TupleLayout::kRowMajor);
+  std::uint64_t matches = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t candidates = 0;
+  {
+    Workload w(tuples, std::max(2, tuples / 4), 1234);
+    HomSearchOptions options;
+    options.use_intersection = intersect;
+    for (auto _ : state) {
+      HomomorphismSearch search(w.query, w.instance, options);
+      matches = 0;
+      search.ForEach([&](const Valuation&) {
+        ++matches;
+        return true;
+      });
+      nodes = search.stats().nodes;
+      candidates = search.stats().candidates;
+      benchmark::DoNotOptimize(matches);
+    }
+  }
+  SetDefaultTupleLayout(TupleLayout::kRowMajor);
+  state.counters["tuples"] = tuples;
+  state.counters["soa"] = soa ? 1 : 0;
+  state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+BENCHMARK(BM_LayoutHomChain)->ArgsProduct({{256, 1024}, {0, 1}, {0, 1}});
+
 void BM_HomIndexedOrdered(benchmark::State& state) {
   RunConfig(state, true, true);
 }

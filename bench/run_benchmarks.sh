@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and leaves machine-readable perf records
 # (BENCH_engine.json, BENCH_chase.json, BENCH_chase_parallel.json,
-# BENCH_service.json) so successive PRs accumulate a throughput trajectory.
+# BENCH_service.json, BENCH_layout.json, BENCH_layout_hom.json) so
+# successive PRs accumulate a throughput trajectory.
 #
 #   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json] \
-#                           [chase-parallel-out.json] [service-out.json]
+#                           [chase-parallel-out.json] [service-out.json] \
+#                           [layout-out.json] [layout-hom-out.json]
 #
 # The build dir must already contain bench/bench_batch_engine,
-# bench/bench_chase and bench/bench_service (configure with
-# -DTDLIB_BUILD_BENCHMARKS=ON, the default, and build).
+# bench/bench_chase, bench/bench_homomorphism and bench/bench_service
+# (configure with -DTDLIB_BUILD_BENCHMARKS=ON, the default, and build).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -16,6 +18,8 @@ ENGINE_OUT="${2:-BENCH_engine.json}"
 CHASE_OUT="${3:-BENCH_chase.json}"
 CHASE_PARALLEL_OUT="${4:-BENCH_chase_parallel.json}"
 SERVICE_OUT="${5:-BENCH_service.json}"
+LAYOUT_OUT="${6:-BENCH_layout.json}"
+LAYOUT_HOM_OUT="${7:-BENCH_layout_hom.json}"
 
 run_bench() {
   local bin="$1" out="$2" filter="${3:-}"
@@ -38,11 +42,18 @@ run_bench() {
 }
 
 run_bench "$BUILD_DIR/bench/bench_batch_engine" "$ENGINE_OUT"
-# One binary, two records: the serial naive-vs-delta series, and the
-# BM_ChaseParallel* threads-axis series tracked as its own trajectory.
-run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_OUT" '-BM_ChaseParallel'
+# One binary, three records: the serial naive-vs-delta series, the
+# BM_ChaseParallel* threads-axis series, and the BM_Layout* data-layout axis
+# ({row-major, SoA} x {single-list, intersection}), each tracked as its own
+# trajectory.
+run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_OUT" \
+  '-(BM_ChaseParallel|BM_Layout)'
 run_bench "$BUILD_DIR/bench/bench_chase" "$CHASE_PARALLEL_OUT" \
   'BM_ChaseParallel'
+run_bench "$BUILD_DIR/bench/bench_chase" "$LAYOUT_OUT" 'BM_Layout'
+# The pure match-phase view of the same layout axis (no chase around it).
+run_bench "$BUILD_DIR/bench/bench_homomorphism" "$LAYOUT_HOM_OUT" \
+  'BM_LayoutHom'
 # The service API record: submit-to-complete latency percentiles at pool
 # widths 1/2/4/8, plus the escalation-resume wall-time series.
 run_bench "$BUILD_DIR/bench/bench_service" "$SERVICE_OUT"
@@ -55,7 +66,8 @@ if ! command -v python3 > /dev/null; then
   echo "python3 not found; skipping recap + parity check"
   exit 0
 fi
-python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" "$SERVICE_OUT" <<'EOF'
+python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" "$SERVICE_OUT" \
+  "$LAYOUT_OUT" "$LAYOUT_HOM_OUT" <<'EOF'
 import json, sys
 
 data = json.load(open(sys.argv[1]))
@@ -114,6 +126,55 @@ for (family, key), runs in sorted(groups.items()):
                       f"{int(b['threads'])}: {field} {base.get(field)} != "
                       f"{b.get(field)}")
 if not ok:
+    sys.exit(1)
+
+# Layout recap: per family, wall time across the four {soa, intersect}
+# combos, plus a HARD parity check — fired_steps and hom_nodes must be
+# identical along both axes (the layout is physical, the intersection is
+# node-invariant). hom_candidates is expected to DROP under intersection;
+# its ratio is printed as the pruning evidence, and the wall-time ratio of
+# the best combo over the (row-major, single-list) baseline is the headline.
+def check_layout(path, wall_key, parity_fields, prune_field):
+    data = json.load(open(path))
+    groups = {}
+    for b in data.get("benchmarks", []):
+        if "soa" not in b or "intersect" not in b:
+            continue
+        key = (b["name"].split("/")[0],
+               tuple(sorted((k, v) for k, v in b.items()
+                            if k in ("jobs", "arity", "path_length",
+                                     "tuples"))))
+        groups.setdefault(key, {})[(int(b["soa"]), int(b["intersect"]))] = b
+    all_ok = True
+    for (family, key), combos in sorted(groups.items()):
+        base = combos.get((0, 0))
+        if base is None:
+            continue
+        extras = " ".join(f"{k}={int(v)}" for k, v in key)
+        cells = []
+        for (soa, inter), b in sorted(combos.items()):
+            speed = base[wall_key] / b[wall_key] if b[wall_key] else 0
+            cells.append(f"soa{soa}/int{inter}="
+                         f"{b[wall_key] / 1e6:.2f}ms({speed:.2f}x)")
+            for field in parity_fields:
+                if b.get(field) != base.get(field):
+                    all_ok = False
+                    print(f"  PARITY VIOLATION {family} soa={soa} "
+                          f"intersect={inter}: {field} {base.get(field)} != "
+                          f"{b.get(field)}")
+        prune = 0.0
+        with_int = combos.get((0, 1))
+        if with_int and with_int.get(prune_field):
+            prune = base.get(prune_field, 0) / with_int[prune_field]
+        print(f"{family:<26} {extras:<16} {' '.join(cells)}  "
+              f"{prune_field} pruned {prune:.1f}x")
+    return all_ok
+
+layout_ok = check_layout(sys.argv[5], "real_time",
+                         ("fired_steps", "hom_nodes"), "hom_candidates")
+layout_ok = check_layout(sys.argv[6], "real_time",
+                         ("matches", "nodes"), "candidates") and layout_ok
+if not layout_ok:
     sys.exit(1)
 
 # Service recap: the latency-percentile series per pool width, then the

@@ -28,6 +28,15 @@
 //   --naive-chase     disable delta-driven matching (ablation baseline;
 //                     verdicts are identical, the chase just re-matches
 //                     the whole instance every pass)
+//   --layout=NAME     tuple-store layout: row (default) or soa/columnar —
+//                     per-attribute component slabs; physical only, every
+//                     result byte is identical (see README "Data layout")
+//   --no-intersect    scan the single shortest posting list per row instead
+//                     of intersecting all bound-position lists (ablation
+//                     baseline; node-for-node identical searches)
+//   --no-auto-burst   fix max_fires_per_pass instead of auto-tuning it from
+//                     the observed per-pass growth (auto: geometric pumping
+//                     runs uncapped, flat growth gets the bounded burst)
 //   --serial-chase    keep each job's chase matching phase on its own
 //                     thread (disable lending the service pool to the
 //                     chase; results are byte-identical, this is the
@@ -49,6 +58,7 @@
 #include "engine/batch_solver.h"
 #include "engine/service.h"
 #include "engine/workload.h"
+#include "logic/tuple_store.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -61,9 +71,10 @@ int Usage() {
                "               [--seed=N] [--threads=N] [--rounds=N]\n"
                "               [--chase-steps=N] [--max-tuples=N]\n"
                "               [--deadline=S] [--stream] [--naive-chase]\n"
-               "               [--serial-chase] [--no-resume]\n"
-               "               [--stop-on-refutation] [--serial]\n"
-               "               [--csv=PATH] [file.td ...]\n";
+               "               [--layout=row|soa] [--no-intersect]\n"
+               "               [--no-auto-burst] [--serial-chase]\n"
+               "               [--no-resume] [--stop-on-refutation]\n"
+               "               [--serial] [--csv=PATH] [file.td ...]\n";
   return 2;
 }
 
@@ -72,6 +83,9 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string family = "reduction-sweep";
   WorkloadOptions workload;
+  // Burst auto-tune is the tdbatch default (the library default stays
+  // conservative); --no-auto-burst is the ablation.
+  workload.solver.base_chase.auto_burst = true;
   int num_threads = 0;
   bool chase_parallelism = true;
   bool stop_on_refutation = false;
@@ -105,6 +119,19 @@ int main(int argc, char** argv) {
         stream = true;
       } else if (arg == "--naive-chase") {
         workload.solver.base_chase.use_delta = false;
+      } else if (StartsWith(arg, "--layout=")) {
+        std::string layout = arg.substr(9);
+        if (layout == "row" || layout == "row-major") {
+          SetDefaultTupleLayout(TupleLayout::kRowMajor);
+        } else if (layout == "soa" || layout == "columnar") {
+          SetDefaultTupleLayout(TupleLayout::kColumnar);
+        } else {
+          return Usage();
+        }
+      } else if (arg == "--no-intersect") {
+        workload.solver.base_chase.use_intersection = false;
+      } else if (arg == "--no-auto-burst") {
+        workload.solver.base_chase.auto_burst = false;
       } else if (arg == "--serial-chase") {
         chase_parallelism = false;
       } else if (arg == "--no-resume") {

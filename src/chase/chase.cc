@@ -27,21 +27,49 @@ constexpr int kMatchTaskPriority = 1 << 20;
 // to keep clock reads off the per-match fast path.
 constexpr std::uint64_t kDeadlineCheckInterval = 256;
 
-// Returns true if `h` (a body match for dep) extends to dep's head in
-// `instance`; merges the head search's counters into *stats. Head-witness
-// searches always run against the full instance — the delta restriction
-// applies only to body enumeration. Thread-compatible: HeadSeedValuation
-// builds a fresh valuation per call (core/satisfaction.cc), so concurrent
-// match tasks seed head searches without any shared scratch.
-bool HeadWitnessed(const Dependency& dep, const Instance& instance,
-                   const Valuation& h, const HomSearchOptions& options,
-                   HomSearchStats* stats) {
-  HomomorphismSearch head_search(dep.head(), instance, options);
-  head_search.SetInitial(HeadSeedValuation(dep, h));
-  HomSearchStatus status = head_search.FindAny(nullptr);
-  stats->MergeFrom(head_search.stats());
-  return status == HomSearchStatus::kFound;
+// auto_burst's cap for flat-growth passes when max_fires_per_pass is 0: the
+// burst size where the reduction-sweep ablation showed delta matching
+// paying most (ROADMAP "burst tuning").
+constexpr std::uint64_t kAutoBurstCap = 64;
+
+// Budget-informed Reserve is only worth it when the budget is genuinely
+// tight; pre-sizing for the default million-tuple ceiling would allocate
+// hundreds of megabytes for chases that stop at a fixpoint of fifty.
+constexpr std::uint64_t kReserveLimit = 1 << 16;
+
+// Pre-sizes the instance's arena, dedup table, CSR slabs and domain vectors
+// for the run's known tuple ceiling, so a budget-bounded chase grows each
+// structure O(log n) times instead of rehashing/reallocating its way up.
+void ReserveForBudget(Instance* instance, const DependencySet& deps,
+                      const ChaseConfig& config) {
+  std::uint64_t bound = config.max_tuples;
+  std::size_t max_head_rows = 0;
+  for (const Dependency& dep : deps.items) {
+    max_head_rows = std::max(max_head_rows,
+                             static_cast<std::size_t>(dep.head().num_rows()));
+  }
+  if (config.max_steps > 0 && max_head_rows > 0) {
+    std::uint64_t step_bound =
+        instance->NumTuples() + config.max_steps * max_head_rows;
+    bound = bound == 0 ? step_bound : std::min(bound, step_bound);
+  }
+  if (bound <= instance->NumTuples() || bound > kReserveLimit) return;
+  std::size_t max_domain = 0;
+  for (int attr = 0; attr < instance->schema().arity(); ++attr) {
+    max_domain = std::max(max_domain,
+                          static_cast<std::size_t>(instance->DomainSize(attr)));
+  }
+  // Every fired step invents at most one labeled null per attribute per new
+  // tuple, so the domain ceiling is current + new tuples.
+  instance->Reserve(static_cast<std::size_t>(bound),
+                    max_domain + static_cast<std::size_t>(
+                                     bound - instance->NumTuples()));
 }
+
+// Head-witness checks go through core/satisfaction.h's reusable
+// HeadChecker (search object + seed template built once per dependency
+// stream). Head-witness searches always run against the full instance —
+// the delta restriction applies only to body enumeration.
 
 // Inserts dep's head rows under `h`, inventing labeled nulls for existential
 // variables. Returns ids of newly inserted tuples.
@@ -81,21 +109,34 @@ std::vector<int> FireStep(const Dependency& dep, Instance* instance,
 // byte-identical. Public (chase.h) because ChaseCheckpoint persists these.
 using PendingStep = PendingChaseStep;
 
-// One unit of a pass's matching phase: the re-check of one carried step, or
-// one body search (a full/any-row scan, or one member (dependency,
-// seed row) of the semi-naive partition). Tasks are enumerated in a fixed
-// order, only read the instance, and write nothing but their own
+// Carried re-checks are batched: one task re-checks a contiguous chunk of
+// the (canonically ordered) carried list. A gap-regime chase can carry a
+// six-figure backlog, and a task per step would rebuild a head searcher —
+// a dozen allocations — for a two-node search; a chunk amortizes one
+// searcher per dependency run while still producing enough tasks to feed
+// every worker.
+constexpr std::size_t kCarriedChunk = 64;
+
+// One unit of a pass's matching phase: the re-check of one chunk of carried
+// steps, or one body search (a full/any-row scan, or one member
+// (dependency, seed row) of the semi-naive partition). Tasks are enumerated
+// in a fixed order, only read the instance, and write nothing but their own
 // MatchOutput slot — which is exactly what lets them run on pool workers.
 struct MatchTask {
   enum class Kind { kCarried, kSearch };
   Kind kind;
   int dep_index = -1;             // kSearch
-  std::size_t carried_index = 0;  // kCarried
+  std::size_t carried_begin = 0;  // kCarried: chunk [begin, end)
+  std::size_t carried_end = 0;
   // Body-search delta window, pre-resolved at task-list build time:
   // delta_begin < 0 = unrestricted scan, seed_row < 0 = any-row scan,
-  // otherwise one partition member.
+  // otherwise one partition member — possibly narrowed to the seed-row
+  // slice [slice_begin, slice_end) when the member was split into
+  // sub-tasks (slice_begin < 0 = the whole delta).
   int delta_begin = -1;
   int delta_seed_row = -1;
+  int slice_begin = -1;
+  int slice_end = -1;
 };
 
 // Per-task buffer: the steps this task found applicable plus its search
@@ -115,22 +156,34 @@ void RunMatchTask(const MatchTask& task, const DependencySet& deps,
                   const HomSearchOptions& base_options,
                   std::vector<PendingStep>* carried, MatchOutput* out) {
   if (task.kind == MatchTask::Kind::kCarried) {
-    // A fire since this step was collected may have witnessed it (the naive
-    // full scan drops those the same way).
-    PendingStep& step = (*carried)[task.carried_index];
-    const Dependency& dep = deps.items[step.dep_index];
-    if (!HeadWitnessed(dep, instance, step.match, base_options, &out->stats)) {
-      out->pending.push_back(std::move(step));
-    }
-    // One clock read per re-check, unamortized: unlike a body-match stream,
-    // every re-check constructs and runs a head search, which dwarfs the
-    // read. Without this, a bounded-burst pass with a huge carried backlog
-    // of sub-512-node head searches (too small for Backtrack's own cadence)
-    // would overshoot the deadline by the entire backlog.
-    if (!out->stats.budget_hit && base_options.deadline != nullptr &&
-        base_options.deadline->Expired()) {
-      out->stats.budget_hit = true;
-      out->stats.deadline_hit = true;
+    // Re-check the chunk in carry order (which is canonical order, so the
+    // kept steps land in *out already sorted). The carried list is grouped
+    // by dependency, so one head checker serves each run of same-dep steps.
+    std::optional<HeadChecker> head;
+    int head_dep = -1;
+    for (std::size_t ci = task.carried_begin; ci < task.carried_end; ++ci) {
+      PendingStep& step = (*carried)[ci];
+      const Dependency& dep = deps.items[step.dep_index];
+      if (head_dep != step.dep_index) {
+        head.emplace(dep, instance, base_options);
+        head_dep = step.dep_index;
+      }
+      // A fire since this step was collected may have witnessed it (the
+      // naive full scan drops those the same way).
+      if (!head->Witnessed(step.match, &out->stats)) {
+        out->pending.push_back(std::move(step));
+      }
+      if (out->stats.budget_hit) return;
+      // One clock read per re-check, unamortized: every re-check runs a
+      // head search too small for Backtrack's own 512-node cadence, and a
+      // bounded-burst pass with a huge carried backlog would otherwise
+      // overshoot the deadline by the entire backlog.
+      if (base_options.deadline != nullptr &&
+          base_options.deadline->Expired()) {
+        out->stats.budget_hit = true;
+        out->stats.deadline_hit = true;
+        return;
+      }
     }
     return;
   }
@@ -139,12 +192,18 @@ void RunMatchTask(const MatchTask& task, const DependencySet& deps,
   HomSearchOptions body_options = base_options;
   body_options.delta_begin = task.delta_begin;
   body_options.delta_seed_row = task.delta_seed_row;
+  body_options.delta_seed_begin = task.slice_begin;
+  body_options.delta_seed_end = task.slice_end;
   HomomorphismSearch body_search(dep.body(), instance, body_options);
+  // One reusable head checker for the whole body-match stream: this task
+  // runs a head search per enumerated match, and rebuilding the search
+  // object each time would put a dozen allocations on the hot path.
+  HeadChecker head(dep, instance, base_options);
   // body_search.row_tuples() is the match's body image, already computed by
   // the backtracker — no per-row FindTuple on the hot path.
   std::uint64_t matches_seen = 0;
   auto collect = [&](const Valuation& h) {
-    if (!HeadWitnessed(dep, instance, h, base_options, &out->stats)) {
+    if (!head.Witnessed(h, &out->stats)) {
       out->pending.push_back(
           PendingStep{task.dep_index, h, body_search.row_tuples()});
     }
@@ -199,10 +258,11 @@ std::vector<MatchTask> BuildMatchTasks(const DependencySet& deps,
                                        std::size_t num_tuples,
                                        std::size_t num_carried) {
   std::vector<MatchTask> tasks;
-  for (std::size_t ci = 0; ci < num_carried; ++ci) {
+  for (std::size_t ci = 0; ci < num_carried; ci += kCarriedChunk) {
     MatchTask t;
     t.kind = MatchTask::Kind::kCarried;
-    t.carried_index = ci;
+    t.carried_begin = ci;
+    t.carried_end = std::min(ci + kCarriedChunk, num_carried);
     tasks.push_back(t);
   }
   const bool nothing_new = config.use_delta && delta_begin >= num_tuples;
@@ -228,9 +288,29 @@ std::vector<MatchTask> BuildMatchTasks(const DependencySet& deps,
       // already enumerated (and fired or witnessed) in the pass that saw
       // their newest tuple — are skipped entirely.
       t.delta_begin = static_cast<int>(delta_begin);
+      // Work stealing for few-member passes: a big delta is further cut
+      // into equal id slices of the seed row's window, so even a
+      // 1-dependency pass produces enough sub-tasks to feed every worker.
+      // The slicing depends only on (config, delta) — never on the pool —
+      // so serial and pooled runs execute the same searches.
+      const std::uint64_t delta_size =
+          static_cast<std::uint64_t>(num_tuples - delta_begin);
+      const bool sliced = config.match_slice_ids > 0 &&
+                          delta_size > config.match_slice_ids;
       for (int s = 0; s < deps.items[di].body().num_rows(); ++s) {
         t.delta_seed_row = s;
-        tasks.push_back(t);
+        if (!sliced) {
+          tasks.push_back(t);
+          continue;
+        }
+        for (std::size_t lo = delta_begin; lo < num_tuples;
+             lo += config.match_slice_ids) {
+          MatchTask slice = t;
+          slice.slice_begin = static_cast<int>(lo);
+          slice.slice_end = static_cast<int>(
+              std::min<std::size_t>(lo + config.match_slice_ids, num_tuples));
+          tasks.push_back(slice);
+        }
       }
     } else if (config.use_delta && delta_begin > 0) {
       // Majority delta: one pruned scan ("any row hits the delta") — never
@@ -254,8 +334,9 @@ bool HasApplicableStep(const Dependency& dep, const Instance& instance,
   bool applicable = false;
   HomSearchStats stats;
   HomomorphismSearch body_search(dep.body(), instance, options);
+  HeadChecker head(dep, instance, options);
   body_search.ForEach([&](const Valuation& h) {
-    if (!HeadWitnessed(dep, instance, h, options, &stats)) {
+    if (!head.Witnessed(h, &stats)) {
       applicable = true;
       return false;
     }
@@ -306,10 +387,19 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   std::vector<PendingStep> carried;
 
   // The firing phase below runs over these; hoisted out of the loop so a
-  // checkpoint resume can re-enter the phase mid-pass.
+  // checkpoint resume can re-enter the phase mid-pass. pass_fire_cap is the
+  // CURRENT pass's effective burst cap — config.max_fires_per_pass unless
+  // auto_burst retunes it at each matching phase (and a resume restores the
+  // interrupted pass's value from the checkpoint).
   std::vector<PendingStep> pending;
   std::uint64_t fired_this_pass = 0;
+  std::uint64_t pass_fire_cap = config.max_fires_per_pass;
   bool resuming = false;
+
+  // Budgeted runs know their tuple ceiling up front; growing to it in one
+  // Reserve beats rehash/realloc churn on every doubling. Harmless on
+  // resume (Reserve is idempotent) and skipped for loose budgets.
+  ReserveForBudget(instance, deps, config);
 
   if (checkpoint != nullptr && checkpoint->valid) {
     // Continue the interrupted firing phase: the caller restored (or kept)
@@ -318,10 +408,12 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     // one an uninterrupted run would have produced.
     delta_begin = checkpoint->delta_begin;
     fired_this_pass = checkpoint->fired_this_pass;
+    pass_fire_cap = checkpoint->fire_cap_this_pass;
     pending = std::move(checkpoint->pending);
     result.steps = checkpoint->steps;
     result.passes = checkpoint->passes;
     result.hom_nodes = checkpoint->hom_nodes;
+    result.hom_candidates = checkpoint->hom_candidates;
     result.match_tasks = checkpoint->match_tasks;
     result.carried_passes = checkpoint->carried_passes;
     result.trace = std::move(checkpoint->trace);
@@ -348,6 +440,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     checkpoint->valid = true;
     checkpoint->delta_begin = delta_begin;
     checkpoint->fired_this_pass = fired_this_pass;
+    checkpoint->fire_cap_this_pass = pass_fire_cap;
     checkpoint->pending.assign(
         std::make_move_iterator(pending.begin() +
                                 static_cast<std::ptrdiff_t>(next_index)),
@@ -355,6 +448,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     checkpoint->steps = result.steps;
     checkpoint->passes = result.passes;
     checkpoint->hom_nodes = result.hom_nodes;
+    checkpoint->hom_candidates = result.hom_candidates;
     checkpoint->match_tasks = result.match_tasks;
     checkpoint->carried_passes = result.carried_passes;
     checkpoint->trace = result.trace;
@@ -422,6 +516,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       HomSearchStats match_stats;
       for (const MatchOutput& out : outputs) match_stats.MergeFrom(out.stats);
       result.hom_nodes += match_stats.nodes;
+      result.hom_candidates += match_stats.candidates;
       if (match_stats.budget_hit) {
         result.status = limit_status(match_stats);
         return result;
@@ -431,17 +526,39 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
         return result;
       }
 
+      // Burst auto-tune: decide this pass's fire cap from the growth the
+      // previous pass produced, while delta_begin still marks it. A
+      // majority-delta pass is geometric pumping — nearly every pending
+      // step is genuinely new, so capping would only grow the carried
+      // backlog — and runs uncapped; flat growth gets the bounded-burst
+      // regime. Pure function of (delta, instance size): deterministic at
+      // any thread count, and the checkpoint records the chosen cap.
+      pass_fire_cap = config.max_fires_per_pass;
+      if (config.auto_burst) {
+        const std::size_t growth = pass_start - delta_begin;
+        const bool pumping = growth * 2 >= pass_start;
+        pass_fire_cap = pumping ? 0
+                                : (config.max_fires_per_pass > 0
+                                       ? config.max_fires_per_pass
+                                       : kAutoBurstCap);
+      }
+
       // Every dependency has now been matched against the first `pass_start`
       // tuples; the next pass only needs to see what the fires below add.
       delta_begin = pass_start;
 
-      // Merge the per-task buffers. Task order is canonical, but the sort
-      // below is what actually fixes the fire order: entries with equal
-      // (dep_index, row_ids) are fully identical (the body image determines
-      // the valuation), so the merge order cannot leak into the result.
+      // Merge the per-task buffers. Task order is canonical, but the
+      // sort+merge below is what actually fixes the fire order: entries
+      // with equal (dep_index, row_ids) are fully identical (the body image
+      // determines the valuation), so the merge order cannot leak into the
+      // result.
       std::size_t total_pending = 0;
-      for (const MatchOutput& out : outputs) {
-        total_pending += out.pending.size();
+      std::size_t carried_prefix = 0;
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        total_pending += outputs[i].pending.size();
+        if (tasks[i].kind == MatchTask::Kind::kCarried) {
+          carried_prefix += outputs[i].pending.size();
+        }
       }
       pending.clear();
       pending.reserve(total_pending);
@@ -460,22 +577,43 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       // fire order from enumeration order is what makes the result —
       // including the ids of invented nulls — a function of the *set* of
       // applicable steps, identical across matching strategies and thread
-      // counts.
-      std::sort(pending.begin(), pending.end(),
-                [](const PendingStep& a, const PendingStep& b) {
-                  if (a.dep_index != b.dep_index) {
-                    return a.dep_index < b.dep_index;
-                  }
-                  return a.row_ids < b.row_ids;
-                });
+      // counts. The carried re-checks (a prefix of the task list) kept
+      // their steps in canonical order already, so only the freshly
+      // enumerated tail needs the O(n log n) sort; a gap-regime pass with a
+      // six-figure carried backlog and a handful of new matches pays one
+      // linear merge instead of re-sorting the whole backlog.
+      auto canonical = [](const PendingStep& a, const PendingStep& b) {
+        if (a.dep_index != b.dep_index) {
+          return a.dep_index < b.dep_index;
+        }
+        return a.row_ids < b.row_ids;
+      };
+      std::sort(pending.begin() +
+                    static_cast<std::ptrdiff_t>(carried_prefix),
+                pending.end(), canonical);
+      std::inplace_merge(pending.begin(),
+                         pending.begin() +
+                             static_cast<std::ptrdiff_t>(carried_prefix),
+                         pending.end(), canonical);
       fired_this_pass = 0;
     }
 
     // ---- Firing phase: serial, on the calling thread ---------------------
     HomSearchStats fire_stats;
+    // Every early exit below must fold the firing phase's search counters
+    // into the result exactly once; one flush helper keeps the next exit
+    // branch from forgetting a counter.
+    auto flush_fire_stats = [&] {
+      result.hom_nodes += fire_stats.nodes;
+      result.hom_candidates += fire_stats.candidates;
+    };
+    // Pending is sorted by dependency, so one head checker serves each run
+    // of same-dependency steps; it reads the instance through a reference
+    // and therefore sees every tuple the intervening fires insert.
+    std::optional<HeadChecker> fire_head;
+    int fire_head_dep = -1;
     for (std::size_t pi = 0; pi < pending.size(); ++pi) {
-      if (config.max_fires_per_pass > 0 &&
-          fired_this_pass >= config.max_fires_per_pass) {
+      if (pass_fire_cap > 0 && fired_this_pass >= pass_fire_cap) {
         // Burst cap: the rest of the pending set waits for the next pass.
         // The naive full re-match will re-discover it; the delta matcher
         // would not (every entry is old by then), so stash it.
@@ -489,17 +627,20 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
         // Between-fire cancel check: a cancelled job must not keep firing a
         // huge pending burst to the end of the pass. No checkpoint — the
         // caller asked the job to die, not to pause deterministically.
-        result.hom_nodes += fire_stats.nodes;
+        flush_fire_stats();
         result.status = ChaseStatus::kCancelled;
         return result;
       }
       PendingStep& step = pending[pi];
       const Dependency& dep = deps.items[step.dep_index];
+      if (fire_head_dep != step.dep_index) {
+        fire_head.emplace(dep, *instance, hom_options);
+        fire_head_dep = step.dep_index;
+      }
       // An earlier fire in this pass may have witnessed this head already.
-      bool witnessed = HeadWitnessed(dep, *instance, step.match, hom_options,
-                                     &fire_stats);
+      bool witnessed = fire_head->Witnessed(step.match, &fire_stats);
       if (fire_stats.budget_hit) {
-        result.hom_nodes += fire_stats.nodes;
+        flush_fire_stats();
         result.status = limit_status(fire_stats);
         return result;
       }
@@ -512,29 +653,29 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
             ChaseStep{step.dep_index, step.match, std::move(new_ids)});
       }
       if (config.eager_goal_check && goal && goal(*instance)) {
-        result.hom_nodes += fire_stats.nodes;
+        flush_fire_stats();
         result.status = ChaseStatus::kGoal;
         return result;
       }
       if (config.max_steps > 0 && result.steps >= config.max_steps) {
-        result.hom_nodes += fire_stats.nodes;
+        flush_fire_stats();
         result.status = ChaseStatus::kStepLimit;
         take_checkpoint(pi + 1);
         return result;
       }
       if (config.max_tuples > 0 && instance->NumTuples() >= config.max_tuples) {
-        result.hom_nodes += fire_stats.nodes;
+        flush_fire_stats();
         result.status = ChaseStatus::kTupleLimit;
         take_checkpoint(pi + 1);
         return result;
       }
       if (deadline.Expired()) {
-        result.hom_nodes += fire_stats.nodes;
+        flush_fire_stats();
         result.status = ChaseStatus::kTimeout;
         return result;
       }
     }
-    result.hom_nodes += fire_stats.nodes;
+    flush_fire_stats();
 
     if (!config.eager_goal_check && goal && goal(*instance)) {
       result.status = ChaseStatus::kGoal;
@@ -573,6 +714,9 @@ bool ChaseCheckpoint::CompatibleWith(const ChaseConfig& config,
   // run would no longer replay an uninterrupted one.
   if (use_delta != config.use_delta ||
       max_fires_per_pass != config.max_fires_per_pass ||
+      auto_burst != config.auto_burst ||
+      match_slice_ids != config.match_slice_ids ||
+      use_intersection != config.use_intersection ||
       record_trace != config.record_trace ||
       eager_goal_check != config.eager_goal_check ||
       hom_max_nodes != config.hom_max_nodes) {
@@ -629,6 +773,9 @@ bool ChaseCheckpoint::CompatibleWith(const ChaseConfig& config,
 void ChaseCheckpoint::CaptureShape(const ChaseConfig& config) {
   use_delta = config.use_delta;
   max_fires_per_pass = config.max_fires_per_pass;
+  auto_burst = config.auto_burst;
+  match_slice_ids = config.match_slice_ids;
+  use_intersection = config.use_intersection;
   record_trace = config.record_trace;
   eager_goal_check = config.eager_goal_check;
   hom_max_nodes = config.hom_max_nodes;
@@ -679,19 +826,25 @@ bool ReadValuation(std::istream& is, Valuation* v) {
   return true;
 }
 
-constexpr char kCheckpointMagic[] = "tdckpt1";
+// Bumped from tdckpt1 when the format gained fire_cap_this_pass,
+// hom_candidates and the match-strategy shape fields (auto_burst,
+// match_slice_ids, use_intersection); tdckpt1 files are rejected rather
+// than resumed under the wrong shape.
+constexpr char kCheckpointMagic[] = "tdckpt2";
 
 }  // namespace
 
 void ChaseCheckpoint::Serialize(std::ostream& os) const {
   os << kCheckpointMagic << ' ' << (valid ? 1 : 0) << '\n';
   if (!valid) return;
-  os << delta_begin << ' ' << fired_this_pass << '\n';
-  os << steps << ' ' << passes << ' ' << hom_nodes << ' ' << match_tasks << ' '
-     << carried_passes << '\n';
+  os << delta_begin << ' ' << fired_this_pass << ' ' << fire_cap_this_pass
+     << '\n';
+  os << steps << ' ' << passes << ' ' << hom_nodes << ' ' << hom_candidates
+     << ' ' << match_tasks << ' ' << carried_passes << '\n';
   os << (use_delta ? 1 : 0) << ' ' << max_fires_per_pass << ' '
-     << (record_trace ? 1 : 0) << ' ' << (eager_goal_check ? 1 : 0) << ' '
-     << hom_max_nodes << '\n';
+     << (auto_burst ? 1 : 0) << ' ' << match_slice_ids << ' '
+     << (use_intersection ? 1 : 0) << ' ' << (record_trace ? 1 : 0) << ' '
+     << (eager_goal_check ? 1 : 0) << ' ' << hom_max_nodes << '\n';
   os << pending.size() << '\n';
   for (const PendingChaseStep& step : pending) {
     os << step.dep_index << '\n';
@@ -715,16 +868,21 @@ std::optional<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::istream& is) {
   ChaseCheckpoint ckpt;
   if (valid_flag == 0) return ckpt;  // an empty (non-resumable) checkpoint
   ckpt.valid = true;
-  int use_delta_flag, record_trace_flag, eager_flag;
+  int use_delta_flag, auto_burst_flag, intersect_flag, record_trace_flag,
+      eager_flag;
   std::size_t num_pending, num_trace;
-  if (!(is >> ckpt.delta_begin >> ckpt.fired_this_pass >> ckpt.steps >>
-        ckpt.passes >> ckpt.hom_nodes >> ckpt.match_tasks >>
+  if (!(is >> ckpt.delta_begin >> ckpt.fired_this_pass >>
+        ckpt.fire_cap_this_pass >> ckpt.steps >> ckpt.passes >>
+        ckpt.hom_nodes >> ckpt.hom_candidates >> ckpt.match_tasks >>
         ckpt.carried_passes >> use_delta_flag >> ckpt.max_fires_per_pass >>
+        auto_burst_flag >> ckpt.match_slice_ids >> intersect_flag >>
         record_trace_flag >> eager_flag >> ckpt.hom_max_nodes >>
         num_pending)) {
     return std::nullopt;
   }
   ckpt.use_delta = use_delta_flag != 0;
+  ckpt.auto_burst = auto_burst_flag != 0;
+  ckpt.use_intersection = intersect_flag != 0;
   ckpt.record_trace = record_trace_flag != 0;
   ckpt.eager_goal_check = eager_flag != 0;
   // Same untrusted-count discipline as ReadIntVec: append, never resize.

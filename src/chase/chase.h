@@ -67,6 +67,33 @@ struct ChaseConfig {
   /// the full re-match (naive mode); both modes stay byte-identical.
   std::uint64_t max_fires_per_pass = 0;
 
+  /// Auto-tune the per-pass burst from the observed growth rate: a pass
+  /// whose delta is the majority of the instance (geometric pumping — most
+  /// matches are genuinely new, capping only adds carried re-check work)
+  /// runs uncapped; a flat-growth pass is capped at max_fires_per_pass (or
+  /// 64 when that is 0), the regime where bounded bursts keep latency
+  /// smooth and delta matching pays most. The per-pass cap is a pure
+  /// function of (delta size, instance size), so runs stay deterministic
+  /// and checkpoints record the interrupted pass's cap. Off by default;
+  /// tdbatch enables it (--no-auto-burst ablates).
+  bool auto_burst = false;
+
+  /// Work stealing for few-member passes: split each semi-naive partition
+  /// member's seed-row delta range into sub-tasks of this many tuple ids
+  /// (0 = never split). A pass over one wide dependency produces only
+  /// |body rows| partition members — fewer than the pool on a big delta —
+  /// so slicing is what lets even 1-dependency chases use all cores. The
+  /// slicing is a pure function of (config, delta), NOT of the pool width,
+  /// so hom_nodes/match_tasks — and with them every instance, trace and
+  /// status — stay byte-identical at any thread count, serial included.
+  std::uint64_t match_slice_ids = 4096;
+
+  /// Intersect all bound-position posting lists when picking a row's
+  /// candidates (HomSearchOptions::use_intersection). Node-for-node
+  /// identical searches; only candidate filtering work and wall time move.
+  /// Off = the single-list ablation baseline.
+  bool use_intersection = true;
+
   /// Optional thread pool for the matching phase. Each pass's match tasks —
   /// carried-step re-checks plus one body search per dependency (or per
   /// semi-naive partition member (dependency, seed row)) — are independent
@@ -97,6 +124,7 @@ struct ChaseConfig {
   HomSearchOptions HomOptions() const {
     HomSearchOptions o;
     o.max_nodes = hom_max_nodes;
+    o.use_intersection = use_intersection;
     return o;
   }
 };
@@ -125,6 +153,10 @@ struct ChaseResult {
   std::uint64_t steps = 0;          ///< fires
   std::uint64_t passes = 0;         ///< full scans over the dependency set
   std::uint64_t hom_nodes = 0;      ///< total homomorphism search nodes
+  std::uint64_t hom_candidates = 0; ///< candidate tuples tried across all
+                                    ///  searches (what intersection prunes;
+                                    ///  unlike hom_nodes it is NOT invariant
+                                    ///  across use_intersection modes)
   std::uint64_t match_tasks = 0;    ///< match-phase tasks (parallel units)
   std::uint64_t carried_passes = 0; ///< passes entered with carried pending
                                     ///  steps (burst-cap backlog re-checks)
@@ -166,6 +198,9 @@ struct ChaseCheckpoint {
   // ---- Resume point (inside the firing phase of pass `passes`) ----------
   std::size_t delta_begin = 0;      ///< frontier: ids >= this are the delta
   std::uint64_t fired_this_pass = 0;  ///< burst-cap progress within the pass
+  std::uint64_t fire_cap_this_pass = 0;  ///< the interrupted pass's effective
+                                         ///  burst cap (auto_burst decides it
+                                         ///  per pass; 0 = uncapped)
   std::vector<PendingChaseStep> pending;  ///< still-unfired steps, canonical
                                           ///  (dep, body-image) order
 
@@ -173,15 +208,23 @@ struct ChaseCheckpoint {
   std::uint64_t steps = 0;
   std::uint64_t passes = 0;
   std::uint64_t hom_nodes = 0;
+  std::uint64_t hom_candidates = 0;
   std::uint64_t match_tasks = 0;
   std::uint64_t carried_passes = 0;
   std::vector<ChaseStep> trace;     ///< populated when record_trace
 
   // ---- Config shape the checkpoint was taken under ----------------------
   // Resuming under a different shape would diverge from an uninterrupted
-  // run; ResumableWith refuses and the caller starts fresh instead.
+  // run; ResumableWith refuses and the caller starts fresh instead. The
+  // match-strategy knobs are shape too: auto_burst moves pass boundaries
+  // (like max_fires_per_pass), and match_slice_ids / use_intersection —
+  // though invisible in the chase's output bytes — change the cumulative
+  // counters, which a resumed run must reproduce exactly.
   bool use_delta = true;
   std::uint64_t max_fires_per_pass = 0;
+  bool auto_burst = false;
+  std::uint64_t match_slice_ids = 0;
+  bool use_intersection = true;
   bool record_trace = false;
   bool eager_goal_check = true;
   std::uint64_t hom_max_nodes = 0;

@@ -19,7 +19,9 @@ Tableau AsTableau(const Instance& instance) {
   }
   for (std::size_t i = 0; i < instance.NumTuples(); ++i) {
     TupleRef tuple = instance.tuple(static_cast<int>(i));
-    t.AddRow(Row(tuple.begin(), tuple.end()));
+    Row row(static_cast<std::size_t>(tuple.arity()));
+    for (int attr = 0; attr < tuple.arity(); ++attr) row[attr] = tuple[attr];
+    t.AddRow(std::move(row));
   }
   return t;
 }

@@ -4,22 +4,59 @@
 
 namespace tdlib {
 
-// Pure function: builds and returns a FRESH valuation on every call, with
-// no shared scratch buffer or cached result. The parallel chase calls this
-// from concurrent match tasks (one head-witness search per body match), so
-// any future memoization here must be per-caller, never a shared static —
-// a shared seed valuation would be written by every task at once.
-Valuation HeadSeedValuation(const Dependency& dep,
-                            const Valuation& body_match) {
-  Valuation initial = Valuation::For(dep.head());
+// Pure function of (dep, body_match): no shared scratch buffer or cached
+// result. The parallel chase calls this from concurrent match tasks (one
+// head-witness search per body match), so any future memoization here must
+// be per-caller, never a shared static — a shared seed valuation would be
+// written by every task at once. HeadSeedValuationInto keeps exactly that
+// discipline: the scratch is the CALLER's.
+void HeadSeedValuationInto(const Dependency& dep, const Valuation& body_match,
+                           Valuation* out) {
+  out->values.resize(static_cast<std::size_t>(dep.schema().arity()));
   for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+    // assign reuses the column's capacity: a match stream seeds thousands of
+    // head searches per dependency without touching the allocator.
+    out->values[attr].assign(
+        static_cast<std::size_t>(dep.head().NumVars(attr)), -1);
     for (int v = 0; v < dep.head().NumVars(attr); ++v) {
       if (dep.IsUniversal(attr, v)) {
-        initial.Set(attr, v, body_match.Get(attr, v));
+        out->values[attr][v] = body_match.Get(attr, v);
       }
     }
   }
+}
+
+Valuation HeadSeedValuation(const Dependency& dep,
+                            const Valuation& body_match) {
+  Valuation initial;
+  HeadSeedValuationInto(dep, body_match, &initial);
   return initial;
+}
+
+HeadChecker::HeadChecker(const Dependency& dep, const Instance& instance,
+                         const HomSearchOptions& options)
+    : search_(dep.head(), instance, options),
+      seed_template_(Valuation::For(dep.head())) {
+  // The universal positions are a property of the dependency; resolving
+  // them once here turns each per-match seed into a column copy plus
+  // |universals| stores (HeadSeedValuation's semantics, minus its
+  // per-variable IsUniversal scan).
+  for (int attr = 0; attr < dep.schema().arity(); ++attr) {
+    for (int v = 0; v < dep.head().NumVars(attr); ++v) {
+      if (dep.IsUniversal(attr, v)) universals_.emplace_back(attr, v);
+    }
+  }
+}
+
+bool HeadChecker::Witnessed(const Valuation& h, HomSearchStats* stats) {
+  seed_ = seed_template_;  // column-wise assign; capacity reused
+  for (auto [attr, var] : universals_) {
+    seed_.values[attr][var] = h.Get(attr, var);
+  }
+  search_.SetInitial(seed_);
+  HomSearchStatus status = search_.FindAny(nullptr);
+  stats->MergeFrom(search_.stats());
+  return status == HomSearchStatus::kFound;
 }
 
 SatisfactionResult CheckSatisfaction(const Dependency& dep,
@@ -32,18 +69,20 @@ SatisfactionResult CheckSatisfaction(const Dependency& dep,
   HomSearchStats stats;
 
   HomomorphismSearch body_search(dep.body(), instance, options);
+  // One HeadChecker serves the whole body-match stream — reuse keeps the
+  // allocator off the per-match path (the chase uses the same class).
+  HeadChecker head(dep, instance, options);
   HomSearchStatus body_status = body_search.ForEach([&](const Valuation& h) {
     ++result.body_matches;
     // Try to extend h to the head: universal variables keep their binding,
     // existential variables are free.
-    HomomorphismSearch head_search(dep.head(), instance, options);
-    head_search.SetInitial(HeadSeedValuation(dep, h));
-    HomSearchStatus head_status = head_search.FindAny(nullptr);
-    stats.MergeFrom(head_search.stats());
-    if (head_status == HomSearchStatus::kBudget) {
+    HomSearchStats head_stats;
+    bool witnessed = head.Witnessed(h, &head_stats);
+    stats.MergeFrom(head_stats);
+    if (head_stats.budget_hit) {
       return false;
     }
-    if (head_status == HomSearchStatus::kExhausted) {
+    if (!witnessed) {
       result.counterexample = h;
       return false;  // found a violation; stop
     }
@@ -51,6 +90,7 @@ SatisfactionResult CheckSatisfaction(const Dependency& dep,
   });
   stats.MergeFrom(body_search.stats());
   result.nodes = stats.nodes;
+  result.candidates = stats.candidates;
 
   if (stats.budget_hit || body_status == HomSearchStatus::kBudget) {
     result.verdict = Satisfaction::kUnknown;

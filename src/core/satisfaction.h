@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/dependency.h"
 #include "logic/homomorphism.h"
@@ -33,6 +35,11 @@ struct SatisfactionResult {
 
   /// Total search nodes across body and head searches.
   std::uint64_t nodes = 0;
+
+  /// Candidate tuples tried across all searches. Unlike `nodes` this is NOT
+  /// invariant under HomSearchOptions::use_intersection — it is exactly the
+  /// per-candidate filtering work the posting-list intersection prunes.
+  std::uint64_t candidates = 0;
 };
 
 /// The standard seed for a head-witness search: a valuation over
@@ -40,6 +47,40 @@ struct SatisfactionResult {
 /// value in `body_match` and every existential variable left free. Shared by
 /// satisfaction checking and the chase's applicability tests.
 Valuation HeadSeedValuation(const Dependency& dep, const Valuation& body_match);
+
+/// Allocation-free variant for match streams: writes the seed into *out,
+/// reusing its buffers (after the first call per (caller, dep) no
+/// allocation happens). `out` is caller-owned scratch — the reuse stays
+/// per-caller, so concurrent match tasks still share nothing.
+void HeadSeedValuationInto(const Dependency& dep, const Valuation& body_match,
+                           Valuation* out);
+
+/// Head-witness tester for ONE dependency against ONE instance, reusable
+/// across a whole body-match stream: the search object, the seed-valuation
+/// template and the universal-position list are built once, so the
+/// per-match cost is the head search itself — not a dozen vector
+/// allocations. Shared by satisfaction checking and the chase's match/fire
+/// phases. Strictly single-thread like the search it wraps; concurrent
+/// match tasks each own their checker (per-caller scratch, nothing
+/// shared). Reuse is invisible in the counters: the same searches explore
+/// the same nodes. Reads the instance through a reference, so it observes
+/// tuples inserted between calls (the chase's firing phase relies on
+/// this); both referents must outlive the checker.
+class HeadChecker {
+ public:
+  HeadChecker(const Dependency& dep, const Instance& instance,
+              const HomSearchOptions& options);
+
+  /// True if `h` (a body match for the dependency) extends to its head;
+  /// merges the head search's counters into *stats.
+  bool Witnessed(const Valuation& h, HomSearchStats* stats);
+
+ private:
+  HomomorphismSearch search_;
+  Valuation seed_template_;  ///< all-unbound head valuation
+  std::vector<std::pair<int, int>> universals_;  ///< (attr, var) to seed
+  Valuation seed_;
+};
 
 /// Checks whether `instance` satisfies `dep`.
 SatisfactionResult CheckSatisfaction(const Dependency& dep,

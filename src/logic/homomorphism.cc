@@ -4,6 +4,49 @@
 #include <limits>
 
 namespace tdlib {
+namespace {
+
+// Intersections pay for their galloping bookkeeping by skipping candidates
+// the single-list scan would have tried and rejected; on lists this short
+// the scan is cheaper than the merge, so the shortest list is used alone.
+constexpr std::size_t kMinIntersectSize = 8;
+
+// First element of [lo, hi) at or after `lo` whose id is >= target, found by
+// galloping (doubling steps, then std::lower_bound in the bracketed window).
+// Raw contiguous pointers: the hot merge must not pay a two-run branch per
+// probe.
+const int* GallopSpan(const int* lo, const int* hi, int target) {
+  if (lo == hi || *lo >= target) return lo;
+  std::ptrdiff_t step = 1;
+  const int* low = lo;  // invariant: *low < target
+  while (low + step < hi && low[step] < target) {
+    low += step;
+    step <<= 1;
+  }
+  const int* high = low + step < hi ? low + step : hi;
+  return std::lower_bound(low + 1, high, target);
+}
+
+// First position in `list` at or after `pos` whose id is >= target.
+// Cursor-resumable: intersection loops advance monotonically, so the total
+// gallop work over one merge is O(sum of list sizes) worst case and
+// O(k log n) when the driver is sparse in the others. The two runs are
+// handled as separate contiguous spans (base ids all precede tail ids), so
+// each probe is a stride-1 pointer compare.
+std::size_t GallopTo(const CandidateList& list, std::size_t pos, int target) {
+  const IdSpan base = list.base();
+  if (pos < base.size()) {
+    const int* p = GallopSpan(base.begin() + pos, base.end(), target);
+    if (p != base.end()) return static_cast<std::size_t>(p - base.begin());
+    pos = base.size();
+  }
+  const IdSpan tail = list.tail();
+  const std::size_t tail_pos = pos - base.size();
+  const int* p = GallopSpan(tail.begin() + tail_pos, tail.end(), target);
+  return base.size() + static_cast<std::size_t>(p - tail.begin());
+}
+
+}  // namespace
 
 Valuation Valuation::For(const Tableau& t) {
   Valuation v;
@@ -22,7 +65,12 @@ HomomorphismSearch::HomomorphismSearch(const Tableau& source,
       options_(options),
       valuation_(Valuation::For(source)),
       row_done_(source.num_rows(), false),
-      row_tuples_(source.num_rows(), -1) {}
+      row_tuples_(source.num_rows(), -1),
+      candidate_storage_(source.num_rows()),
+      undo_storage_(source.num_rows()) {
+  bound_lists_.reserve(static_cast<std::size_t>(source.schema().arity()));
+  list_cursors_.reserve(static_cast<std::size_t>(source.schema().arity()));
+}
 
 void HomomorphismSearch::SetInitial(const Valuation& initial) {
   valuation_ = initial;
@@ -55,7 +103,13 @@ std::pair<int, int> HomomorphismSearch::RowIdBounds(int row_idx) const {
   }
   if (row_idx < options_.delta_seed_row) return {0, options_.delta_begin};
   if (row_idx == options_.delta_seed_row) {
-    return {options_.delta_begin, std::numeric_limits<int>::max()};
+    // The seed row binds the delta — or, when the chase sliced this
+    // partition member into sub-tasks, one sub-range of it.
+    int lo = options_.delta_seed_begin >= 0 ? options_.delta_seed_begin
+                                            : options_.delta_begin;
+    int hi = options_.delta_seed_end >= 0 ? options_.delta_seed_end
+                                          : std::numeric_limits<int>::max();
+    return {lo, hi};
   }
   return {0, std::numeric_limits<int>::max()};
 }
@@ -86,7 +140,7 @@ int HomomorphismSearch::PickNextRow() const {
     for (int attr = 0; attr < source_.schema().arity(); ++attr) {
       int bound = valuation_.Get(attr, r[attr]);
       if (bound >= 0) {
-        score = std::min(score, target_.TuplesWith(attr, bound).size());
+        score = std::min(score, target_.CountWith(attr, bound));
       }
     }
     if (score < best_score) {
@@ -97,40 +151,87 @@ int HomomorphismSearch::PickNextRow() const {
   return best;
 }
 
-const std::vector<int>* HomomorphismSearch::RowCandidates(
-    int row_idx, int min_id, std::vector<int>* storage,
-    std::size_t* first) const {
+void HomomorphismSearch::RowCandidates(int row_idx, int min_id, int max_id,
+                                       std::vector<int>* storage,
+                                       CandidateRuns* out) {
+  out->runs[0] = IdSpan();
+  out->runs[1] = IdSpan();
   const Row& r = source_.row(row_idx);
-  *first = 0;
   if (options_.use_index) {
-    // Use the shortest index list among bound positions. Lists are
-    // ascending, so a delta cutoff is one binary search.
-    int best_attr = -1;
-    std::size_t best_size = std::numeric_limits<std::size_t>::max();
+    bound_lists_.clear();
     for (int attr = 0; attr < source_.schema().arity(); ++attr) {
       int bound = valuation_.Get(attr, r[attr]);
-      if (bound >= 0 && target_.TuplesWith(attr, bound).size() < best_size) {
-        best_size = target_.TuplesWith(attr, bound).size();
-        best_attr = attr;
-      }
+      if (bound >= 0) bound_lists_.push_back(target_.TuplesWith(attr, bound));
     }
-    if (best_attr >= 0) {
-      const std::vector<int>& ids =
-          target_.TuplesWith(best_attr, valuation_.Get(best_attr, r[best_attr]));
-      if (min_id > 0) {
-        *first = static_cast<std::size_t>(
-            std::lower_bound(ids.begin(), ids.end(), min_id) - ids.begin());
+    if (!bound_lists_.empty()) {
+      // Shortest list first (ties keep the lowest attribute, matching the
+      // historical choice — PickNextRow's scores, and hence the search tree,
+      // depend on nothing here, but determinism is cheap).
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < bound_lists_.size(); ++i) {
+        if (bound_lists_[i].size() < bound_lists_[best].size()) best = i;
       }
-      return &ids;
+      const CandidateList& driver = bound_lists_[best];
+      if (options_.use_intersection && bound_lists_.size() >= 2 &&
+          driver.size() > kMinIntersectSize) {
+        // Galloping k-way intersection, driver outermost. Every id kept here
+        // is exactly an id the single-list scan would have accepted in
+        // TryBindRow — the merge moves the equality checks off the per-
+        // candidate path, it never changes the candidate set.
+        storage->clear();
+        list_cursors_.assign(bound_lists_.size(), 0);
+        std::size_t pos = GallopTo(driver, 0, min_id);
+        bool exhausted = false;
+        for (; pos < driver.size() && !exhausted; ++pos) {
+          const int id = driver[pos];
+          // The caller discards everything past its id window; stopping the
+          // merge here (ids ascending) keeps a narrow delta window from
+          // paying a full-posting-list merge. Invisible in the counters:
+          // these ids were never tried.
+          if (id >= max_id) break;
+          bool all = true;
+          for (std::size_t j = 0; j < bound_lists_.size(); ++j) {
+            if (j == best) continue;
+            std::size_t c = GallopTo(bound_lists_[j], list_cursors_[j], id);
+            list_cursors_[j] = c;
+            if (c >= bound_lists_[j].size()) {
+              // This list has no ids >= id anymore: nothing later in the
+              // driver can be in the intersection either.
+              all = false;
+              exhausted = true;
+              break;
+            }
+            if (bound_lists_[j][c] != id) {
+              all = false;
+              break;
+            }
+          }
+          if (all) storage->push_back(id);
+        }
+        out->runs[0] = IdSpan(storage->data(), storage->size());
+        return;
+      }
+      // Single-list mode: hand out the index spans directly (zero copies);
+      // TryBindRow filters the other bound positions per candidate. Runs are
+      // ascending with base ids < tail ids, so a delta cutoff is one binary
+      // search per run.
+      out->runs[0] =
+          min_id > 0 ? driver.base().SuffixFrom(min_id) : driver.base();
+      out->runs[1] =
+          min_id > 0 ? driver.tail().SuffixFrom(min_id) : driver.tail();
+      return;
     }
   }
   storage->clear();
-  storage->reserve(target_.NumTuples());
-  for (std::size_t i = static_cast<std::size_t>(min_id);
-       i < target_.NumTuples(); ++i) {
-    storage->push_back(static_cast<int>(i));
+  const std::size_t scan_end = std::min<std::size_t>(
+      target_.NumTuples(), static_cast<std::size_t>(max_id));
+  if (scan_end > static_cast<std::size_t>(min_id)) {
+    storage->reserve(scan_end - static_cast<std::size_t>(min_id));
+    for (std::size_t i = static_cast<std::size_t>(min_id); i < scan_end; ++i) {
+      storage->push_back(static_cast<int>(i));
+    }
   }
-  return storage;
+  out->runs[0] = IdSpan(storage->data(), storage->size());
 }
 
 bool HomomorphismSearch::TryBindRow(int row_idx, TupleRef tuple,
@@ -200,7 +301,7 @@ bool HomomorphismSearch::Backtrack(
     return true;
   }
   int row_idx = PickNextRow();
-  // The semi-naive partition as per-row id windows: candidate lists are
+  // The semi-naive partition as per-row id windows: candidate runs are
   // ascending, so the window is one lower_bound plus an early break.
   auto [min_id, max_id] = RowIdBounds(row_idx);
   const bool any_row_mode =
@@ -211,26 +312,34 @@ bool HomomorphismSearch::Backtrack(
     // on the last undone row can complete a delta-touching match.
     min_id = std::max(min_id, options_.delta_begin);
   }
-  std::vector<int> storage;
-  std::size_t first = 0;
-  const std::vector<int>* candidates =
-      RowCandidates(row_idx, min_id, &storage, &first);
+  std::vector<int>& storage = candidate_storage_[depth];
+  CandidateRuns candidates;
+  RowCandidates(row_idx, min_id, max_id, &storage, &candidates);
   row_done_[row_idx] = true;
-  std::vector<std::pair<int, int>> undo;
-  for (std::size_t ci = first; ci < candidates->size(); ++ci) {
-    int tuple_id = (*candidates)[ci];
-    if (tuple_id >= max_id) break;
-    undo.clear();
-    if (!TryBindRow(row_idx, target_.tuple(tuple_id), &undo)) continue;
-    row_tuples_[row_idx] = tuple_id;
-    bool in_delta = any_row_mode && tuple_id >= options_.delta_begin;
-    delta_rows_bound_ += in_delta ? 1 : 0;
-    bool keep_going = Backtrack(depth + 1, visit, stopped);
-    delta_rows_bound_ -= in_delta ? 1 : 0;
-    UndoBindings(undo);
-    if (!keep_going && (*stopped || stats_.budget_hit)) {
-      row_done_[row_idx] = false;
-      return false;
+  std::vector<std::pair<int, int>>& undo = undo_storage_[depth];
+  undo.clear();
+  bool window_closed = false;
+  for (int run = 0; run < 2 && !window_closed; ++run) {
+    for (int tuple_id : candidates.runs[run]) {
+      // Runs are ascending and run 0's ids all precede run 1's, so the first
+      // id past the window ends the whole iteration.
+      if (tuple_id >= max_id) {
+        window_closed = true;
+        break;
+      }
+      ++stats_.candidates;
+      undo.clear();
+      if (!TryBindRow(row_idx, target_.tuple(tuple_id), &undo)) continue;
+      row_tuples_[row_idx] = tuple_id;
+      bool in_delta = any_row_mode && tuple_id >= options_.delta_begin;
+      delta_rows_bound_ += in_delta ? 1 : 0;
+      bool keep_going = Backtrack(depth + 1, visit, stopped);
+      delta_rows_bound_ -= in_delta ? 1 : 0;
+      UndoBindings(undo);
+      if (!keep_going && (*stopped || stats_.budget_hit)) {
+        row_done_[row_idx] = false;
+        return false;
+      }
     }
   }
   row_done_[row_idx] = false;

@@ -5,23 +5,38 @@
 // is the computational heart of the library: dependency satisfaction, chase
 // applicability, tableau containment and the part (B) model check are all
 // homomorphism problems. The search is backtracking with a most-constrained-
-// row-first heuristic and candidate lists drawn from the instance's inverted
-// index; an optional node budget keeps worst-case (NP-hard) searches bounded.
+// row-first heuristic and candidate lists drawn from the instance's CSR
+// inverted index; an optional node budget keeps worst-case (NP-hard)
+// searches bounded.
+//
+// Candidate pruning: when a row has several bound positions, their posting
+// lists are intersected up front (galloping merge over the index's sorted
+// spans) instead of scanning one list and rejecting mismatches per
+// candidate. The intersection never changes WHICH bindings are explored —
+// every surviving candidate is exactly a candidate the single-list scan
+// would have accepted — so search-tree shape, visited matches and the
+// `nodes` counter are byte-identical with the optimization on or off; only
+// the `candidates` counter (rows actually tried) and wall time move. The
+// use_intersection ablation flag quantifies the win.
 //
 // Delta restriction (semi-naive matching): a search can be confined to one
 // member of the standard semi-naive partition of the delta-touching matches
 // — seed row in the delta, earlier rows in the old region, later rows
 // unrestricted — so that re-matching after an insertion batch costs time
-// proportional to the batch, not the instance. The chase unions the
-// partition members and fires in a canonical order (chase/chase.h), which
-// is how delta mode reproduces the naive chase byte for byte.
+// proportional to the batch, not the instance. The seed row's id window can
+// further be narrowed to a sub-slice of the delta (delta_seed_begin/_end),
+// which is how the chase splits one partition member into several
+// equal-range sub-tasks when a pass has fewer members than workers. The
+// chase unions the partition members (and slices) and fires in a canonical
+// order (chase/chase.h), which is how delta mode reproduces the naive chase
+// byte for byte.
 //
 // Concurrency: a HomomorphismSearch object is strictly single-thread — all
-// of its mutable state (valuation, row bookkeeping, stats) lives in the
-// object. Any number of searches may run concurrently over the SAME target
-// instance as long as no thread mutates it (see the concurrent-read
-// contract in logic/instance.h); the parallel chase runs one search object
-// per task and aggregates HomSearchStats after the join.
+// of its mutable state (valuation, row bookkeeping, scratch buffers, stats)
+// lives in the object. Any number of searches may run concurrently over the
+// SAME target instance as long as no thread mutates it (see the concurrent-
+// read contract in logic/instance.h); the parallel chase runs one search
+// object per task and aggregates HomSearchStats after the join.
 #ifndef TDLIB_LOGIC_HOMOMORPHISM_H_
 #define TDLIB_LOGIC_HOMOMORPHISM_H_
 
@@ -58,13 +73,16 @@ struct Valuation {
 /// per-task copies after the tasks have joined — never two searches
 /// pointing at one struct.
 struct HomSearchStats {
-  std::uint64_t nodes = 0;   ///< search-tree nodes explored
+  std::uint64_t nodes = 0;       ///< search-tree nodes explored
+  std::uint64_t candidates = 0;  ///< candidate tuples tried against a row
+                                 ///  (what the index + intersection prune)
   bool budget_hit = false;   ///< a node/deadline/cancel limit stopped a search
   bool deadline_hit = false; ///< specifically the wall-clock deadline
   bool cancel_hit = false;   ///< specifically the job-level cancel flag
 
   void MergeFrom(const HomSearchStats& other) {
     nodes += other.nodes;
+    candidates += other.candidates;
     budget_hit = budget_hit || other.budget_hit;
     deadline_hit = deadline_hit || other.deadline_hit;
     cancel_hit = cancel_hit || other.cancel_hit;
@@ -84,6 +102,13 @@ struct HomSearchOptions {
   /// Disable the inverted-index candidate pruning; used by the EXP-CHASE
   /// ablation benchmark to quantify what the index buys.
   bool use_index = true;
+
+  /// Intersect ALL bound-position posting lists when choosing a row's
+  /// candidates (galloping merge) instead of scanning the single shortest
+  /// list and filtering per candidate. Node-for-node identical searches —
+  /// only `candidates` and wall time change. Off = the single-list ablation
+  /// baseline.
+  bool use_intersection = true;
 
   /// Disable the most-constrained-row-first dynamic ordering (rows are then
   /// matched in tableau order).
@@ -107,6 +132,15 @@ struct HomSearchOptions {
   /// delta_begin < 0 disables the restriction entirely.
   int delta_begin = -1;
   int delta_seed_row = -1;
+
+  /// Optional narrowing of the seed row's id window to
+  /// [delta_seed_begin, delta_seed_end) instead of [delta_begin, +inf).
+  /// Meaningful only in partition mode (delta_seed_row >= 0); -1 leaves the
+  /// respective end unbounded. The chase's work-stealing slices use this to
+  /// cut one partition member into disjoint sub-ranges whose union is
+  /// exactly the member.
+  int delta_seed_begin = -1;
+  int delta_seed_end = -1;
 
   /// Optional wall-clock deadline, checked every few hundred nodes inside
   /// Backtrack so one huge search cannot overshoot a caller's budget. On
@@ -177,15 +211,25 @@ class HomomorphismSearch {
   bool deadline_hit() const { return stats_.deadline_hit; }
 
  private:
+  /// Up to two ascending candidate runs (CSR base + tail, or one merged /
+  /// materialized run). Every id in runs[0] precedes every id in runs[1].
+  struct CandidateRuns {
+    IdSpan runs[2];
+  };
+
   bool Backtrack(int depth, const std::function<bool(const Valuation&)>& visit,
                  bool* stopped);
   int PickNextRow() const;
   /// Tuple ids row `row_idx` may bind: [first, second). Encodes the delta
-  /// partition; {0, INT_MAX} when unrestricted.
+  /// partition (and seed slices); {0, INT_MAX} when unrestricted.
   std::pair<int, int> RowIdBounds(int row_idx) const;
-  const std::vector<int>* RowCandidates(int row_idx, int min_id,
-                                        std::vector<int>* storage,
-                                        std::size_t* first) const;
+  /// Candidate ids in [min_id, max_id) for `row_idx`, either as borrowed
+  /// index spans (which may run past max_id — the caller's iteration stops
+  /// there) or materialized into `storage` (full scans, intersections; these
+  /// DO stop at max_id, so a narrow delta window never pays a full-list
+  /// merge).
+  void RowCandidates(int row_idx, int min_id, int max_id,
+                     std::vector<int>* storage, CandidateRuns* out);
   bool TryBindRow(int row_idx, TupleRef tuple,
                   std::vector<std::pair<int, int>>* undo);
   void UndoBindings(const std::vector<std::pair<int, int>>& undo);
@@ -197,6 +241,12 @@ class HomomorphismSearch {
   std::vector<bool> row_done_;
   std::vector<int> row_tuples_;
   int delta_rows_bound_ = 0;  ///< "any row" mode: rows on delta tuples now
+  // Per-depth scratch, reused across the whole search so the hot loop does
+  // not allocate per node (capacity sticks after the first few nodes).
+  std::vector<std::vector<int>> candidate_storage_;
+  std::vector<std::vector<std::pair<int, int>>> undo_storage_;
+  std::vector<CandidateList> bound_lists_;    // RowCandidates scratch
+  std::vector<std::size_t> list_cursors_;     // RowCandidates scratch
   HomSearchStats stats_;
 };
 

@@ -11,6 +11,10 @@ namespace {
 
 constexpr char kInstanceMagic[] = "tdinst1";
 
+// Below this many tuples the CSR rebuild is cheaper than the bookkeeping to
+// avoid it; tails shorter than this never trigger a rebuild on their own.
+constexpr std::size_t kMinCompactTail = 64;
+
 // Length-prefixed string ("<len>:<bytes>"): value names are user-supplied
 // and may contain whitespace, so token-based IO cannot carry them.
 void WriteString(std::ostream& os, const std::string& s) {
@@ -31,12 +35,14 @@ bool ReadString(std::istream& is, std::string* s) {
 
 }  // namespace
 
-Instance::Instance(SchemaPtr schema)
+Instance::Instance(SchemaPtr schema, TupleLayout layout)
     : schema_(std::move(schema)),
       value_names_(schema_->arity()),
       is_null_(schema_->arity()),
-      store_(schema_->arity()),
-      index_(schema_->arity()) {}
+      store_(schema_->arity(), layout),
+      csr_ids_(schema_->arity()),
+      csr_offsets_(schema_->arity(), {0}),
+      tail_(schema_->arity()) {}
 
 int Instance::AddValue(int attr, std::string name, bool labeled_null) {
   int id = static_cast<int>(value_names_[attr].size());
@@ -46,7 +52,7 @@ int Instance::AddValue(int attr, std::string name, bool labeled_null) {
   }
   value_names_[attr].push_back(std::move(name));
   is_null_[attr].push_back(labeled_null);
-  index_[attr].emplace_back();
+  tail_[attr].emplace_back();
   return id;
 }
 
@@ -65,14 +71,52 @@ int Instance::NullCount() const {
   return n;
 }
 
-bool Instance::AddRow(const std::int32_t* row) {
-  auto [id, inserted] = store_.Insert(row);
-  if (!inserted) return false;
+bool Instance::FinishInsert(std::pair<int, bool> inserted) {
+  auto [id, is_new] = inserted;
+  if (!is_new) return false;
   TupleRef t = store_[static_cast<std::size_t>(id)];
   for (int attr = 0; attr < schema_->arity(); ++attr) {
-    index_[attr][t[attr]].push_back(id);
+    tail_[attr][t[attr]].push_back(id);
   }
+  // Geometric rebuild cadence: merge the tails into the CSR slab once they
+  // match the base in size. Total rebuild work over a run is O(n·arity) —
+  // amortized O(arity) per insert, O(log n) rebuilds — and it happens here,
+  // inside a mutation, so concurrent readers never observe it.
+  const std::size_t tail_ids = store_.size() - csr_count_;
+  if (tail_ids >= std::max(kMinCompactTail, csr_count_)) CompactIndex();
   return true;
+}
+
+void Instance::CompactIndex() {
+  const std::size_t n = store_.size();
+  if (csr_count_ == n) return;  // tails empty; nothing to merge
+  for (int attr = 0; attr < schema_->arity(); ++attr) {
+    const int domain = DomainSize(attr);
+    std::vector<std::int32_t>& offsets = csr_offsets_[attr];
+    std::vector<int>& ids = csr_ids_[attr];
+    const int old_domain = static_cast<int>(offsets.size()) - 1;
+    std::vector<std::int32_t> merged_offsets(
+        static_cast<std::size_t>(domain) + 1, 0);
+    std::vector<int> merged_ids(n);
+    std::size_t cursor = 0;
+    for (int v = 0; v < domain; ++v) {
+      merged_offsets[v] = static_cast<std::int32_t>(cursor);
+      if (v < old_domain) {
+        std::copy(ids.begin() + offsets[v], ids.begin() + offsets[v + 1],
+                  merged_ids.begin() + static_cast<std::ptrdiff_t>(cursor));
+        cursor += static_cast<std::size_t>(offsets[v + 1] - offsets[v]);
+      }
+      std::vector<int>& tail = tail_[attr][v];
+      std::copy(tail.begin(), tail.end(),
+                merged_ids.begin() + static_cast<std::ptrdiff_t>(cursor));
+      cursor += tail.size();
+      tail.clear();  // keeps capacity: the next batch reuses the allocation
+    }
+    merged_offsets[domain] = static_cast<std::int32_t>(cursor);
+    ids = std::move(merged_ids);
+    offsets = std::move(merged_offsets);
+  }
+  csr_count_ = n;
 }
 
 void Instance::Reserve(std::size_t tuples, std::size_t values_per_attr) {
@@ -80,7 +124,9 @@ void Instance::Reserve(std::size_t tuples, std::size_t values_per_attr) {
   for (int attr = 0; attr < schema_->arity(); ++attr) {
     value_names_[attr].reserve(values_per_attr);
     is_null_[attr].reserve(values_per_attr);
-    index_[attr].reserve(values_per_attr);
+    tail_[attr].reserve(values_per_attr);
+    csr_ids_[attr].reserve(tuples);
+    csr_offsets_[attr].reserve(values_per_attr + 1);
   }
 }
 
@@ -98,14 +144,15 @@ void Instance::Serialize(std::ostream& os) const {
 }
 
 std::optional<Instance> Instance::Deserialize(SchemaPtr schema,
-                                              std::istream& is) {
+                                              std::istream& is,
+                                              TupleLayout layout) {
   std::string magic;
   int arity;
   if (!(is >> magic >> arity) || magic != kInstanceMagic ||
       arity != schema->arity()) {
     return std::nullopt;
   }
-  Instance instance(std::move(schema));
+  Instance instance(std::move(schema), layout);
   for (int attr = 0; attr < arity; ++attr) {
     std::size_t domain;
     if (!(is >> domain)) return std::nullopt;
@@ -117,10 +164,13 @@ std::optional<Instance> Instance::Deserialize(SchemaPtr schema,
       instance.AddValue(attr, std::move(name), null_flag != 0);
     }
   }
-  std::optional<TupleStore> store = TupleStore::Deserialize(is);
+  // The serialized tuple block carries no layout; read it into whatever
+  // layout this instance uses (row-major checkpoints restore into columnar
+  // stores and vice versa).
+  std::optional<TupleStore> store = TupleStore::Deserialize(is, layout);
   if (!store.has_value() || store->arity() != arity) return std::nullopt;
   // Route tuples through AddTuple so the inverted index (and dedup table)
-  // are rebuilt; insertion in id order reproduces ids and ascending index
+  // are rebuilt; insertion in id order reproduces ids and ascending posting
   // lists exactly.
   instance.Reserve(store->size(), 0);
   for (std::size_t id = 0; id < store->size(); ++id) {
@@ -159,16 +209,40 @@ std::string Instance::CheckInvariants() const {
       if (t[a] < 0 || t[a] >= DomainSize(a)) return "tuple value out of range";
     }
   }
+  if (csr_count_ > store_.size()) return "CSR covers more tuples than stored";
   for (int a = 0; a < schema_->arity(); ++a) {
+    const std::vector<std::int32_t>& offsets = csr_offsets_[a];
+    if (offsets.empty() || offsets[0] != 0 ||
+        offsets.size() > static_cast<std::size_t>(DomainSize(a)) + 1) {
+      return "CSR offset table malformed";
+    }
+    if (static_cast<std::size_t>(offsets.back()) != csr_count_) {
+      return "CSR slab does not cover csr_count tuples";
+    }
+    if (tail_[a].size() != static_cast<std::size_t>(DomainSize(a))) {
+      return "tail table size differs from domain";
+    }
     std::size_t indexed = 0;
-    for (const auto& ids : index_[a]) {
-      indexed += ids.size();
+    for (int v = 0; v < DomainSize(a); ++v) {
+      CandidateList list = TuplesWith(a, v);
+      indexed += list.size();
       int prev = -1;
-      for (int id : ids) {
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        int id = list[i];
         if (id < 0 || id >= static_cast<int>(store_.size())) {
           return "index refers to missing tuple";
         }
-        if (id <= prev) return "index list not ascending";
+        if (id <= prev) return "posting list not ascending";
+        if (store_[static_cast<std::size_t>(id)][a] != v) {
+          return "posting list id under the wrong value";
+        }
+        const bool in_base = i < list.base().size();
+        if (in_base && id >= static_cast<int>(csr_count_)) {
+          return "tail-region id found in the CSR base";
+        }
+        if (!in_base && id < static_cast<int>(csr_count_)) {
+          return "CSR-region id found in a tail";
+        }
         prev = id;
       }
     }

@@ -1,6 +1,7 @@
 #include "logic/tuple_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <istream>
 #include <ostream>
 
@@ -13,10 +14,23 @@ constexpr std::size_t kInitialSlots = 16;  // power of two
 
 constexpr char kStoreMagic[] = "tdstore1";
 
+std::atomic<TupleLayout> g_default_layout{TupleLayout::kRowMajor};
+
 }  // namespace
 
-TupleStore::TupleStore(int arity)
-    : arity_(arity), slots_(kInitialSlots, 0), slot_mask_(kInitialSlots - 1) {}
+TupleLayout DefaultTupleLayout() {
+  return g_default_layout.load(std::memory_order_relaxed);
+}
+
+void SetDefaultTupleLayout(TupleLayout layout) {
+  g_default_layout.store(layout, std::memory_order_relaxed);
+}
+
+TupleStore::TupleStore(int arity, TupleLayout layout)
+    : arity_(arity),
+      layout_(layout),
+      slots_(kInitialSlots, 0),
+      slot_mask_(kInitialSlots - 1) {}
 
 std::size_t TupleStore::HashRow(const std::int32_t* row) const {
   std::size_t seed = 0xcbf29ce484222325ULL;
@@ -27,10 +41,30 @@ std::size_t TupleStore::HashRow(const std::int32_t* row) const {
   return seed;
 }
 
-bool TupleStore::RowEquals(std::size_t id, const std::int32_t* row) const {
-  const std::int32_t* stored = arena_.data() + id * arity_;
+std::size_t TupleStore::HashStored(std::size_t id) const {
+  if (layout_ == TupleLayout::kRowMajor) {
+    return HashRow(arena_.data() + id * arity_);
+  }
+  // The hash must be byte-for-byte the layout-blind function of the row, so
+  // dedup tables in both layouts converge to identical slot assignments.
+  std::size_t seed = 0xcbf29ce484222325ULL;
   for (int i = 0; i < arity_; ++i) {
-    if (stored[i] != row[i]) return false;
+    HashCombine(&seed, static_cast<std::size_t>(
+                           static_cast<std::uint32_t>(Component(id, i))));
+  }
+  return seed;
+}
+
+bool TupleStore::RowEquals(std::size_t id, const std::int32_t* row) const {
+  if (layout_ == TupleLayout::kRowMajor) {
+    const std::int32_t* stored = arena_.data() + id * arity_;
+    for (int i = 0; i < arity_; ++i) {
+      if (stored[i] != row[i]) return false;
+    }
+    return true;
+  }
+  for (int i = 0; i < arity_; ++i) {
+    if (Component(id, i) != row[i]) return false;
   }
   return true;
 }
@@ -44,17 +78,46 @@ void TupleStore::Rehash(std::size_t target) {
   for (std::int32_t entry : old) {
     if (entry == 0) continue;
     std::size_t id = static_cast<std::size_t>(entry - 1);
-    std::size_t slot = HashRow(arena_.data() + id * arity_) & slot_mask_;
+    std::size_t slot = HashStored(id) & slot_mask_;
     while (slots_[slot] != 0) slot = (slot + 1) & slot_mask_;
     slots_[slot] = entry;
   }
 }
 
+void TupleStore::EnsureColumnCapacity(std::size_t tuples) {
+  if (tuples <= col_capacity_) return;
+  std::size_t target = std::max<std::size_t>(kInitialSlots, col_capacity_ * 2);
+  while (target < tuples) target *= 2;
+  // One slab, arity_ equal columns: column `attr` occupies
+  // [attr*target, attr*target + num_tuples_). Doubling keeps total copy work
+  // linear in the final size (O(log n) migrations).
+  std::vector<std::int32_t> grown(target * static_cast<std::size_t>(arity_));
+  for (int attr = 0; attr < arity_; ++attr) {
+    std::copy(arena_.begin() +
+                  static_cast<std::ptrdiff_t>(attr * col_capacity_),
+              arena_.begin() +
+                  static_cast<std::ptrdiff_t>(attr * col_capacity_ +
+                                              num_tuples_),
+              grown.begin() + static_cast<std::ptrdiff_t>(attr * target));
+  }
+  arena_ = std::move(grown);
+  col_capacity_ = target;
+}
+
 std::pair<int, bool> TupleStore::Insert(const std::int32_t* row) {
-  // Stage the row first: `row` may point into our own arena, which the
+  // Stage the row first: `row` may point into our own slab, which the
   // append below can reallocate.
   scratch_.assign(row, row + arity_);
+  return InsertStaged();
+}
 
+std::pair<int, bool> TupleStore::Insert(TupleRef row) {
+  scratch_.resize(static_cast<std::size_t>(arity_));
+  for (int i = 0; i < arity_; ++i) scratch_[i] = row[i];
+  return InsertStaged();
+}
+
+std::pair<int, bool> TupleStore::InsertStaged() {
   std::size_t slot = HashRow(scratch_.data()) & slot_mask_;
   while (slots_[slot] != 0) {
     std::size_t id = static_cast<std::size_t>(slots_[slot] - 1);
@@ -63,7 +126,15 @@ std::pair<int, bool> TupleStore::Insert(const std::int32_t* row) {
   }
 
   int id = static_cast<int>(num_tuples_);
-  arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+  if (layout_ == TupleLayout::kRowMajor) {
+    arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+  } else {
+    EnsureColumnCapacity(num_tuples_ + 1);
+    for (int attr = 0; attr < arity_; ++attr) {
+      arena_[static_cast<std::size_t>(attr) * col_capacity_ + num_tuples_] =
+          scratch_[attr];
+    }
+  }
   ++num_tuples_;
   slots_[slot] = id + 1;
   // Keep the load factor under ~0.75 so probe chains stay short.
@@ -82,7 +153,11 @@ int TupleStore::Find(const std::int32_t* row) const {
 }
 
 void TupleStore::Reserve(std::size_t tuples) {
-  arena_.reserve(tuples * static_cast<std::size_t>(arity_));
+  if (layout_ == TupleLayout::kRowMajor) {
+    arena_.reserve(tuples * static_cast<std::size_t>(arity_));
+  } else {
+    EnsureColumnCapacity(tuples);
+  }
   std::size_t want = kInitialSlots;
   // Size the table so `tuples` entries stay under the 0.75 load factor.
   while (want * 3 < tuples * 4) want *= 2;
@@ -92,14 +167,14 @@ void TupleStore::Reserve(std::size_t tuples) {
 void TupleStore::Serialize(std::ostream& os) const {
   os << kStoreMagic << ' ' << arity_ << ' ' << num_tuples_ << '\n';
   for (std::size_t id = 0; id < num_tuples_; ++id) {
-    const std::int32_t* row = arena_.data() + id * arity_;
     for (int i = 0; i < arity_; ++i) {
-      os << row[i] << (i + 1 == arity_ ? '\n' : ' ');
+      os << Component(id, i) << (i + 1 == arity_ ? '\n' : ' ');
     }
   }
 }
 
-std::optional<TupleStore> TupleStore::Deserialize(std::istream& is) {
+std::optional<TupleStore> TupleStore::Deserialize(std::istream& is,
+                                                  TupleLayout layout) {
   std::string magic;
   int arity;
   std::size_t count;
@@ -107,7 +182,7 @@ std::optional<TupleStore> TupleStore::Deserialize(std::istream& is) {
       arity > (1 << 20)) {  // untrusted arity: reject before row allocation
     return std::nullopt;
   }
-  TupleStore store(arity);
+  TupleStore store(arity, layout);
   // The count is untrusted input: pre-size only up to a sane bound (the
   // table grows on demand past it), so a corrupt header cannot OOM here —
   // a lying count just fails at end of input below.
@@ -125,8 +200,15 @@ std::optional<TupleStore> TupleStore::Deserialize(std::istream& is) {
 }
 
 std::string TupleStore::CheckInvariants() const {
-  if (arena_.size() != num_tuples_ * static_cast<std::size_t>(arity_)) {
-    return "arena size is not tuples * arity";
+  if (layout_ == TupleLayout::kRowMajor) {
+    if (arena_.size() != num_tuples_ * static_cast<std::size_t>(arity_)) {
+      return "arena size is not tuples * arity";
+    }
+  } else {
+    if (num_tuples_ > col_capacity_) return "columns smaller than tuple count";
+    if (arena_.size() != col_capacity_ * static_cast<std::size_t>(arity_)) {
+      return "arena size is not columns * arity";
+    }
   }
   if ((slots_.size() & slot_mask_) != 0 || slot_mask_ + 1 != slots_.size()) {
     return "slot table size is not a power of two";
@@ -139,8 +221,11 @@ std::string TupleStore::CheckInvariants() const {
     if (id >= num_tuples_) return "slot refers to a missing tuple";
   }
   if (occupied != num_tuples_) return "slot count differs from tuple count";
+  std::vector<std::int32_t> row(static_cast<std::size_t>(arity_));
   for (std::size_t id = 0; id < num_tuples_; ++id) {
-    int found = Find(arena_.data() + id * arity_);
+    for (int i = 0; i < arity_; ++i) row[static_cast<std::size_t>(i)] =
+        Component(id, i);
+    int found = Find(row.data());
     if (found != static_cast<int>(id)) {
       return found < 0 ? "stored tuple not findable" : "duplicate tuple";
     }

@@ -1,16 +1,32 @@
-// TupleStore: a flat, deduplicating arena of fixed-arity int32 tuples.
+// TupleStore: a flat, deduplicating arena of fixed-arity int32 tuples, in
+// either of two physical layouts behind one logical interface.
 //
 // The chase spends its life reading tuples: every homomorphism-search node
 // dereferences one, every dedup probe hashes one. Storing each tuple as its
 // own std::vector puts a heap allocation and a pointer chase on that path.
-// TupleStore instead lays all tuples out back-to-back in one int32_t arena —
-// tuple id i occupies arena[i*arity .. (i+1)*arity) — and hands out TupleRef
-// views (pointer + arity) into it. The dedup structure is an open-addressing
-// table of tuple *ids* (arena offsets), not owning copies: a probe hashes
-// the arena bytes in place, so insertion does exactly one table walk.
+// TupleStore instead lays all components out in one int32_t slab and hands
+// out TupleRef views (pointer + arity + stride) into it:
+//
+//   * kRowMajor (the default): tuple id i occupies
+//     arena[i*arity .. (i+1)*arity) — stride-1 within a tuple. Best when the
+//     hot loops read whole rows (dedup hashing, TryBindRow).
+//   * kColumnar (SoA): component (attr, id) lives at
+//     arena[attr*col_capacity + id] — stride-1 within an ATTRIBUTE. Best
+//     when the hot loops scan one attribute across many tuples (wide
+//     reduction schemas, arity = 2n + 2, where a row-major row spans
+//     several cache lines). See README "Data layout" for measurements.
+//
+// The layout is observable only as speed: ids, dedup outcomes, iteration
+// order and Serialize bytes are identical in both modes (the persistence
+// format carries no layout, so a checkpoint written by a row-major store
+// restores into a columnar one byte for byte).
+//
+// The dedup structure is an open-addressing table of tuple *ids* (slab
+// offsets), not owning copies: a probe hashes the slab components in place,
+// so insertion does exactly one table walk.
 //
 // Invalidation contract: a TupleRef is a borrowed view; any Insert may grow
-// the arena and invalidate outstanding refs. Ids are stable forever (tuples
+// the slab and invalidate outstanding refs. Ids are stable forever (tuples
 // are never removed), so persist ids, not refs, across mutations.
 //
 // Concurrent-read contract: const members (operator[], Find, size,
@@ -37,24 +53,45 @@ namespace tdlib {
 static_assert(sizeof(int) == sizeof(std::int32_t),
               "tdlib assumes 32-bit int (TupleRef aliases int rows)");
 
-/// A borrowed, span-like view of one stored tuple (or any row of `arity`
-/// consecutive int32 components). Cheap to copy; never owns memory.
+/// Physical layout of a TupleStore's component slab.
+enum class TupleLayout {
+  kRowMajor,  ///< tuples back to back: component (attr, id) at id*arity+attr
+  kColumnar,  ///< per-attribute columns:  component (attr, id) at attr*cap+id
+};
+
+/// The process-wide default layout for newly constructed stores (and hence
+/// Instances, frozen tableaux, chase results, ...). Row-major unless
+/// overridden. Reads/writes are atomic, but the intended use is to set it
+/// once at startup (tdbatch --layout, bench setup) before any store exists —
+/// changing it mid-flight only affects stores constructed afterwards.
+TupleLayout DefaultTupleLayout();
+void SetDefaultTupleLayout(TupleLayout layout);
+
+/// A borrowed, span-like view of one stored tuple: component `attr` lives at
+/// data[attr * stride]. Row-major views have stride 1 (and can alias any
+/// caller-owned row of `arity` consecutive int32s); columnar views stride by
+/// the store's column capacity. Cheap to copy; never owns memory. Consumers
+/// must go through operator[] — raw-pointer access is only meaningful for
+/// stride-1 views (see contiguous()/data()).
 class TupleRef {
  public:
-  TupleRef() : data_(nullptr), arity_(0) {}
-  TupleRef(const std::int32_t* data, int arity) : data_(data), arity_(arity) {}
+  TupleRef() : data_(nullptr), arity_(0), stride_(1) {}
+  TupleRef(const std::int32_t* data, int arity, std::ptrdiff_t stride = 1)
+      : data_(data), arity_(arity), stride_(stride) {}
 
-  int operator[](int attr) const { return data_[attr]; }
+  int operator[](int attr) const { return data_[attr * stride_]; }
   int arity() const { return arity_; }
   int size() const { return arity_; }
+
+  /// True iff the components are adjacent in memory (stride 1); only then is
+  /// data() a valid pointer to the whole row.
+  bool contiguous() const { return stride_ == 1; }
   const std::int32_t* data() const { return data_; }
-  const std::int32_t* begin() const { return data_; }
-  const std::int32_t* end() const { return data_ + arity_; }
 
   friend bool operator==(TupleRef a, TupleRef b) {
     if (a.arity_ != b.arity_) return false;
     for (int i = 0; i < a.arity_; ++i) {
-      if (a.data_[i] != b.data_[i]) return false;
+      if (a[i] != b[i]) return false;
     }
     return true;
   }
@@ -63,61 +100,84 @@ class TupleRef {
  private:
   const std::int32_t* data_;
   int arity_;
+  std::ptrdiff_t stride_;
 };
 
-/// The arena. All tuples share one contiguous buffer; a private
+/// The arena. All tuples share one contiguous slab; a private
 /// open-addressing hash table over tuple ids provides O(1) dedup without a
 /// second copy of any tuple. Value semantics (copy/move) are the defaults —
-/// the table stores ids, never pointers into the arena.
+/// the table stores ids, never pointers into the slab.
 class TupleStore {
  public:
-  explicit TupleStore(int arity);
+  explicit TupleStore(int arity, TupleLayout layout = DefaultTupleLayout());
 
   int arity() const { return arity_; }
   std::size_t size() const { return num_tuples_; }
+  TupleLayout layout() const { return layout_; }
 
   /// View of tuple `id` (0 <= id < size()). Invalidated by Insert.
   TupleRef operator[](std::size_t id) const {
-    return TupleRef(arena_.data() + id * arity_, arity_);
+    return layout_ == TupleLayout::kRowMajor
+               ? TupleRef(arena_.data() + id * arity_, arity_)
+               : TupleRef(arena_.data() + id, arity_,
+                          static_cast<std::ptrdiff_t>(col_capacity_));
   }
 
-  /// Inserts the row at `row` (arity() components). Returns {id, true} for a
-  /// new tuple, {existing id, false} for a duplicate. Exactly one hash-table
-  /// walk either way. `row` may alias this store's own arena.
+  /// Inserts the row at `row` (arity() contiguous components). Returns
+  /// {id, true} for a new tuple, {existing id, false} for a duplicate.
+  /// Exactly one hash-table walk either way. `row` may alias this store's
+  /// own slab.
   std::pair<int, bool> Insert(const std::int32_t* row);
 
-  /// Id of the stored tuple equal to `row`, or -1.
+  /// Same, for a (possibly strided) view — including a view into this
+  /// store's own slab.
+  std::pair<int, bool> Insert(TupleRef row);
+
+  /// Id of the stored tuple equal to `row` (contiguous), or -1.
   int Find(const std::int32_t* row) const;
 
-  /// Pre-sizes the arena and hash table for `tuples` insertions.
+  /// Pre-sizes the slab and hash table for `tuples` insertions.
   void Reserve(std::size_t tuples);
 
   /// "" when consistent, else a description of the first violation
-  /// (arena/table size drift, table entry out of range, missed dedup).
+  /// (slab/table size drift, table entry out of range, missed dedup).
   std::string CheckInvariants() const;
 
-  /// Writes the arena as portable whitespace-separated text
+  /// Writes the store as portable whitespace-separated text
   /// ("tdstore1 arity count" + the raw components in id order). Ids are the
   /// persistence contract: tuples are written — and re-inserted — in id
   /// order, so a restored store assigns every tuple its original id and the
-  /// dedup table converges to the same layout. This is what lets a chase
-  /// checkpoint (which persists ids, not refs) resume against a restored
-  /// instance byte for byte.
+  /// dedup table converges to the same layout, REGARDLESS of either side's
+  /// physical layout. This is what lets a chase checkpoint (which persists
+  /// ids, not refs) resume against a restored instance byte for byte.
   void Serialize(std::ostream& os) const;
 
-  /// Round-trips Serialize. Returns std::nullopt on malformed input or a
-  /// duplicate row (a serialized store is dedup-consistent by construction).
-  static std::optional<TupleStore> Deserialize(std::istream& is);
+  /// Round-trips Serialize into a store with the requested layout. Returns
+  /// std::nullopt on malformed input or a duplicate row (a serialized store
+  /// is dedup-consistent by construction).
+  static std::optional<TupleStore> Deserialize(
+      std::istream& is, TupleLayout layout = DefaultTupleLayout());
 
  private:
+  /// Component (attr) of stored tuple `id`, layout-blind.
+  std::int32_t Component(std::size_t id, int attr) const {
+    return layout_ == TupleLayout::kRowMajor
+               ? arena_[id * static_cast<std::size_t>(arity_) + attr]
+               : arena_[static_cast<std::size_t>(attr) * col_capacity_ + id];
+  }
+  std::pair<int, bool> InsertStaged();
   std::size_t HashRow(const std::int32_t* row) const;
+  std::size_t HashStored(std::size_t id) const;
   bool RowEquals(std::size_t id, const std::int32_t* row) const;
+  void EnsureColumnCapacity(std::size_t tuples);
   void Grow();
   void Rehash(std::size_t target);
 
   int arity_;
+  TupleLayout layout_;
   std::size_t num_tuples_ = 0;
-  std::vector<std::int32_t> arena_;    // num_tuples_ * arity_ components
+  std::size_t col_capacity_ = 0;       // columnar only: slots per column
+  std::vector<std::int32_t> arena_;    // the component slab (see TupleLayout)
   std::vector<std::int32_t> slots_;    // open addressing; id + 1, 0 = empty
   std::size_t slot_mask_ = 0;          // slots_.size() - 1 (power of two)
   std::vector<std::int32_t> scratch_;  // staging row (self-insert safety)

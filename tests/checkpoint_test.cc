@@ -74,7 +74,8 @@ TEST(InstanceSerialize, RoundTripPreservesDomainsNullsAndIndex) {
   EXPECT_EQ(restored->ValueName(1, 0), "x:1");
   EXPECT_TRUE(restored->IsLabeledNull(0, 1));
   EXPECT_FALSE(restored->IsLabeledNull(0, 0));
-  EXPECT_EQ(restored->TuplesWith(0, 0), instance.TuplesWith(0, 0));
+  EXPECT_EQ(restored->TuplesWith(0, 0).ToVector(),
+            instance.TuplesWith(0, 0).ToVector());
   EXPECT_EQ(restored->FindTuple({0, 1}), instance.FindTuple({0, 1}));
 }
 
@@ -129,6 +130,7 @@ void ExpectSameResult(const ChaseResult& a, const ChaseResult& b) {
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.passes, b.passes);
   EXPECT_EQ(a.hom_nodes, b.hom_nodes);
+  EXPECT_EQ(a.hom_candidates, b.hom_candidates);
   EXPECT_EQ(a.match_tasks, b.match_tasks);
   EXPECT_EQ(a.carried_passes, b.carried_passes);
   EXPECT_TRUE(SameTrace(a.trace, b.trace));
@@ -232,6 +234,95 @@ TEST(ChaseCheckpoint, CrossProductClosureParity) {
   CheckResumeParity(deps, seed, config, /*small=*/5, /*big=*/1000);
 }
 
+TEST(ChaseCheckpoint, RestoreIsLayoutIndependent) {
+  // A checkpoint taken against a row-major instance must restore into a
+  // columnar (SoA) store — and resume — byte for byte: the persistence
+  // format is the logical content, the layout a per-process choice.
+  Pumping pumping = MakePumping();
+  Instance seed = pumping.goal.body().Freeze();
+  ASSERT_EQ(seed.layout(), TupleLayout::kRowMajor);
+
+  ChaseConfig config;
+  config.record_trace = true;
+  ChaseConfig big_config = config;
+  big_config.max_steps = 90;
+  Instance reference = seed;
+  ChaseResult reference_result = RunChase(&reference, pumping.deps,
+                                          big_config);
+
+  ChaseConfig small_config = config;
+  small_config.max_steps = 15;
+  Instance interrupted = seed;
+  ChaseCheckpoint checkpoint;
+  ChaseResult first = RunChase(&interrupted, pumping.deps, small_config, {},
+                               &checkpoint);
+  ASSERT_EQ(first.status, ChaseStatus::kStepLimit);
+  ASSERT_TRUE(checkpoint.valid);
+
+  std::ostringstream out;
+  interrupted.Serialize(out);
+  checkpoint.Serialize(out);
+  std::istringstream in(out.str());
+  std::optional<Instance> columnar = Instance::Deserialize(
+      seed.schema_ptr(), in, TupleLayout::kColumnar);
+  ASSERT_TRUE(columnar.has_value());
+  ASSERT_EQ(columnar->layout(), TupleLayout::kColumnar);
+  EXPECT_EQ(columnar->CheckInvariants(), "");
+  // The restored columnar instance is indistinguishable from the row-major
+  // original: same rendering, same serialized bytes.
+  EXPECT_EQ(columnar->ToString(), interrupted.ToString());
+  std::ostringstream columnar_bytes;
+  columnar->Serialize(columnar_bytes);
+  std::ostringstream row_major_bytes;
+  interrupted.Serialize(row_major_bytes);
+  EXPECT_EQ(columnar_bytes.str(), row_major_bytes.str());
+
+  std::optional<ChaseCheckpoint> restored_checkpoint =
+      ChaseCheckpoint::Deserialize(in);
+  ASSERT_TRUE(restored_checkpoint.has_value());
+  ASSERT_TRUE(restored_checkpoint->ResumableWith(big_config, *columnar,
+                                                 pumping.deps));
+  ChaseResult resumed = RunChase(&*columnar, pumping.deps, big_config, {},
+                                 &*restored_checkpoint);
+  ExpectSameResult(resumed, reference_result);
+  EXPECT_EQ(columnar->ToString(), reference.ToString());
+}
+
+TEST(ChaseCheckpoint, AutoBurstAndSliceShapeGuardRefusesResume) {
+  Pumping pumping = MakePumping();
+  Instance instance = pumping.goal.body().Freeze();
+  ChaseConfig config;
+  config.max_steps = 10;
+  ChaseCheckpoint checkpoint;
+  ChaseResult r = RunChase(&instance, pumping.deps, config, {}, &checkpoint);
+  ASSERT_EQ(r.status, ChaseStatus::kStepLimit);
+  ASSERT_TRUE(checkpoint.valid);
+
+  ChaseConfig bigger = config;
+  bigger.max_steps = 100;
+  EXPECT_TRUE(checkpoint.ResumableWith(bigger, instance, pumping.deps));
+  ChaseConfig auto_burst = bigger;
+  auto_burst.auto_burst = true;
+  EXPECT_FALSE(checkpoint.ResumableWith(auto_burst, instance, pumping.deps));
+  ChaseConfig sliced = bigger;
+  sliced.match_slice_ids = 7;
+  EXPECT_FALSE(checkpoint.ResumableWith(sliced, instance, pumping.deps));
+  ChaseConfig single_list = bigger;
+  single_list.use_intersection = false;
+  EXPECT_FALSE(
+      checkpoint.ResumableWith(single_list, instance, pumping.deps));
+}
+
+TEST(ChaseCheckpoint, ResumeParityUnderAutoBurst) {
+  // auto_burst retunes the cap per pass; the interrupted pass's cap rides
+  // in the checkpoint, so resume must still replay the uninterrupted run.
+  Pumping pumping = MakePumping();
+  Instance seed = pumping.goal.body().Freeze();
+  ChaseConfig config;
+  config.auto_burst = true;
+  CheckResumeParity(pumping.deps, seed, config, /*small=*/19, /*big=*/85);
+}
+
 TEST(ChaseCheckpoint, NonResumableStopLeavesNoCheckpoint) {
   Pumping pumping = MakePumping();
   Instance instance = pumping.goal.body().Freeze();
@@ -271,8 +362,13 @@ TEST(ChaseCheckpoint, RejectsCorruptCountsWithoutCrashing) {
   // resize/reserve (std::length_error / OOM). Regression: these inputs used
   // to abort the process.
   std::istringstream huge_pending(
-      "tdckpt1 1\n0 0\n0 0 0 0 0\n1 0 0 1 0\n18446744073709551615\n");
+      "tdckpt2 1\n0 0 0\n0 0 0 0 0 0\n1 0 0 0 1 0 1 0\n"
+      "18446744073709551615\n");
   EXPECT_FALSE(ChaseCheckpoint::Deserialize(huge_pending).has_value());
+  // Old-format checkpoints (tdckpt1) predate the match-strategy shape
+  // fields; they must be rejected, never resumed under a guessed shape.
+  std::istringstream old_format("tdckpt1 1\n0 0\n0 0 0 0 0\n1 0 0 1 0\n0\n0\n");
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize(old_format).has_value());
   std::istringstream huge_store("tdstore1 2 18446744073709551615\n0 0\n");
   EXPECT_FALSE(TupleStore::Deserialize(huge_store).has_value());
   std::istringstream huge_arity("tdstore1 2147483647 1\n");

@@ -64,9 +64,9 @@ TEST_F(InstanceTest, IndexTracksTuples) {
   inst_.AddValue(1);
   inst_.AddTuple({0, 0});
   inst_.AddTuple({1, 0});
-  EXPECT_EQ(inst_.TuplesWith(0, 0), (std::vector<int>{0}));
-  EXPECT_EQ(inst_.TuplesWith(0, 1), (std::vector<int>{1}));
-  EXPECT_EQ(inst_.TuplesWith(1, 0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(inst_.TuplesWith(0, 0).ToVector(), (std::vector<int>{0}));
+  EXPECT_EQ(inst_.TuplesWith(0, 1).ToVector(), (std::vector<int>{1}));
+  EXPECT_EQ(inst_.TuplesWith(1, 0).ToVector(), (std::vector<int>{0, 1}));
   EXPECT_EQ(inst_.CheckInvariants(), "");
 }
 

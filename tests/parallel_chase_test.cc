@@ -64,6 +64,7 @@ void CrossValidate(const Instance& seed, const DependencySet& deps,
     // The pooled run executes the same set of searches as the serial run,
     // so even the node totals and the task decomposition must agree.
     EXPECT_EQ(serial.hom_nodes, pooled.hom_nodes) << tag;
+    EXPECT_EQ(serial.hom_candidates, pooled.hom_candidates) << tag;
     EXPECT_EQ(serial.match_tasks, pooled.match_tasks) << tag;
     ExpectSameTrace(serial, pooled, tag);
     EXPECT_EQ(serial_instance.ToString(), pooled_instance.ToString()) << tag;
@@ -188,6 +189,51 @@ TEST(ParallelChaseTest, ZigzagReachabilityIdentical) {
   config.max_steps = 0;
   config.max_tuples = 0;
   CrossValidate(seed, deps, config, "zigzag reachability");
+}
+
+// ---- Work-stealing slices for few-member passes -----------------------------
+
+TEST(ParallelChaseTest, SeedRowSlicesStayByteIdenticalAtEveryWidth) {
+  // A single-dependency chase produces only |body rows| partition members
+  // per pass; match_slice_ids cuts each member's seed-row delta range into
+  // sub-tasks so a wide pool still gets fed. Tiny slices (2 ids) force the
+  // splitter on from the first delta pass; serial and pooled runs must stay
+  // byte-identical — including hom_nodes and the (larger) match_tasks —
+  // because the slicing depends on the delta, never on the pool.
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(ParseDependency(
+               schema, "R(a,b) & R(a2,b) & R(a2,b2) => R(a,b2)"))
+               .value(),
+           "reach");
+  const int n = 10;
+  Instance seed(schema);
+  for (int v = 0; v <= n; ++v) {
+    seed.AddValue(0);
+    seed.AddValue(1);
+  }
+  for (int i = 0; i < n; ++i) {
+    seed.AddTuple({i, i});
+    seed.AddTuple({i + 1, i});
+  }
+  ChaseConfig config;
+  config.max_steps = 0;
+  config.max_tuples = 0;
+  config.match_slice_ids = 2;
+  CrossValidate(seed, deps, config, "zigzag sliced (2-id slices)");
+
+  // The splitter must actually have engaged: the same chase without slicing
+  // decomposes into strictly fewer match tasks.
+  Instance sliced_instance = seed;
+  ChaseResult sliced = RunChase(&sliced_instance, deps, config);
+  ChaseConfig unsliced_config = config;
+  unsliced_config.match_slice_ids = 0;
+  Instance unsliced_instance = seed;
+  ChaseResult unsliced = RunChase(&unsliced_instance, deps, unsliced_config);
+  EXPECT_GT(sliced.match_tasks, unsliced.match_tasks);
+  // Slicing is invisible in the chase's output: same fires, same instance.
+  EXPECT_EQ(sliced.steps, unsliced.steps);
+  EXPECT_EQ(sliced_instance.ToString(), unsliced_instance.ToString());
 }
 
 // ---- Reduction sweep (the paper's gadget instances) -------------------------

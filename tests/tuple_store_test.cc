@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "logic/instance.h"
@@ -201,6 +202,190 @@ TEST(InstanceStoreTest, ReserveThenBulkLoadStaysConsistent) {
     inst.AddTuple({static_cast<int>(rng.Below(50)),
                    static_cast<int>(rng.Below(50))});
   }
+  EXPECT_EQ(inst.CheckInvariants(), "");
+}
+
+// ---- Columnar (SoA) layout --------------------------------------------------
+
+TEST(ColumnarStoreTest, InsertFindDedupMatchRowMajorExactly) {
+  // The layout is a physical choice only: ids, dedup verdicts and read-back
+  // components must be identical to the row-major reference, insert by
+  // insert, through several column-capacity doublings.
+  Rng rng(314159);
+  TupleStore row_major(4, TupleLayout::kRowMajor);
+  TupleStore columnar(4, TupleLayout::kColumnar);
+  for (int i = 0; i < 3000; ++i) {
+    std::int32_t row[] = {static_cast<std::int32_t>(rng.Below(9)),
+                          static_cast<std::int32_t>(rng.Below(9)),
+                          static_cast<std::int32_t>(rng.Below(9)),
+                          static_cast<std::int32_t>(rng.Below(9))};
+    auto [rm_id, rm_new] = row_major.Insert(row);
+    auto [soa_id, soa_new] = columnar.Insert(row);
+    ASSERT_EQ(rm_id, soa_id) << i;
+    ASSERT_EQ(rm_new, soa_new) << i;
+    ASSERT_EQ(row_major.Find(row), columnar.Find(row)) << i;
+  }
+  ASSERT_EQ(row_major.size(), columnar.size());
+  EXPECT_EQ(columnar.CheckInvariants(), "");
+  for (std::size_t id = 0; id < row_major.size(); ++id) {
+    EXPECT_EQ(row_major[id], columnar[id]) << id;
+  }
+}
+
+TEST(ColumnarStoreTest, SelfInsertionFromOwnArenaIsSafe) {
+  // Re-inserting a strided view of the store's own slab must stage safely
+  // across a column-capacity doubling, exactly like the row-major case.
+  TupleStore store(3, TupleLayout::kColumnar);
+  for (int i = 0; i < 100; ++i) {
+    std::int32_t row[] = {i, i + 1, i + 2};
+    store.Insert(row);
+  }
+  auto [id, inserted] = store.Insert(store[0]);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(id, 0);
+  TupleStore copy(3, TupleLayout::kColumnar);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    auto [cid, cnew] = copy.Insert(store[i]);
+    ASSERT_TRUE(cnew);
+    ASSERT_EQ(static_cast<std::size_t>(cid), i);
+  }
+  EXPECT_EQ(copy.CheckInvariants(), "");
+}
+
+TEST(ColumnarStoreTest, SerializeIsLayoutBlindBothWays) {
+  // The persistence format carries no layout: a columnar store's bytes are
+  // identical to its row-major twin's, and either restores into either.
+  std::int32_t rows[][3] = {{0, 1, 2}, {2, 1, 0}, {7, 7, 7}, {5, 4, 3}};
+  TupleStore row_major(3, TupleLayout::kRowMajor);
+  TupleStore columnar(3, TupleLayout::kColumnar);
+  for (auto& row : rows) {
+    row_major.Insert(row);
+    columnar.Insert(row);
+  }
+  std::ostringstream rm_out, soa_out;
+  row_major.Serialize(rm_out);
+  columnar.Serialize(soa_out);
+  EXPECT_EQ(rm_out.str(), soa_out.str());
+
+  std::istringstream in(rm_out.str());
+  std::optional<TupleStore> restored =
+      TupleStore::Deserialize(in, TupleLayout::kColumnar);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->layout(), TupleLayout::kColumnar);
+  EXPECT_EQ(restored->CheckInvariants(), "");
+  for (std::size_t id = 0; id < row_major.size(); ++id) {
+    EXPECT_EQ((*restored)[id], row_major[id]) << id;
+  }
+  std::ostringstream round;
+  restored->Serialize(round);
+  EXPECT_EQ(round.str(), rm_out.str());
+}
+
+TEST(ColumnarStoreTest, DefaultLayoutGovernsNewStores) {
+  SetDefaultTupleLayout(TupleLayout::kColumnar);
+  TupleStore store(2);
+  EXPECT_EQ(store.layout(), TupleLayout::kColumnar);
+  SetDefaultTupleLayout(TupleLayout::kRowMajor);
+  TupleStore after(2);
+  EXPECT_EQ(after.layout(), TupleLayout::kRowMajor);
+  // The earlier store keeps the layout it was born with.
+  EXPECT_EQ(store.layout(), TupleLayout::kColumnar);
+}
+
+TEST(InstanceStoreTest, ColumnarInstanceBehavesIdentically) {
+  Rng rng(20260731);
+  SchemaPtr schema = MakeSchema({"A", "B", "C"});
+  Instance row_major(schema, TupleLayout::kRowMajor);
+  Instance columnar(schema, TupleLayout::kColumnar);
+  for (int v = 0; v < 10; ++v) {
+    for (int a = 0; a < 3; ++a) {
+      row_major.AddValue(a);
+      columnar.AddValue(a);
+    }
+  }
+  for (int i = 0; i < 1500; ++i) {
+    Tuple t = {static_cast<int>(rng.Below(10)),
+               static_cast<int>(rng.Below(10)),
+               static_cast<int>(rng.Below(10))};
+    ASSERT_EQ(row_major.AddTuple(t), columnar.AddTuple(t)) << i;
+  }
+  ASSERT_EQ(row_major.NumTuples(), columnar.NumTuples());
+  EXPECT_EQ(columnar.CheckInvariants(), "");
+  EXPECT_EQ(row_major.ToString(), columnar.ToString());
+  for (int a = 0; a < 3; ++a) {
+    for (int v = 0; v < 10; ++v) {
+      EXPECT_EQ(row_major.TuplesWith(a, v).ToVector(),
+                columnar.TuplesWith(a, v).ToVector())
+          << "attr " << a << " value " << v;
+    }
+  }
+}
+
+// ---- CSR inverted index -----------------------------------------------------
+
+TEST(CsrIndexTest, MatchesNestedReferenceOverRandomInstances) {
+  // The CSR base + tail view must equal the naive nested-map reference at
+  // every point of a random insertion stream — across the automatic
+  // geometric rebuilds and an explicit CompactIndex.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed * 6151);
+    SchemaPtr schema = MakeSchema({"A", "B"});
+    Instance inst(schema);
+    const int domain = 8;
+    for (int v = 0; v < domain; ++v) {
+      inst.AddValue(0);
+      inst.AddValue(1);
+    }
+    // reference[attr][value] -> ids, maintained the pre-CSR way.
+    std::vector<std::vector<std::vector<int>>> reference(
+        2, std::vector<std::vector<int>>(domain));
+    for (int i = 0; i < 800; ++i) {
+      Tuple t = {static_cast<int>(rng.Below(domain)),
+                 static_cast<int>(rng.Below(domain))};
+      std::size_t before = inst.NumTuples();
+      if (inst.AddTuple(t)) {
+        reference[0][t[0]].push_back(static_cast<int>(before));
+        reference[1][t[1]].push_back(static_cast<int>(before));
+      }
+      if (i % 97 == 0) {
+        for (int a = 0; a < 2; ++a) {
+          for (int v = 0; v < domain; ++v) {
+            ASSERT_EQ(inst.TuplesWith(a, v).ToVector(), reference[a][v])
+                << "seed " << seed << " step " << i;
+          }
+        }
+      }
+    }
+    ASSERT_EQ(inst.CheckInvariants(), "");
+    inst.CompactIndex();
+    ASSERT_EQ(inst.CheckInvariants(), "");
+    for (int a = 0; a < 2; ++a) {
+      for (int v = 0; v < domain; ++v) {
+        EXPECT_EQ(inst.TuplesWith(a, v).ToVector(), reference[a][v]);
+        // After a compact, every posting list is one contiguous base run.
+        EXPECT_TRUE(inst.TuplesWith(a, v).tail().empty());
+      }
+    }
+  }
+}
+
+TEST(CsrIndexTest, CandidateListRunsSplitAtTheRebuildFrontier) {
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  Instance inst(schema);
+  inst.AddValue(0);
+  for (int v = 0; v < 4; ++v) inst.AddValue(1);
+  // Force a known frontier: compact, then append a fresh id into the tails.
+  for (int v = 0; v < 4; ++v) inst.AddTuple({0, v});
+  inst.CompactIndex();
+  inst.AddValue(1);       // value 4
+  inst.AddTuple({0, 4});  // id 4, lands in the tails of (0,0) and (1,4)
+  CandidateList list = inst.TuplesWith(0, 0);
+  EXPECT_EQ(list.base().size(), 4u);
+  EXPECT_EQ(list.tail().size(), 1u);
+  EXPECT_EQ(list.ToVector(), (std::vector<int>{0, 1, 2, 3, 4}));
+  // Ascending across the run boundary; SuffixFrom cuts inside either run.
+  EXPECT_EQ(list.base().SuffixFrom(2).size(), 2u);
+  EXPECT_EQ(list.tail().SuffixFrom(2).size(), 1u);
   EXPECT_EQ(inst.CheckInvariants(), "");
 }
 
