@@ -16,7 +16,9 @@
 #include "core/parser.h"
 #include "engine/thread_pool.h"
 #include "engine/workload.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace_span.h"
 
 namespace tdlib {
 namespace {
@@ -203,6 +205,48 @@ void BM_ChaseReductionSweep(benchmark::State& state) {
   state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
 }
 BENCHMARK(BM_ChaseReductionSweep)->ArgsProduct({{0, 1}, {6, 12}, {0, 64}});
+
+void BM_ChaseObservability(benchmark::State& state) {
+  // Overhead audit for the metrics/tracing layer: the capped reduction
+  // sweep (the production regime) with the global registry and trace
+  // buffer toggled per series. The acceptance bar is wall time within 2%
+  // of the observe=0 twin; fired_steps/hom_nodes are exported so the
+  // recap can also assert the instrumented run does byte-identical work
+  // (observability measures the chase, it must never steer it).
+  const bool observe = state.range(0) != 0;
+  WorkloadOptions options;
+  options.size = static_cast<int>(state.range(1));
+  std::vector<Job> jobs = ReductionSweepWorkload(options);
+  SetMetricsEnabled(observe);
+  SetTracingEnabled(observe);
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t passes = 0;
+  for (auto _ : state) {
+    hom_nodes = 0;
+    steps = 0;
+    passes = 0;
+    for (const Job& job : jobs) {
+      ChaseConfig config = job.config.base_chase;
+      config.max_fires_per_pass = 64;
+      ImplicationResult r = ChaseImplies(job.dependencies, job.goal, config);
+      benchmark::DoNotOptimize(r.verdict);
+      hom_nodes += r.chase.hom_nodes;
+      steps += r.chase.steps;
+      passes += r.chase.passes;
+    }
+  }
+  SetMetricsEnabled(false);
+  SetTracingEnabled(false);
+  MetricsRegistry::Global().Reset();
+  TraceBuffer::Global().Clear();
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["observe"] = observe ? 1 : 0;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+  state.counters["passes"] = static_cast<double>(passes);
+  state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
+}
+BENCHMARK(BM_ChaseObservability)->ArgsProduct({{0, 1}, {12}});
 
 void BM_ChaseZigzagReachability(benchmark::State& state) {
   // Full-TD reachability closure (the typed cousin of transitive closure):

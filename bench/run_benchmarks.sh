@@ -21,6 +21,35 @@ SERVICE_OUT="${5:-BENCH_service.json}"
 LAYOUT_OUT="${6:-BENCH_layout.json}"
 LAYOUT_HOM_OUT="${7:-BENCH_layout_hom.json}"
 
+# Stamps a bench JSON with provenance metadata (git sha, UTC date, host
+# thread count) under a "tdlib_meta" key, so the BENCH_* trajectory stays
+# attributable commit-to-commit. Best-effort: skipped without python3, and
+# a dirty tree is marked with a "-dirty" suffix.
+stamp_meta() {
+  local out="$1"
+  command -v python3 > /dev/null || return 0
+  local sha="unknown"
+  if command -v git > /dev/null && git rev-parse HEAD > /dev/null 2>&1; then
+    sha="$(git rev-parse HEAD)"
+    git diff --quiet HEAD 2> /dev/null || sha="${sha}-dirty"
+  fi
+  GIT_SHA="$sha" python3 - "$out" <<'PYEOF'
+import datetime, json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["tdlib_meta"] = {
+    "git_sha": os.environ.get("GIT_SHA", "unknown"),
+    "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "threads": os.cpu_count(),
+}
+with open(path, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+PYEOF
+}
+
 run_bench() {
   local bin="$1" out="$2" filter="${3:-}"
   if [[ ! -x "$bin" ]]; then
@@ -38,6 +67,7 @@ run_bench() {
     --benchmark_repetitions=1 \
     --benchmark_min_warmup_time=0.2 \
     > "$out"
+  stamp_meta "$out"
   echo "wrote $out"
 }
 
@@ -97,6 +127,32 @@ for (family, key), modes in sorted(by_key.items()):
         extras = " ".join(f"{k}={int(v)}" for k, v in key)
         print(f"{family:<34} {extras:<28} nodes {int(n):>12} -> {int(d):>12}"
               f"  ({ratio:4.1f}x)")
+
+# Observability recap: the metrics/tracing overhead pair. Work parity
+# (fired_steps/hom_nodes identical with observability on and off) is a hard
+# failure — the layer must measure the chase, never steer it. The wall-time
+# overhead is the <2% acceptance headline; it is printed (with a WARN past
+# the bar) but not gated here, because single-repetition wall times on a
+# shared CI box are too noisy for a hard perf gate.
+obs_modes = {}
+for b in chase.get("benchmarks", []):
+    if b["name"].split("/")[0] == "BM_ChaseObservability":
+        obs_modes[int(b.get("observe", 0))] = b
+if 0 in obs_modes and 1 in obs_modes:
+    off, on = obs_modes[0], obs_modes[1]
+    obs_ok = True
+    for field in ("fired_steps", "hom_nodes", "passes"):
+        if off.get(field) != on.get(field):
+            obs_ok = False
+            print(f"  PARITY VIOLATION BM_ChaseObservability: {field} "
+                  f"{off.get(field)} != {on.get(field)}")
+    overhead = (on["real_time"] / off["real_time"] - 1) * 100 \
+        if off["real_time"] else 0.0
+    flag = "" if overhead < 2.0 else "  WARN: above 2% bar"
+    print(f"observability overhead: off {off['real_time'] / 1e6:.2f}ms -> "
+          f"on {on['real_time'] / 1e6:.2f}ms ({overhead:+.2f}%){flag}")
+    if not obs_ok:
+        sys.exit(1)
 
 # Parallel recap: per family, wall time vs threads (threads=0 = serial
 # fallback) plus a hard determinism check — fired_steps/hom_nodes must be

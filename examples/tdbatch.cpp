@@ -48,6 +48,14 @@
 //   --stop-on-refutation   skip jobs not yet started once any job refutes
 //   --serial          run on the calling thread (reference mode)
 //   --csv=PATH        also write per-job rows as CSV
+//   --metrics[=PATH]  enable the metrics layer; dump the final snapshot as
+//                     JSON to PATH (stdout when no PATH)
+//   --prom=PATH       also dump the snapshot as Prometheus text exposition
+//                     (implies --metrics)
+//   --trace=PATH      enable tracing; dump the span ring buffer as Chrome
+//                     trace_event JSON (load in chrome://tracing/Perfetto)
+//   --slow-log=S      log a phase breakdown to stderr for every job whose
+//                     submit-to-terminal time reaches S seconds
 #include <atomic>
 #include <fstream>
 #include <iostream>
@@ -59,8 +67,10 @@
 #include "engine/service.h"
 #include "engine/workload.h"
 #include "logic/tuple_store.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/timer.h"
+#include "util/trace_span.h"
 
 using namespace tdlib;
 
@@ -74,7 +84,9 @@ int Usage() {
                "               [--layout=row|soa] [--no-intersect]\n"
                "               [--no-auto-burst] [--serial-chase]\n"
                "               [--no-resume] [--stop-on-refutation]\n"
-               "               [--serial] [--csv=PATH] [file.td ...]\n";
+               "               [--serial] [--csv=PATH] [--metrics[=PATH]]\n"
+               "               [--prom=PATH] [--trace=PATH] [--slow-log=S]\n"
+               "               [file.td ...]\n";
   return 2;
 }
 
@@ -93,6 +105,11 @@ int main(int argc, char** argv) {
   bool serial = false;
   bool stream = false;
   std::string csv_path;
+  bool metrics = false;
+  std::string metrics_path;  // "" with metrics=true means stdout
+  std::string prom_path;
+  std::string trace_path;
+  double slow_log_seconds = 0;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -142,6 +159,18 @@ int main(int argc, char** argv) {
         serial = true;
       } else if (StartsWith(arg, "--csv=")) {
         csv_path = arg.substr(6);
+      } else if (arg == "--metrics") {
+        metrics = true;
+      } else if (StartsWith(arg, "--metrics=")) {
+        metrics = true;
+        metrics_path = arg.substr(10);
+      } else if (StartsWith(arg, "--prom=")) {
+        metrics = true;
+        prom_path = arg.substr(7);
+      } else if (StartsWith(arg, "--trace=")) {
+        trace_path = arg.substr(8);
+      } else if (StartsWith(arg, "--slow-log=")) {
+        slow_log_seconds = std::stod(arg.substr(11));
       } else if (StartsWith(arg, "--")) {
         return Usage();
       } else {
@@ -164,6 +193,11 @@ int main(int argc, char** argv) {
     std::cerr << "tdbatch: " << jobs.error() << "\n";
     return 1;
   }
+
+  // Observability switches flip before any solving so the whole run is
+  // covered; both default off (zero-cost path).
+  if (metrics) SetMetricsEnabled(true);
+  if (!trace_path.empty()) SetTracingEnabled(true);
 
   BatchSummary summary;
   if (serial) {
@@ -188,6 +222,7 @@ int main(int argc, char** argv) {
     ServiceOptions service_options;
     service_options.num_threads = num_threads;
     service_options.chase_parallelism = chase_parallelism;
+    service_options.slow_log_seconds = slow_log_seconds;
     SolverService service(service_options);
     summary.num_threads = service.num_threads();
 
@@ -218,10 +253,10 @@ int main(int argc, char** argv) {
     }
     summary.wall_seconds = wall.ElapsedSeconds();
     for (const JobResult& r : summary.results) {
-      if (r.status == JobStatus::kCompleted) {
-        ++summary.completed;
-      } else {
-        ++summary.skipped;
+      switch (r.status) {
+        case JobStatus::kCompleted: ++summary.completed; break;
+        case JobStatus::kCancelled: ++summary.cancelled; break;
+        case JobStatus::kSkipped: ++summary.skipped; break;
       }
     }
   }
@@ -236,6 +271,44 @@ int main(int argc, char** argv) {
     }
     summary.WriteCsv(out);
     std::cout << "wrote " << csv_path << "\n";
+  }
+
+  if (metrics) {
+    const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    if (metrics_path.empty()) {
+      std::cout << snapshot.ToJson() << "\n";
+    } else {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "tdbatch: cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      out << snapshot.ToJson() << "\n";
+      std::cout << "wrote " << metrics_path << "\n";
+    }
+    if (!prom_path.empty()) {
+      std::ofstream out(prom_path);
+      if (!out) {
+        std::cerr << "tdbatch: cannot write " << prom_path << "\n";
+        return 1;
+      }
+      out << snapshot.ToPrometheus();
+      std::cout << "wrote " << prom_path << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "tdbatch: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    TraceBuffer::Global().WriteChromeTrace(out);
+    out << "\n";
+    const std::uint64_t dropped = TraceBuffer::Global().Dropped();
+    std::cout << "wrote " << trace_path << " ("
+              << TraceBuffer::Global().TotalRecorded() - dropped << " spans";
+    if (dropped > 0) std::cout << ", " << dropped << " dropped";
+    std::cout << ")\n";
   }
   return 0;
 }

@@ -8,11 +8,55 @@
 #include <utility>
 
 #include "core/satisfaction.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+#include "util/trace_span.h"
 
 namespace tdlib {
 namespace {
+
+// Registry handles resolved once per process (stable pointers), so the
+// publication sites below pay a function-local-static load, not a map
+// lookup. Everything here is a pure sink: published after a phase's
+// deterministic work is done, never read back — that, plus the
+// MetricsEnabled() gate inside each Add/Observe, is what keeps metrics
+// on/off byte-identical (tests/metrics_test.cc).
+struct ChaseMetrics {
+  Counter* passes;
+  Counter* steps;
+  Counter* hom_nodes;
+  Counter* hom_candidates;
+  Counter* intersections;
+  Counter* intersect_skips;
+  Counter* match_tasks;
+  Counter* checkpoints;
+  Histogram* match_seconds;
+  Histogram* fire_seconds;
+  Histogram* checkpoint_seconds;
+};
+
+ChaseMetrics& GetChaseMetrics() {
+  static ChaseMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* cm = new ChaseMetrics();
+    cm->passes = r.GetCounter("chase.passes");
+    cm->steps = r.GetCounter("chase.steps");
+    cm->hom_nodes = r.GetCounter("chase.hom_nodes");
+    cm->hom_candidates = r.GetCounter("chase.hom_candidates");
+    cm->intersections = r.GetCounter("chase.intersections");
+    cm->intersect_skips = r.GetCounter("chase.intersect_skips");
+    cm->match_tasks = r.GetCounter("chase.match_tasks");
+    cm->checkpoints = r.GetCounter("chase.checkpoints_taken");
+    cm->match_seconds = r.GetHistogram("chase.match_seconds",
+                                       LatencyBuckets());
+    cm->fire_seconds = r.GetHistogram("chase.fire_seconds", LatencyBuckets());
+    cm->checkpoint_seconds =
+        r.GetHistogram("chase.checkpoint_seconds", LatencyBuckets());
+    return cm;
+  }();
+  return *m;
+}
 
 // Match tasks run ahead of queued job-level work when the pool is shared
 // with engine/BatchSolver: a pass cannot finish until its slowest member
@@ -436,6 +480,9 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   // time this runs).
   auto take_checkpoint = [&](std::size_t next_index) {
     if (checkpoint == nullptr) return;
+    TraceSpan span("chase.checkpoint");
+    StopWatch watch;
+    ScopedTimer accumulate(&result.checkpoint_seconds);
     checkpoint->Reset();
     checkpoint->valid = true;
     checkpoint->delta_begin = delta_begin;
@@ -453,6 +500,11 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     checkpoint->carried_passes = result.carried_passes;
     checkpoint->trace = result.trace;
     checkpoint->CaptureShape(config);
+    if (MetricsEnabled()) {
+      ChaseMetrics& m = GetChaseMetrics();
+      m.checkpoints->Add(1);
+      m.checkpoint_seconds->Observe(watch.ElapsedSeconds());
+    }
   };
 
   while (true) {
@@ -463,6 +515,10 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     } else {
       ++result.passes;
       if (!carried.empty()) ++result.carried_passes;
+      // Phase observation only: the span/watch read the clock (when armed)
+      // and publish when the phase ends; nothing below consults them.
+      TraceSpan match_span("chase.match");
+      StopWatch match_watch;
       std::size_t pass_start = instance->NumTuples();
       if (cancelled()) {
         result.status = ChaseStatus::kCancelled;
@@ -517,6 +573,25 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       for (const MatchOutput& out : outputs) match_stats.MergeFrom(out.stats);
       result.hom_nodes += match_stats.nodes;
       result.hom_candidates += match_stats.candidates;
+      // Publish the phase: one timing read + a handful of gated counter
+      // adds, after the deterministic work is complete. Sits before the
+      // budget-trip returns so every matching phase — including a tripped
+      // one — is accounted exactly once.
+      const double match_elapsed = match_watch.ElapsedSeconds();
+      result.match_seconds += match_elapsed;
+      if (MetricsEnabled()) {
+        ChaseMetrics& m = GetChaseMetrics();
+        m.passes->Add(1);
+        m.match_tasks->Add(static_cast<std::int64_t>(tasks.size()));
+        m.hom_nodes->Add(static_cast<std::int64_t>(match_stats.nodes));
+        m.hom_candidates->Add(
+            static_cast<std::int64_t>(match_stats.candidates));
+        m.intersections->Add(
+            static_cast<std::int64_t>(match_stats.intersections));
+        m.intersect_skips->Add(
+            static_cast<std::int64_t>(match_stats.intersect_skips));
+        m.match_seconds->Observe(match_elapsed);
+      }
       if (match_stats.budget_hit) {
         result.status = limit_status(match_stats);
         return result;
@@ -600,12 +675,31 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
 
     // ---- Firing phase: serial, on the calling thread ---------------------
     HomSearchStats fire_stats;
+    TraceSpan fire_span("chase.fire");
+    StopWatch fire_watch;
+    const std::uint64_t steps_at_fire_start = result.steps;
     // Every early exit below must fold the firing phase's search counters
-    // into the result exactly once; one flush helper keeps the next exit
-    // branch from forgetting a counter.
+    // (and, riding the same guarantee, its wall time and metrics) into the
+    // result exactly once; one flush helper keeps the next exit branch from
+    // forgetting a counter. Called exactly once per firing-phase exit.
     auto flush_fire_stats = [&] {
       result.hom_nodes += fire_stats.nodes;
       result.hom_candidates += fire_stats.candidates;
+      const double fire_elapsed = fire_watch.ElapsedSeconds();
+      result.fire_seconds += fire_elapsed;
+      if (MetricsEnabled()) {
+        ChaseMetrics& m = GetChaseMetrics();
+        m.steps->Add(
+            static_cast<std::int64_t>(result.steps - steps_at_fire_start));
+        m.hom_nodes->Add(static_cast<std::int64_t>(fire_stats.nodes));
+        m.hom_candidates->Add(
+            static_cast<std::int64_t>(fire_stats.candidates));
+        m.intersections->Add(
+            static_cast<std::int64_t>(fire_stats.intersections));
+        m.intersect_skips->Add(
+            static_cast<std::int64_t>(fire_stats.intersect_skips));
+        m.fire_seconds->Observe(fire_elapsed);
+      }
     };
     // Pending is sorted by dependency, so one head checker serves each run
     // of same-dependency steps; it reads the instance through a reference

@@ -162,6 +162,14 @@ struct ChaseResult {
                                     ///  steps (burst-cap backlog re-checks)
   std::vector<ChaseStep> trace;     ///< populated when record_trace
 
+  // Wall-clock phase breakdown (seconds). Measurement-only: excluded from
+  // every determinism comparison, absent from the checkpoint format (a
+  // resumed run restarts them at zero — they describe THIS run's wall time,
+  // not the logical derivation), and never read back by the chase itself.
+  double match_seconds = 0;       ///< matching phases (enumeration + merge)
+  double fire_seconds = 0;        ///< firing phases (witness re-check + fire)
+  double checkpoint_seconds = 0;  ///< checkpoint capture on budget stops
+
   std::string ToString() const;
 };
 

@@ -2,7 +2,39 @@
 
 #include <sstream>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace_span.h"
+
 namespace tdlib {
+
+namespace {
+
+// Stable registry handles for the solver's escalation loop. Pure sinks,
+// published per round — never read back, so metrics on/off cannot perturb
+// the escalation schedule.
+struct SolverMetrics {
+  Counter* rounds;
+  Counter* escalations;
+  Histogram* chase_seconds;
+  Histogram* cex_seconds;
+};
+
+SolverMetrics& GetSolverMetrics() {
+  static SolverMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* sm = new SolverMetrics();
+    sm->rounds = r.GetCounter("solver.rounds");
+    sm->escalations = r.GetCounter("solver.escalations");
+    sm->chase_seconds =
+        r.GetHistogram("solver.chase_seconds", LatencyBuckets());
+    sm->cex_seconds = r.GetHistogram("solver.cex_seconds", LatencyBuckets());
+    return sm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
                             const DualSolverConfig& config) {
@@ -26,14 +58,28 @@ DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
   };
   for (int round = 0; round < config.rounds; ++round) {
     result.rounds_used = round + 1;
+    TraceSpan round_span("solver.round");
+    if (MetricsEnabled()) {
+      SolverMetrics& m = GetSolverMetrics();
+      m.rounds->Add(1);
+      if (round > 0) m.escalations->Add(1);
+    }
 
     ChaseConfig chase = config.base_chase;
     chase.cancel = config.cancel;
     std::uint64_t scale = 1ULL << round;
     if (chase.max_steps > 0) chase.max_steps *= scale;
     if (chase.max_tuples > 0) chase.max_tuples *= scale;
-    result.implication = ChaseImplies(
-        d, d0, chase, config.resume_chase ? chase_session : nullptr);
+    {
+      TraceSpan chase_span("solver.chase");
+      StopWatch chase_watch;
+      result.implication = ChaseImplies(
+          d, d0, chase, config.resume_chase ? chase_session : nullptr);
+      if (MetricsEnabled()) {
+        GetSolverMetrics().chase_seconds->Observe(
+            chase_watch.ElapsedSeconds());
+      }
+    }
     if (result.implication.verdict == Implication::kImplied) {
       result.verdict = DualVerdict::kImplied;
       return result;
@@ -53,7 +99,14 @@ DualResult SolveImplication(const DependencySet& d, const Dependency& d0,
     CounterexampleConfig cex = config.base_counterexample;
     cex.max_tuples += round;
     cex.cancel = config.cancel;
-    result.counterexample = FindFiniteCounterexample(d, d0, cex);
+    {
+      TraceSpan cex_span("solver.cex");
+      StopWatch cex_watch;
+      result.counterexample = FindFiniteCounterexample(d, d0, cex);
+      if (MetricsEnabled()) {
+        GetSolverMetrics().cex_seconds->Observe(cex_watch.ElapsedSeconds());
+      }
+    }
     if (result.counterexample.status == CounterexampleStatus::kFound) {
       result.verdict = DualVerdict::kRefutedFinite;
       return result;

@@ -5,7 +5,34 @@
 #include <sstream>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace tdlib {
+
+namespace {
+
+// Session-continuation accounting: how often an escalation round continued
+// a checkpoint, started over, or ran beside a parked session. Control-path
+// counters (once per ChaseImplies), internally gated on MetricsEnabled.
+struct SessionMetrics {
+  Counter* resumes;
+  Counter* fresh_starts;
+  Counter* parked;
+};
+
+SessionMetrics& ImplicationMetrics() {
+  static SessionMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* sm = new SessionMetrics();
+    sm->resumes = r.GetCounter("chase.session_resumes");
+    sm->fresh_starts = r.GetCounter("chase.session_fresh_starts");
+    sm->parked = r.GetCounter("chase.session_parked_rounds");
+    return sm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 std::uint64_t QuestionFingerprint(const DependencySet& d,
                                   const Dependency& d0) {
@@ -113,13 +140,18 @@ ImplicationResult ChaseImplies(const DependencySet& d, const Dependency& d0,
     if (compatible &&
         !s->checkpoint.BudgetsExceedProgress(config, *s->instance)) {
       parked = true;
-    } else if (!compatible) {
+      ImplicationMetrics().parked->Add(1);
+    } else if (compatible) {
+      // The session checkpoint will actually be consumed by RunChase below.
+      ImplicationMetrics().resumes->Add(1);
+    } else {
       // Fresh start: freeze D0's antecedents and chase from scratch. A
       // stale, shape-mismatched, or other-question checkpoint must not
       // survive into RunChase.
       s->Reset();
       s->instance.emplace(d0.body().Freeze());
       s->question_fingerprint = fingerprint;
+      ImplicationMetrics().fresh_starts->Add(1);
     }
   }
   if (parked) {

@@ -15,11 +15,12 @@ namespace {
 void Summarize(BatchSummary* summary) {
   summary->completed = 0;
   summary->skipped = 0;
+  summary->cancelled = 0;
   for (const JobResult& r : summary->results) {
-    if (r.status == JobStatus::kCompleted) {
-      ++summary->completed;
-    } else {
-      ++summary->skipped;
+    switch (r.status) {
+      case JobStatus::kCompleted: ++summary->completed; break;
+      case JobStatus::kCancelled: ++summary->cancelled; break;
+      case JobStatus::kSkipped: ++summary->skipped; break;
     }
   }
 }
@@ -34,18 +35,18 @@ double BatchSummary::Throughput() const {
 std::string BatchSummary::ToTable() const {
   TablePrinter table({"job", "verdict", "rounds", "steps", "passes",
                       "hom_nodes", "match_tasks", "carried", "candidates",
-                      "seconds"});
+                      "seconds", "match_s", "fire_s"});
   for (const JobResult& r : results) {
     table.AddRowValues(r.name, std::string(r.VerdictName()), r.rounds_used,
                        r.chase_steps, r.chase_passes, r.hom_nodes,
                        r.match_tasks, r.carried_passes, r.candidates_checked,
-                       r.wall_seconds);
+                       r.wall_seconds, r.match_seconds, r.fire_seconds);
   }
   std::ostringstream oss;
   oss << table.ToString();
-  oss << completed << " completed, " << skipped << " skipped on "
-      << num_threads << " thread(s) in " << wall_seconds << "s ("
-      << Throughput() << " jobs/s)\n";
+  oss << completed << " completed, " << skipped << " skipped, " << cancelled
+      << " cancelled on " << num_threads << " thread(s) in " << wall_seconds
+      << "s (" << Throughput() << " jobs/s)\n";
   return oss.str();
 }
 

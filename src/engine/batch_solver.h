@@ -78,6 +78,8 @@ struct BatchSummary {
   int num_threads = 1;             ///< pool width actually used
   int completed = 0;
   int skipped = 0;
+  int cancelled = 0;  ///< kCancelled runs, counted apart from skips so the
+                      ///  totals line and outcome metrics agree
 
   /// Jobs completed per second of batch wall time.
   double Throughput() const;

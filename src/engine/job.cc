@@ -48,7 +48,8 @@ std::vector<std::string> JobResult::CsvHeader() {
   return {"job",          "status",        "verdict",
           "rounds_used",  "chase_steps",   "chase_passes",
           "hom_nodes",    "match_tasks",   "carried_passes",
-          "candidates",   "wall_seconds"};
+          "candidates",   "wall_seconds",  "queue_seconds",
+          "match_seconds", "fire_seconds", "checkpoint_seconds"};
 }
 
 namespace {
@@ -75,7 +76,11 @@ std::vector<std::string> JobResult::CsvRow() const {
           std::to_string(match_tasks),
           std::to_string(carried_passes),
           std::to_string(candidates_checked),
-          std::to_string(wall_seconds)};
+          std::to_string(wall_seconds),
+          std::to_string(queue_seconds),
+          std::to_string(match_seconds),
+          std::to_string(fire_seconds),
+          std::to_string(checkpoint_seconds)};
 }
 
 JobResult RunJob(const Job& job) { return RunJob(job, job.config); }
@@ -101,6 +106,9 @@ JobResult RunJob(const Job& job, const DualSolverConfig& config,
   result.match_tasks = dual.implication.chase.match_tasks;
   result.carried_passes = dual.implication.chase.carried_passes;
   result.candidates_checked = dual.counterexample.candidates_checked;
+  result.match_seconds = dual.implication.chase.match_seconds;
+  result.fire_seconds = dual.implication.chase.fire_seconds;
+  result.checkpoint_seconds = dual.implication.chase.checkpoint_seconds;
   return result;
 }
 

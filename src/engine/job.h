@@ -60,6 +60,15 @@ struct JobResult {
 
   double wall_seconds = 0;  ///< nondeterministic; excluded from comparisons
 
+  // Wall-clock phase breakdown (nondeterministic, excluded from
+  // DeterministicSummary like wall_seconds; carried into CsvRow/ToTable and
+  // the service's slow log). queue_seconds is filled by the service worker
+  // at pickup; the chase phases come from ChaseResult's breakdown.
+  double queue_seconds = 0;       ///< Submit → worker pickup
+  double match_seconds = 0;       ///< chase matching phases
+  double fire_seconds = 0;        ///< chase firing phases
+  double checkpoint_seconds = 0;  ///< chase checkpoint captures
+
   /// "IMPLIED", "REFUTED-FINITE", "REFUTED-FIXPOINT", "UNKNOWN", "SKIPPED",
   /// "CANCELLED".
   std::string_view VerdictName() const;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "engine/service.h"
+#include "util/metrics.h"
 
 namespace tdlib {
 
@@ -30,7 +31,6 @@ std::optional<JobResult> JobHandle::Poll() const {
 
 bool JobHandle::Cancel() const {
   if (state_ == nullptr) return false;
-  std::function<void(const JobResult&)> callback;
   JobResult cancelled;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
@@ -49,19 +49,13 @@ bool JobHandle::Cancel() const {
     state_->claimed = true;
     cancelled.name = state_->job.name;
     cancelled.status = JobStatus::kCancelled;
-    callback = state_->on_complete;
   }
-  // Exactly-once-per-run, and BEFORE the terminal state is published (the
-  // same ordering the worker gives every other run: a returned Wait()
-  // implies the callback finished). It fires on the cancelling thread, the
-  // one exception to the on-a-worker rule (documented in SubmitOptions).
-  if (callback) callback(cancelled);
-  {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    state_->result = cancelled;
-    state_->done = true;
-  }
-  state_->cv.notify_all();
+  // The shared publication path fires the callback exactly once per run,
+  // BEFORE the terminal state is observable (the same ordering the worker
+  // gives every other run), and accounts this run's outcome exactly once.
+  // It runs on the cancelling thread, the one exception to the on-a-worker
+  // rule (documented in SubmitOptions).
+  engine_internal::PublishTerminal(state_, cancelled);
   return true;
 }
 
@@ -79,6 +73,7 @@ bool JobHandle::ResumeWithBudget(const DualSolverConfig& config) const {
     // done == false targets the resumed run and must never be erased.
     state_->cancel.store(false, std::memory_order_relaxed);
     state_->submit_timer.Reset();
+    state_->submit_ns = StopWatch::Now();  // the queue wait restarts too
     state_->done = false;
     state_->started = false;  // the resumed run is queued again
     state_->claimed = false;
@@ -86,6 +81,9 @@ bool JobHandle::ResumeWithBudget(const DualSolverConfig& config) const {
     // leaves one behind): only the task enqueued below may execute.
     ++state_->run_generation;
   }
+  static Counter* resumes =
+      MetricsRegistry::Global().GetCounter("engine.job_resumes");
+  resumes->Add(1);
   if (!core->Enqueue(state_, state_->priority)) {
     // Pool already shutting down: restore terminal state (the previous
     // result stands) and notify, so a Wait() that raced in while done was

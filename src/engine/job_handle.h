@@ -65,6 +65,11 @@ struct JobState {
   double deadline_seconds = 0;  ///< per-submission budget, from submit time
   const std::atomic<bool>* skip_when = nullptr;  ///< admission gate
   std::weak_ptr<ServiceCore> core;  ///< for ResumeWithBudget re-enqueue
+  std::uint64_t trace_id = 0;       ///< service-assigned id for trace spans
+  std::int64_t submit_ns = 0;       ///< StopWatch tick at Submit/resume (the
+                                    ///  "job.queue" trace event's left edge)
+  double slow_log_seconds = 0;      ///< ServiceOptions copy: 0 = disabled
+  std::function<void(const std::string&)> slow_log_sink;  ///< null = stderr
 
   // Lock-free control.
   std::atomic<bool> cancel{false};  ///< cooperative cancel, solver-observed
@@ -86,6 +91,18 @@ struct JobState {
   std::function<void(const JobResult&)> on_complete;
   Timer submit_timer;               ///< deadline epoch; reset on resume
 };
+
+/// The single terminal-publication path for every run of every job: fires
+/// the streaming callback, stores the result, flips done, notifies waiters,
+/// and accounts the outcome (per-status counter, submit-to-terminal
+/// latency, in-flight gauge, slow log) EXACTLY once. Worker completions,
+/// queued-job cancellations and pool-rejected submissions all route here —
+/// which is what makes double-counting an outcome structurally impossible.
+/// Caller contract: this run's termination is already claimed (the caller
+/// is the worker that set `started`, the Cancel that set `claimed`, or the
+/// Submit whose Enqueue failed), so no other thread can publish it.
+void PublishTerminal(const std::shared_ptr<JobState>& state,
+                     const JobResult& result);
 
 }  // namespace engine_internal
 

@@ -1,8 +1,14 @@
 #include "engine/service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
 #include <thread>
 #include <utility>
+
+#include "util/metrics.h"
+#include "util/trace_span.h"
 
 namespace tdlib {
 namespace {
@@ -18,6 +24,46 @@ int ResolveThreads(int requested) {
   if (requested > 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Service-level observability. The outcome counters are bumped ONLY inside
+// PublishTerminal (the single terminal-publication path), so
+// completed + skipped + cancelled always equals the number of terminal
+// runs — the accounting invariant tests/metrics_test.cc checks.
+struct ServiceMetrics {
+  Counter* submitted;
+  Counter* completed;
+  Counter* skipped;
+  Counter* cancelled;
+  Counter* resumes;
+  Gauge* inflight;
+  Histogram* queue_wait_seconds;
+  Histogram* job_seconds;
+};
+
+ServiceMetrics& GetServiceMetrics() {
+  static ServiceMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* sm = new ServiceMetrics();
+    sm->submitted = r.GetCounter("engine.jobs_submitted");
+    sm->completed = r.GetCounter("engine.jobs_completed");
+    sm->skipped = r.GetCounter("engine.jobs_skipped");
+    sm->cancelled = r.GetCounter("engine.jobs_cancelled");
+    sm->resumes = r.GetCounter("engine.job_resumes");
+    sm->inflight = r.GetGauge("engine.jobs_inflight");
+    sm->queue_wait_seconds =
+        r.GetHistogram("engine.queue_wait_seconds", LatencyBuckets());
+    sm->job_seconds = r.GetHistogram("engine.job_seconds", LatencyBuckets());
+    return sm;
+  }();
+  return *m;
+}
+
+// Monotone trace-id source: every submission gets its own id, so spans from
+// concurrent jobs untangle in the trace viewer.
+std::uint64_t NextTraceId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -61,7 +107,16 @@ void ExecuteOnWorker(ServiceCore* core, const std::shared_ptr<JobState>& s,
     s->started = true;
     config = s->config;
   }
+  GetServiceMetrics().inflight->Add(1);  // balanced in PublishTerminal
   const double elapsed = s->submit_timer.ElapsedSeconds();
+  r.queue_seconds = elapsed;
+  GetServiceMetrics().queue_wait_seconds->Observe(elapsed);
+  // The queue wait straddles threads, so it cannot be an RAII span; record
+  // it as a pre-timed event under this job's id.
+  RecordTraceEvent("job.queue", s->trace_id, s->submit_ns,
+                   StopWatch::Now() - s->submit_ns);
+  // Scope every span the solver stack opens below under this job.
+  TraceJobScope job_scope(s->trace_id);
   if (s->cancel.load(std::memory_order_relaxed)) {
     // Cancelled while queued: terminal without running.
     r.status = JobStatus::kCancelled;
@@ -76,6 +131,7 @@ void ExecuteOnWorker(ServiceCore* core, const std::shared_ptr<JobState>& s,
     if (s->deadline_seconds > 0) {
       ClampConfigToBudget(&config, s->deadline_seconds - elapsed);
     }
+    TraceSpan run_span("job.run");
     // The session persists across runs of this state: a later
     // ResumeWithBudget continues this run's chase from its checkpoint.
     r = RunJob(s->job, config, &s->session);
@@ -90,21 +146,62 @@ void ExecuteOnWorker(ServiceCore* core, const std::shared_ptr<JobState>& s,
     }
   }
 
+  PublishTerminal(s, r);
+}
+
+}  // namespace
+
+void PublishTerminal(const std::shared_ptr<JobState>& state,
+                     const JobResult& result) {
   // The streaming callback runs BEFORE the terminal state is published:
   // once any Wait()/Poll() observes the result, its on_complete has already
   // finished. That ordering is what lets a caller stream per-job output and
   // still collect afterwards without synchronizing against stray callbacks.
   // (Corollary: the callback must not Wait() on its own handle.)
-  if (s->on_complete) s->on_complete(r);
+  if (state->on_complete) state->on_complete(result);
+  bool was_started;
   {
-    std::lock_guard<std::mutex> lock(s->mu);
-    s->result = r;
-    s->done = true;
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = result;
+    state->done = true;
+    was_started = state->started;
   }
-  s->cv.notify_all();
-}
+  state->cv.notify_all();
 
-}  // namespace
+  // Outcome accounting, exactly once per terminal run: every path that
+  // makes a run terminal funnels through this function, so the per-status
+  // counters partition the terminal runs (kSkipped and kCancelled included)
+  // and can never double-count one.
+  const double elapsed = state->submit_timer.ElapsedSeconds();
+  ServiceMetrics& m = GetServiceMetrics();
+  switch (result.status) {
+    case JobStatus::kCompleted: m.completed->Add(1); break;
+    case JobStatus::kSkipped: m.skipped->Add(1); break;
+    case JobStatus::kCancelled: m.cancelled->Add(1); break;
+  }
+  m.job_seconds->Observe(elapsed);
+  // Only runs a worker actually picked up were counted in-flight; a queued
+  // cancel or a pool-rejected submission never was.
+  if (was_started) m.inflight->Add(-1);
+
+  if (state->slow_log_seconds > 0 && elapsed >= state->slow_log_seconds) {
+    std::ostringstream oss;
+    oss << "slow job " << result.name << ": " << elapsed
+        << "s status=" << result.VerdictName()
+        << " queue=" << result.queue_seconds
+        << "s match=" << result.match_seconds
+        << "s fire=" << result.fire_seconds
+        << "s checkpoint=" << result.checkpoint_seconds
+        << "s passes=" << result.chase_passes
+        << " steps=" << result.chase_steps
+        << " rounds=" << result.rounds_used;
+    if (state->slow_log_sink) {
+      state->slow_log_sink(oss.str());
+    } else {
+      std::fprintf(stderr, "%s\n", oss.str().c_str());
+    }
+  }
+}
 
 ServiceCore::ServiceCore(const ServiceOptions& opts)
     : options(opts), pool(ResolveThreads(opts.num_threads)) {}
@@ -140,18 +237,22 @@ JobHandle SolverService::Submit(Job job, SubmitOptions options) {
   state->skip_when = options.skip_when;
   state->on_complete = std::move(options.on_complete);
   state->core = core_;
+  state->trace_id = NextTraceId();
+  state->slow_log_seconds = core_->options.slow_log_seconds;
+  state->slow_log_sink = core_->options.slow_log_sink;
   state->submit_timer.Reset();
+  state->submit_ns = StopWatch::Now();
+  GetServiceMetrics().submitted->Add(1);
   if (!core_->Enqueue(state, priority)) {
     // Pool shutting down (service mid-destruction): terminal immediately.
     // The exactly-once-per-run callback contract holds on this path too —
-    // streaming consumers count one callback per submission.
+    // streaming consumers count one callback per submission — and the skip
+    // is accounted through the same single publication path as every other
+    // outcome.
     JobResult skipped;
     skipped.name = state->job.name;
     skipped.status = JobStatus::kSkipped;
-    if (state->on_complete) state->on_complete(skipped);
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->result = skipped;
-    state->done = true;
+    engine_internal::PublishTerminal(state, skipped);
   }
   return JobHandle(std::move(state));
 }

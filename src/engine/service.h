@@ -47,6 +47,16 @@ struct ServiceOptions {
   /// Lend the pool to each job's chase as ChaseConfig::pool (see
   /// BatchOptions::chase_parallelism — same mechanism, same byte-identity).
   bool chase_parallelism = true;
+
+  /// Slow log: a job whose submit-to-terminal wall time reaches this many
+  /// seconds emits a one-line phase breakdown (queue/match/fire/checkpoint)
+  /// when it terminates. <= 0 disables. Purely observational — it changes
+  /// nothing about scheduling or results.
+  double slow_log_seconds = 0;
+
+  /// Where slow-log lines go; null = stderr. Must be thread-safe (it runs
+  /// on whichever thread publishes the terminal state).
+  std::function<void(const std::string&)> slow_log_sink;
 };
 
 /// Per-submission controls — what used to be batch-global.

@@ -2,7 +2,39 @@
 
 #include <utility>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+
 namespace tdlib {
+
+namespace {
+
+// Pool-level observability: how long tasks sit queued, how long they run,
+// and how deep the queue is. All writes are gated (Observe/Add no-op when
+// metrics are off) and happen on the control path around a task, never
+// inside one — the pool cannot perturb what its tasks compute.
+struct PoolMetrics {
+  Histogram* queue_wait_seconds;
+  Histogram* task_seconds;
+  Counter* tasks_run;
+  Gauge* queue_depth;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* pm = new PoolMetrics();
+    pm->queue_wait_seconds =
+        r.GetHistogram("pool.queue_wait_seconds", LatencyBuckets());
+    pm->task_seconds = r.GetHistogram("pool.task_seconds", LatencyBuckets());
+    pm->tasks_run = r.GetCounter("pool.tasks_run");
+    pm->queue_depth = r.GetGauge("pool.queue_depth");
+    return pm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -16,10 +48,14 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task, int priority) {
+  // Clock read outside the lock, and only when someone will look at it.
+  const std::int64_t enqueue_ns = MetricsEnabled() ? StopWatch::Now() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) return false;
-    queue_.push(Entry{priority, next_seq_++, std::move(task)});
+    queue_.push(Entry{priority, next_seq_++, enqueue_ns, std::move(task)});
+    GetPoolMetrics().queue_depth->Set(
+        static_cast<std::int64_t>(queue_.size()));
   }
   work_cv_.notify_one();
   return true;
@@ -52,6 +88,7 @@ std::size_t ThreadPool::QueueDepth() const {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    std::int64_t enqueue_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -60,10 +97,25 @@ void ThreadPool::WorkerLoop() {
       // priority_queue::top() is const; the closure is moved out via
       // const_cast, which is safe because the entry is popped immediately.
       task = std::move(const_cast<Entry&>(queue_.top()).task);
+      enqueue_ns = queue_.top().enqueue_ns;
       queue_.pop();
       ++active_workers_;
+      GetPoolMetrics().queue_depth->Set(
+          static_cast<std::int64_t>(queue_.size()));
     }
-    task();
+    if (MetricsEnabled()) {
+      PoolMetrics& m = GetPoolMetrics();
+      if (enqueue_ns != 0) {
+        m.queue_wait_seconds->Observe(
+            static_cast<double>(StopWatch::Now() - enqueue_ns) * 1e-9);
+      }
+      m.tasks_run->Add(1);
+      StopWatch run_watch;
+      task();
+      m.task_seconds->Observe(run_watch.ElapsedSeconds());
+    } else {
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_workers_;

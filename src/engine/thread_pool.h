@@ -65,6 +65,8 @@ class ThreadPool : public TaskExecutor {
   struct Entry {
     int priority;
     std::uint64_t seq;  ///< submission counter; breaks ties FIFO
+    std::int64_t enqueue_ns;  ///< StopWatch tick at Submit when metrics are
+                              ///  on, 0 when off (no clock read then)
     std::function<void()> task;
   };
   struct EntryOrder {

@@ -172,6 +172,16 @@ void HomomorphismSearch::RowCandidates(int row_idx, int min_id, int max_id,
         if (bound_lists_[i].size() < bound_lists_[best].size()) best = i;
       }
       const CandidateList& driver = bound_lists_[best];
+      // Deterministic intersection accounting: which branch a multi-list
+      // choice takes is a pure function of the bound lists, so these
+      // counters are byte-identical across runs (unlike wall time).
+      if (bound_lists_.size() >= 2 && options_.use_intersection) {
+        if (driver.size() > kMinIntersectSize) {
+          ++stats_.intersections;
+        } else {
+          ++stats_.intersect_skips;
+        }
+      }
       if (options_.use_intersection && bound_lists_.size() >= 2 &&
           driver.size() > kMinIntersectSize) {
         // Galloping k-way intersection, driver outermost. Every id kept here

@@ -76,6 +76,11 @@ struct HomSearchStats {
   std::uint64_t nodes = 0;       ///< search-tree nodes explored
   std::uint64_t candidates = 0;  ///< candidate tuples tried against a row
                                  ///  (what the index + intersection prune)
+  std::uint64_t intersections = 0;    ///< multi-list candidate choices that
+                                      ///  ran the galloping merge
+  std::uint64_t intersect_skips = 0;  ///< multi-list choices that fell back
+                                      ///  to the single shortest list (driver
+                                      ///  under the merge's break-even size)
   bool budget_hit = false;   ///< a node/deadline/cancel limit stopped a search
   bool deadline_hit = false; ///< specifically the wall-clock deadline
   bool cancel_hit = false;   ///< specifically the job-level cancel flag
@@ -83,6 +88,8 @@ struct HomSearchStats {
   void MergeFrom(const HomSearchStats& other) {
     nodes += other.nodes;
     candidates += other.candidates;
+    intersections += other.intersections;
+    intersect_skips += other.intersect_skips;
     budget_hit = budget_hit || other.budget_hit;
     deadline_hit = deadline_hit || other.deadline_hit;
     cancel_hit = cancel_hit || other.cancel_hit;

@@ -1,0 +1,296 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tdlib {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Exact decimal rendering of an integer nanosecond quantity as seconds:
+/// "0.0025", "1", "12.5". Both export formats use this so bucket bounds and
+/// sums never pick up float-formatting noise.
+std::string NanosAsSeconds(std::int64_t ns) {
+  bool negative = ns < 0;
+  if (negative) ns = -ns;
+  std::int64_t whole = ns / 1000000000;
+  std::int64_t frac = ns % 1000000000;
+  std::ostringstream oss;
+  if (negative) oss << '-';
+  oss << whole;
+  if (frac != 0) {
+    char digits[10];
+    std::snprintf(digits, sizeof(digits), "%09lld",
+                  static_cast<long long>(frac));
+    int len = 9;
+    while (len > 0 && digits[len - 1] == '0') --len;
+    oss << '.';
+    oss.write(digits, len);
+  }
+  return oss.str();
+}
+
+std::int64_t SecondsToNanos(double seconds) {
+  double ns = seconds * 1e9;
+  if (!(ns > 0)) return 0;  // negatives and NaN clamp to zero
+  if (ns >= 9.2e18) return INT64_MAX;
+  return static_cast<std::int64_t>(std::llround(ns));
+}
+
+/// Minimal JSON string escaping (metric names are plain identifiers, but
+/// exports should be valid JSON for arbitrary names anyway).
+void AppendJsonString(std::ostringstream& oss, const std::string& s) {
+  oss << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      case '\t': oss << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          oss << buf;
+        } else {
+          oss << c;
+        }
+    }
+  }
+  oss << '"';
+}
+
+/// Prometheus metric names use underscores, not dots.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace metrics_internal {
+
+int ThisThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local int slot =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<unsigned>(kShards));
+  return slot;
+}
+
+}  // namespace metrics_internal
+
+std::int64_t Counter::Value() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (cumulative.size() != other.cumulative.size()) return;
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    cumulative[i] += other.cumulative[i];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), shards_(metrics_internal::kShards) {
+  bounds_ns_.reserve(bounds_.size());
+  for (double b : bounds_) bounds_ns_.push_back(SecondsToNanos(b));
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double seconds) {
+  if (!MetricsEnabled()) return;
+  std::int64_t ns = SecondsToNanos(seconds);
+  // First bucket whose bound is >= the observation (+Inf bucket at the end).
+  std::size_t idx = std::lower_bound(bounds_ns_.begin(), bounds_ns_.end(), ns) -
+                    bounds_ns_.begin();
+  Shard& shard = shards_[metrics_internal::ThisThreadShard()];
+  shard.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  std::vector<std::int64_t> per_bucket(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < per_bucket.size(); ++i) {
+      per_bucket[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum_ns += shard.sum_ns.load(std::memory_order_relaxed);
+  }
+  snap.cumulative.resize(bounds_.size());
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    running += per_bucket[i];
+    snap.cumulative[i] = running;
+  }
+  snap.count = running + per_bucket.back();
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> LatencyBuckets() {
+  // 1 / 2.5 / 5 per decade, 1µs .. 10s. Every bound is a round nanosecond
+  // count, so exports print exact decimals.
+  return {0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+          0.0001,   0.00025,   0.0005,   0.001,   0.0025,   0.005,
+          0.01,     0.025,     0.05,     0.1,     0.25,     0.5,
+          1.0,      2.5,       5.0,      10.0};
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) oss << ',';
+    first = false;
+    AppendJsonString(oss, name);
+    oss << ':' << value;
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) oss << ',';
+    first = false;
+    AppendJsonString(oss, name);
+    oss << ':' << value;
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) oss << ',';
+    first = false;
+    AppendJsonString(oss, name);
+    oss << ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) oss << ',';
+      oss << NanosAsSeconds(SecondsToNanos(h.bounds[i]));
+    }
+    oss << "],\"cumulative\":[";
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      if (i) oss << ',';
+      oss << h.cumulative[i];
+    }
+    oss << "],\"count\":" << h.count
+        << ",\"sum_seconds\":" << NanosAsSeconds(h.sum_ns) << '}';
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream oss;
+  for (const auto& [name, value] : counters) {
+    std::string pname = PrometheusName(name);
+    oss << "# TYPE " << pname << " counter\n";
+    oss << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string pname = PrometheusName(name);
+    oss << "# TYPE " << pname << " gauge\n";
+    oss << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string pname = PrometheusName(name);
+    oss << "# TYPE " << pname << " histogram\n";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      oss << pname << "_bucket{le=\""
+          << NanosAsSeconds(SecondsToNanos(h.bounds[i])) << "\"} "
+          << h.cumulative[i] << '\n';
+    }
+    oss << pname << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    oss << pname << "_sum " << NanosAsSeconds(h.sum_ns) << '\n';
+    oss << pname << "_count " << h.count << '\n';
+  }
+  return oss.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace tdlib

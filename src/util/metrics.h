@@ -1,0 +1,200 @@
+// Process-wide metrics: named counters, gauges and latency histograms.
+//
+// Design constraints, in order:
+//   1. Non-perturbing. Instrumentation must never change what the solver
+//      computes: metric writes are pure sinks (nothing reads them back on
+//      the hot path) and the whole layer is gated on one relaxed atomic
+//      bool, so "metrics off" costs one predictable branch per call site.
+//      The byte-parity tests in tests/metrics_test.cc enforce that enabling
+//      metrics leaves instances, traces and deterministic counters
+//      byte-identical at every thread count.
+//   2. Lock-free hot path. A Counter/Histogram spreads its writes over
+//      kShards cache-line-padded atomic cells indexed by a thread-local
+//      shard slot (round-robin per thread creation), so concurrent writers
+//      from the engine pool do not bounce one cache line. Reads (Value(),
+//      Snapshot()) sum the shards — explicitly, at export time, never on
+//      the hot path.
+//   3. Zero allocation after registration. Counter/Gauge/Histogram lookup
+//      happens once per call site (function-local static pointer into the
+//      registry); Add/Observe touch only preallocated cells. Registry
+//      pointers are stable for the process lifetime.
+//   4. Exact, associative aggregation. Histogram sums are kept as integer
+//      nanoseconds, so merging per-shard (or per-process) snapshots is
+//      associative to the bit and the export goldens are deterministic.
+//
+// Exports: MetricsRegistry::Snapshot() -> MetricsSnapshot, which renders as
+// a JSON object (ToJson) or Prometheus text exposition v0.0.4
+// (ToPrometheus). Names are sorted, bucket bounds print as exact decimals
+// (they are stored as round nanosecond values), so both forms are stable
+// enough for golden tests.
+#ifndef TDLIB_UTIL_METRICS_H_
+#define TDLIB_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdlib {
+
+/// Global instrumentation switch. Default OFF: a disabled Counter::Add is a
+/// relaxed load + branch and nothing else. tdbatch's --metrics flag and the
+/// tests flip it explicitly.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace metrics_internal {
+
+/// Shard count for write-spreading. Power of two, sized for "more shards
+/// than typical engine threads" without bloating every metric.
+constexpr int kShards = 16;
+
+/// One cache line per cell so two shards never false-share.
+struct alignas(64) ShardCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+/// The calling thread's fixed shard slot in [0, kShards). Assigned
+/// round-robin at first use per thread.
+int ThisThreadShard();
+
+}  // namespace metrics_internal
+
+/// Monotonically increasing count, sharded for concurrent writers.
+class Counter {
+ public:
+  /// No-op unless MetricsEnabled().
+  void Add(std::int64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[metrics_internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (export-time read).
+  std::int64_t Value() const;
+
+  /// Zeroes every shard (test isolation; not for concurrent use with Add).
+  void Reset();
+
+ private:
+  metrics_internal::ShardCell shards_[metrics_internal::kShards];
+};
+
+/// Instantaneous level (queue depth, in-flight jobs). Single atomic cell:
+/// gauges move on control-path events, not per-tuple work, so sharding
+/// would only complicate the read.
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t n) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Mergeable point-in-time view of one histogram. `cumulative[i]` counts
+/// observations <= bounds[i] (Prometheus "le" convention); `count` includes
+/// the implicit +Inf bucket; `sum_ns` is the exact integer-nanosecond total
+/// of all observations, which is what makes MergeFrom associative.
+struct HistogramSnapshot {
+  std::vector<double> bounds;        ///< ascending upper bounds, seconds
+  std::vector<std::int64_t> cumulative;
+  std::int64_t count = 0;
+  std::int64_t sum_ns = 0;
+
+  /// Element-wise accumulate; `other` must have identical bounds.
+  void MergeFrom(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket latency histogram (seconds in, integer nanoseconds stored).
+class Histogram {
+ public:
+  /// `bounds` are ascending bucket upper bounds in seconds; an implicit
+  /// +Inf bucket catches the rest. Bounds are frozen at construction.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Records one latency. No-op unless MetricsEnabled().
+  void Observe(double seconds);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::int64_t>> buckets;  // bounds + 1 (+Inf)
+    std::atomic<std::int64_t> sum_ns{0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> bounds_ns_;  // exact integer comparison key
+  std::vector<Shard> shards_;
+};
+
+/// The default latency ladder: a 1 / 2.5 / 5 decade ladder from 1µs to 10s.
+/// All bounds are exact in nanoseconds, so exports print clean decimals.
+std::vector<double> LatencyBuckets();
+
+/// Everything a registry knew at one instant. Counters/gauges/histograms
+/// are name-sorted maps, so iteration (and therefore export text) is
+/// deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (TYPE comments, _bucket/_sum/_count series).
+  std::string ToPrometheus() const;
+};
+
+/// Owner of all metric objects. GetCounter/GetGauge/GetHistogram return
+/// stable pointers (the registry never deletes a metric), so call sites
+/// cache them in function-local statics and pay the map lookup once.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. Names should be static literals in
+  /// snake_case.dotted.form ("engine.jobs_completed").
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first creation; later calls return the
+  /// existing histogram regardless.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (test isolation between cases).
+  void Reset();
+
+  /// The process-wide registry the instrumentation layer publishes into.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_METRICS_H_

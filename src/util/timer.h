@@ -7,29 +7,71 @@
 
 namespace tdlib {
 
-/// Monotonic stopwatch.
-class Timer {
+/// Nanosecond-tick stopwatch on the steady clock. The single timing
+/// primitive of the library: Timer, Deadline, trace spans (util/trace_span)
+/// and the phase instrumentation all read the clock through StopWatch::Now()
+/// instead of ad-hoc Clock::now() pairs, so "what clock and what unit" is
+/// decided in exactly one place.
+class StopWatch {
  public:
-  Timer() : start_(Clock::now()) {}
+  StopWatch() : start_(Now()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = Now(); }
 
-  /// Elapsed time since construction/Reset, in seconds.
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Elapsed time in microseconds.
-  std::int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                 start_)
+  /// Nanoseconds on the steady clock since an arbitrary fixed epoch.
+  static std::int64_t Now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }
 
+  /// Elapsed ticks since construction/Reset.
+  std::int64_t ElapsedNanos() const { return Now() - start_; }
+  std::int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  /// The tick the stopwatch was started at (for span records).
+  std::int64_t start_nanos() const { return start_; }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::int64_t start_;
+};
+
+/// RAII accumulator: adds the scope's elapsed seconds to *sink on
+/// destruction. The unit of the chase's phase breakdown and of bench
+/// sections that used to hand-roll Clock::now() pairs.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += watch_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  StopWatch watch_;
+};
+
+/// Monotonic stopwatch (seconds/micros view over StopWatch).
+class Timer {
+ public:
+  Timer() = default;
+
+  /// Restarts the stopwatch.
+  void Reset() { watch_.Reset(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  /// Elapsed time in microseconds.
+  std::int64_t ElapsedMicros() const { return watch_.ElapsedMicros(); }
+
+ private:
+  StopWatch watch_;
 };
 
 /// A soft deadline: Expired() becomes true once the budget elapses.

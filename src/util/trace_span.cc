@@ -1,0 +1,147 @@
+#include "util/trace_span.h"
+
+#include <atomic>
+
+#include "util/timer.h"
+
+namespace tdlib {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+thread_local std::uint64_t t_current_job = 0;
+thread_local std::uint16_t t_span_depth = 0;
+
+/// Small dense id per recording thread (Chrome traces key lanes by tid;
+/// OS thread ids are large and non-reproducible across runs).
+std::uint32_t ThisThreadTraceId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendEscaped(std::ostream& out, const char* s) {
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out << '\\';
+    out << *s;
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceBuffer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[total_ % capacity_] = event;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  std::uint64_t count = total_ < capacity_ ? total_ : capacity_;
+  out.reserve(count);
+  std::uint64_t first = total_ - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceBuffer::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceBuffer::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = 0;
+}
+
+void TraceBuffer::WriteChromeTrace(std::ostream& out) const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::int64_t epoch = events.empty() ? 0 : events.front().start_ns;
+  for (const TraceEvent& e : events) {
+    if (e.start_ns < epoch) epoch = e.start_ns;
+  }
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) out << ',';
+    out << "{\"name\":\"";
+    AppendEscaped(out, e.name);
+    out << "\",\"cat\":\"tdlib\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << (e.start_ns - epoch) / 1000
+        << ",\"dur\":" << e.dur_ns / 1000 << ",\"args\":{\"job\":" << e.job
+        << ",\"depth\":" << e.depth << "}}";
+  }
+  out << "]}";
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceJobScope::TraceJobScope(std::uint64_t job_id) : saved_(t_current_job) {
+  t_current_job = job_id;
+}
+
+TraceJobScope::~TraceJobScope() { t_current_job = saved_; }
+
+std::uint64_t CurrentTraceJob() { return t_current_job; }
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name), start_ns_(0), depth_(0), armed_(TracingEnabled()) {
+  if (!armed_) return;
+  depth_ = t_span_depth++;
+  start_ns_ = StopWatch::Now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  std::int64_t end_ns = StopWatch::Now();
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.job = t_current_job;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns - start_ns_;
+  event.tid = ThisThreadTraceId();
+  event.depth = depth_;
+  TraceBuffer::Global().Record(event);
+}
+
+void RecordTraceEvent(const char* name, std::uint64_t job,
+                      std::int64_t start_ns, std::int64_t dur_ns) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.job = job;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.tid = ThisThreadTraceId();
+  event.depth = 0;
+  TraceBuffer::Global().Record(event);
+}
+
+}  // namespace tdlib

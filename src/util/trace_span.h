@@ -1,0 +1,125 @@
+// Scoped tracing: per-job phase spans into a bounded ring buffer.
+//
+// A TraceSpan times one phase of work (a chase pass's match phase, a job's
+// on-worker run, a solver escalation round) on the steady clock and records
+// a TraceEvent when it closes. Spans nest naturally — a thread-local depth
+// counter stamps each event with its nesting level, and a thread-local
+// "current job" id (set by TraceJobScope at the top of a job) scopes every
+// span under the job that produced it, even though the phases themselves
+// never pass a job id around.
+//
+// The recording side mirrors util/metrics' discipline: gated on one relaxed
+// atomic bool (a disabled span reads no clock and touches no shared state),
+// zero allocation (events are PODs whose names are static string literals;
+// the ring buffer is preallocated), and strictly write-only from the hot
+// path — nothing the solver computes ever depends on what was recorded, so
+// tracing on vs. off is byte-identical by construction (ctest-enforced).
+//
+// The buffer is a bounded ring: when full, the oldest events fall off and
+// Dropped() counts them. WriteChromeTrace() dumps the surviving window as
+// Chrome trace_event JSON ("ph":"X" complete events) loadable in
+// chrome://tracing or Perfetto.
+#ifndef TDLIB_UTIL_TRACE_SPAN_H_
+#define TDLIB_UTIL_TRACE_SPAN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdlib {
+
+/// Global tracing switch, independent of the metrics switch. Default OFF.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// One closed span. POD: `name` must be a static string literal (spans
+/// never own their names — that is what keeps recording allocation-free).
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t job = 0;      ///< job id from the enclosing TraceJobScope
+  std::int64_t start_ns = 0;  ///< steady-clock tick the span opened at
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;      ///< small dense id of the recording thread
+  std::uint16_t depth = 0;    ///< nesting level within the thread
+};
+
+/// Bounded MPSC-ish ring of TraceEvents. A mutex guards the ring: spans
+/// close at phase granularity (thousands per second, not millions), so a
+/// short critical section is cheaper to reason about than a lock-free slot
+/// scheme and keeps the type TSan-clean.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  void Record(const TraceEvent& event);
+
+  /// Surviving events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total Record() calls and how many fell off the ring.
+  std::uint64_t TotalRecorded() const;
+  std::uint64_t Dropped() const;
+
+  void Clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}. Timestamps are
+  /// microseconds relative to the oldest surviving event.
+  void WriteChromeTrace(std::ostream& out) const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// The process-wide buffer TraceSpan records into.
+  static TraceBuffer& Global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  // ring_[total_ % capacity_] is the next slot
+};
+
+/// Scopes every span on this thread under one job id (restores the previous
+/// id on destruction, so nested scopes and reused worker threads behave).
+class TraceJobScope {
+ public:
+  explicit TraceJobScope(std::uint64_t job_id);
+  ~TraceJobScope();
+
+  TraceJobScope(const TraceJobScope&) = delete;
+  TraceJobScope& operator=(const TraceJobScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+/// The job id spans on this thread currently record under (0 = none).
+std::uint64_t CurrentTraceJob();
+
+/// RAII span. Arms only if TracingEnabled() at construction; a disarmed
+/// span's destructor is a single branch.
+class TraceSpan {
+ public:
+  /// `name` must be a static string literal.
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+  std::uint16_t depth_;
+  bool armed_;
+};
+
+/// Records a pre-timed event (e.g. a queue-wait measured across threads,
+/// where RAII scoping is impossible). No-op unless TracingEnabled().
+void RecordTraceEvent(const char* name, std::uint64_t job,
+                      std::int64_t start_ns, std::int64_t dur_ns);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_UTIL_TRACE_SPAN_H_
