@@ -289,16 +289,18 @@ void BM_ChaseZigzagReachability(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaseZigzagReachability)->ArgsProduct({{8, 16, 32}, {0, 1}});
 
-// ---- Data layout axis: {row-major, SoA} x {single-list, intersection} -------
+// ---- Data layout axis: {row-major, SoA} x {intersection} x {simd} -----------
 //
 // The BM_Layout* family is split into BENCH_layout.json by run_benchmarks.sh
 // (filter: BM_Layout). Axes: arg0 = columnar (SoA) tuple store, arg1 =
-// posting-list intersection. Determinism contract on display: fired_steps
-// and hom_nodes MUST be identical across all four combos — the layout is
-// physical and the intersection is node-invariant — while hom_candidates
-// drops under intersection (that is the pruning) and wall time is the
-// payoff. A recap-script failure on the parity fields is a correctness
-// regression, not a perf regression.
+// posting-list intersection, arg2 = SIMD block evaluation. Determinism
+// contract on display: fired_steps and hom_nodes MUST be identical across
+// all eight combos — the layout is physical, the intersection is
+// node-invariant and the simd axis is byte-invariant on EVERY counter
+// including hom_candidates — while hom_candidates drops under intersection
+// (that is the pruning) and wall time is the payoff. A recap-script
+// failure on the parity fields is a correctness regression, not a perf
+// regression.
 
 // Scopes a default-layout override to one benchmark run (instances are
 // constructed inside the timed region, so the global must be set around it).
@@ -317,6 +319,7 @@ void BM_LayoutReductionSweep(benchmark::State& state) {
   // production regime.
   const bool soa = state.range(0) != 0;
   const bool intersect = state.range(1) != 0;
+  const bool simd = state.range(2) != 0;
   ScopedLayout layout(soa);
   WorkloadOptions options;
   options.size = 12;
@@ -332,6 +335,7 @@ void BM_LayoutReductionSweep(benchmark::State& state) {
       ChaseConfig config = job.config.base_chase;
       config.max_fires_per_pass = 64;
       config.use_intersection = intersect;
+      config.use_simd = simd;
       ImplicationResult r = ChaseImplies(job.dependencies, job.goal, config);
       benchmark::DoNotOptimize(r.verdict);
       hom_nodes += r.chase.hom_nodes;
@@ -342,11 +346,12 @@ void BM_LayoutReductionSweep(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(jobs.size());
   state.counters["soa"] = soa ? 1 : 0;
   state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["simd"] = simd ? 1 : 0;
   state.counters["fired_steps"] = static_cast<double>(steps);
   state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
   state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
 }
-BENCHMARK(BM_LayoutReductionSweep)->ArgsProduct({{0, 1}, {0, 1}});
+BENCHMARK(BM_LayoutReductionSweep)->ArgsProduct({{0, 1}, {0, 1}, {0, 1}});
 
 void BM_LayoutWideSchema(benchmark::State& state) {
   // The arity sweep's widest point, isolated: two-row join TD over 24
@@ -355,6 +360,7 @@ void BM_LayoutWideSchema(benchmark::State& state) {
   // one.
   const bool soa = state.range(0) != 0;
   const bool intersect = state.range(1) != 0;
+  const bool simd = state.range(2) != 0;
   ScopedLayout layout(soa);
   const int arity = 24;
   SchemaPtr schema =
@@ -383,6 +389,7 @@ void BM_LayoutWideSchema(benchmark::State& state) {
     state.ResumeTiming();
     ChaseConfig config = UnboundedConfig(/*use_delta=*/true);
     config.use_intersection = intersect;
+    config.use_simd = simd;
     ChaseResult result = RunChase(&inst, deps, config);
     benchmark::DoNotOptimize(result.steps);
     steps = result.steps;
@@ -392,11 +399,12 @@ void BM_LayoutWideSchema(benchmark::State& state) {
   state.counters["arity"] = arity;
   state.counters["soa"] = soa ? 1 : 0;
   state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["simd"] = simd ? 1 : 0;
   state.counters["fired_steps"] = static_cast<double>(steps);
   state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
   state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
 }
-BENCHMARK(BM_LayoutWideSchema)->ArgsProduct({{0, 1}, {0, 1}});
+BENCHMARK(BM_LayoutWideSchema)->ArgsProduct({{0, 1}, {0, 1}, {0, 1}});
 
 void BM_LayoutZigzag(benchmark::State& state) {
   // The fixpoint-heavy closure: many small partition members per pass, rows
@@ -404,6 +412,7 @@ void BM_LayoutZigzag(benchmark::State& state) {
   // multi-list intersection prunes hardest.
   const bool soa = state.range(0) != 0;
   const bool intersect = state.range(1) != 0;
+  const bool simd = state.range(2) != 0;
   ScopedLayout layout(soa);
   const int n = 32;
   SchemaPtr schema = MakeSchema({"A", "B"});
@@ -430,6 +439,7 @@ void BM_LayoutZigzag(benchmark::State& state) {
     state.ResumeTiming();
     ChaseConfig config = UnboundedConfig(/*use_delta=*/true);
     config.use_intersection = intersect;
+    config.use_simd = simd;
     ChaseResult result = RunChase(&inst, deps, config);
     benchmark::DoNotOptimize(result.steps);
     steps = result.steps;
@@ -439,11 +449,67 @@ void BM_LayoutZigzag(benchmark::State& state) {
   state.counters["path_length"] = n;
   state.counters["soa"] = soa ? 1 : 0;
   state.counters["intersect"] = intersect ? 1 : 0;
+  state.counters["simd"] = simd ? 1 : 0;
   state.counters["fired_steps"] = static_cast<double>(steps);
   state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
   state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
 }
-BENCHMARK(BM_LayoutZigzag)->ArgsProduct({{0, 1}, {0, 1}});
+BENCHMARK(BM_LayoutZigzag)->ArgsProduct({{0, 1}, {0, 1}, {0, 1}});
+
+void BM_LayoutColumnScan(benchmark::State& state) {
+  // Wide-arity column-scan closure: two arity-10 body rows agreeing on the
+  // six middle attributes (selectivity 4^-6 per pair), head drawn from both
+  // rows so the closure actually fires. Once row 1 is bound, row 2's
+  // surviving candidates are found by six equality filters over whole
+  // attribute columns — the block evaluator's home turf. With SoA those are
+  // stride-1/near-contiguous loads; row-major scalar pays a 40-byte row
+  // stride per probe.
+  const bool soa = state.range(0) != 0;
+  const bool simd = state.range(1) != 0;
+  ScopedLayout layout(soa);
+  const int arity = 10;
+  SchemaPtr schema =
+      std::make_shared<const Schema>(Schema::Numbered(arity, "X"));
+  Dependency::Builder builder(schema);
+  Row r1(arity), r2(arity), head(arity);
+  for (int attr = 0; attr < arity; ++attr) {
+    r1[attr] = builder.Var(attr);
+    // Middle positions shared between the body rows; the head copies r1
+    // except the last attribute, which comes from r2, so fired tuples feed
+    // new joins without exploding the closure.
+    r2[attr] = attr >= 1 && attr <= 6 ? r1[attr] : builder.Var(attr);
+    head[attr] = attr + 1 == arity ? r2[attr] : r1[attr];
+  }
+  Dependency::Builder b2 = std::move(builder);
+  b2.AddBodyRow(r1);
+  b2.AddBodyRow(r2);
+  b2.AddHeadRow(head);
+  DependencySet deps;
+  deps.Add(std::move(b2).Build().value());
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t hom_candidates = 0;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Instance inst = SeedInstance(schema, 400, 4, 99);
+    state.ResumeTiming();
+    ChaseConfig config = UnboundedConfig(/*use_delta=*/true);
+    config.use_simd = simd;
+    ChaseResult result = RunChase(&inst, deps, config);
+    benchmark::DoNotOptimize(result.steps);
+    steps = result.steps;
+    hom_nodes = result.hom_nodes;
+    hom_candidates = result.hom_candidates;
+  }
+  state.counters["arity"] = arity;
+  state.counters["soa"] = soa ? 1 : 0;
+  state.counters["intersect"] = 1;  // default config: intersection stays on
+  state.counters["simd"] = simd ? 1 : 0;
+  state.counters["fired_steps"] = static_cast<double>(steps);
+  state.counters["hom_nodes"] = static_cast<double>(hom_nodes);
+  state.counters["hom_candidates"] = static_cast<double>(hom_candidates);
+}
+BENCHMARK(BM_LayoutColumnScan)->ArgsProduct({{0, 1}, {0, 1}});
 
 // ---- Parallel match phase: the threads axis ---------------------------------
 //

@@ -34,6 +34,12 @@
 //   --no-intersect    scan the single shortest posting list per row instead
 //                     of intersecting all bound-position lists (ablation
 //                     baseline; node-for-node identical searches)
+//   --no-simd         evaluate candidates tuple-by-tuple instead of with
+//                     the util/simd.h block kernels (ablation baseline;
+//                     every counter and result byte is identical — see
+//                     README "SIMD kernels". TDLIB_FORCE_SCALAR=1 in the
+//                     environment instead keeps the block path but caps
+//                     kernel dispatch at the scalar fallbacks)
 //   --no-auto-burst   fix max_fires_per_pass instead of auto-tuning it from
 //                     the observed per-pass growth (auto: geometric pumping
 //                     runs uncapped, flat growth gets the bounded burst)
@@ -82,7 +88,7 @@ int Usage() {
                "               [--chase-steps=N] [--max-tuples=N]\n"
                "               [--deadline=S] [--stream] [--naive-chase]\n"
                "               [--layout=row|soa] [--no-intersect]\n"
-               "               [--no-auto-burst] [--serial-chase]\n"
+               "               [--no-simd] [--no-auto-burst] [--serial-chase]\n"
                "               [--no-resume] [--stop-on-refutation]\n"
                "               [--serial] [--csv=PATH] [--metrics[=PATH]]\n"
                "               [--prom=PATH] [--trace=PATH] [--slow-log=S]\n"
@@ -147,6 +153,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--no-intersect") {
         workload.solver.base_chase.use_intersection = false;
+      } else if (arg == "--no-simd") {
+        workload.solver.base_chase.use_simd = false;
       } else if (arg == "--no-auto-burst") {
         workload.solver.base_chase.auto_burst = false;
       } else if (arg == "--serial-chase") {

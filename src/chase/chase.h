@@ -94,6 +94,14 @@ struct ChaseConfig {
   /// Off = the single-list ablation baseline.
   bool use_intersection = true;
 
+  /// Block-at-a-time candidate evaluation with the util/simd.h kernels
+  /// (HomSearchOptions::use_simd). Unlike use_intersection this is NOT
+  /// checkpoint shape: it leaves every counter — hom_nodes AND
+  /// hom_candidates — and every output byte identical, so a checkpoint
+  /// taken with it on resumes with it off (and vice versa) without a
+  /// format bump. Off = the scalar ablation baseline (tdbatch --no-simd).
+  bool use_simd = true;
+
   /// Optional thread pool for the matching phase. Each pass's match tasks —
   /// carried-step re-checks plus one body search per dependency (or per
   /// semi-naive partition member (dependency, seed row)) — are independent
@@ -125,6 +133,7 @@ struct ChaseConfig {
     HomSearchOptions o;
     o.max_nodes = hom_max_nodes;
     o.use_intersection = use_intersection;
+    o.use_simd = use_simd;
     return o;
   }
 };

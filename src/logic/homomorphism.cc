@@ -3,13 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/simd.h"
+
 namespace tdlib {
 namespace {
-
-// Intersections pay for their galloping bookkeeping by skipping candidates
-// the single-list scan would have tried and rejected; on lists this short
-// the scan is cheaper than the merge, so the shortest list is used alone.
-constexpr std::size_t kMinIntersectSize = 8;
 
 // First element of [lo, hi) at or after `lo` whose id is >= target, found by
 // galloping (doubling steps, then std::lower_bound in the bracketed window).
@@ -46,6 +43,14 @@ std::size_t GallopTo(const CandidateList& list, std::size_t pos, int target) {
   return base.size() + static_cast<std::size_t>(p - tail.begin());
 }
 
+// Drops the suffix of ids >= max_id from an ascending run (one binary
+// search, and only when the run actually reaches max_id).
+IdSpan PrefixBelow(IdSpan s, int max_id) {
+  if (s.empty() || s[s.size() - 1] < max_id) return s;
+  const int* e = std::lower_bound(s.begin(), s.end(), max_id);
+  return IdSpan(s.begin(), static_cast<std::size_t>(e - s.begin()));
+}
+
 }  // namespace
 
 Valuation Valuation::For(const Tableau& t) {
@@ -67,8 +72,10 @@ HomomorphismSearch::HomomorphismSearch(const Tableau& source,
       row_done_(source.num_rows(), false),
       row_tuples_(source.num_rows(), -1),
       candidate_storage_(source.num_rows()),
-      undo_storage_(source.num_rows()) {
+      undo_storage_(source.num_rows()),
+      filter_storage_(source.num_rows()) {
   bound_lists_.reserve(static_cast<std::size_t>(source.schema().arity()));
+  bound_attrs_.reserve(static_cast<std::size_t>(source.schema().arity()));
   list_cursors_.reserve(static_cast<std::size_t>(source.schema().arity()));
 }
 
@@ -156,12 +163,18 @@ void HomomorphismSearch::RowCandidates(int row_idx, int min_id, int max_id,
                                        CandidateRuns* out) {
   out->runs[0] = IdSpan();
   out->runs[1] = IdSpan();
+  out->filtered_attr = -1;
+  out->fully_filtered = false;
   const Row& r = source_.row(row_idx);
   if (options_.use_index) {
     bound_lists_.clear();
+    bound_attrs_.clear();
     for (int attr = 0; attr < source_.schema().arity(); ++attr) {
       int bound = valuation_.Get(attr, r[attr]);
-      if (bound >= 0) bound_lists_.push_back(target_.TuplesWith(attr, bound));
+      if (bound >= 0) {
+        bound_lists_.push_back(target_.TuplesWith(attr, bound));
+        bound_attrs_.push_back(attr);
+      }
     }
     if (!bound_lists_.empty()) {
       // Shortest list first (ties keep the lowest attribute, matching the
@@ -176,14 +189,22 @@ void HomomorphismSearch::RowCandidates(int row_idx, int min_id, int max_id,
       // choice takes is a pure function of the bound lists, so these
       // counters are byte-identical across runs (unlike wall time).
       if (bound_lists_.size() >= 2 && options_.use_intersection) {
-        if (driver.size() > kMinIntersectSize) {
+        if (driver.size() > options_.min_intersect_size) {
           ++stats_.intersections;
         } else {
           ++stats_.intersect_skips;
         }
       }
       if (options_.use_intersection && bound_lists_.size() >= 2 &&
-          driver.size() > kMinIntersectSize) {
+          driver.size() > options_.min_intersect_size) {
+        // Intersection output matches EVERY bound position by construction;
+        // the block evaluator has nothing left to filter.
+        out->fully_filtered = true;
+        if (options_.use_simd) {
+          MergeCandidatesSimd(best, min_id, max_id, storage);
+          out->runs[0] = IdSpan(storage->data(), storage->size());
+          return;
+        }
         // Galloping k-way intersection, driver outermost. Every id kept here
         // is exactly an id the single-list scan would have accepted in
         // TryBindRow — the merge moves the equality checks off the per-
@@ -222,9 +243,12 @@ void HomomorphismSearch::RowCandidates(int row_idx, int min_id, int max_id,
         return;
       }
       // Single-list mode: hand out the index spans directly (zero copies);
-      // TryBindRow filters the other bound positions per candidate. Runs are
-      // ascending with base ids < tail ids, so a delta cutoff is one binary
-      // search per run.
+      // the other bound positions are filtered per candidate (block masks
+      // when use_simd, TryBindRow otherwise). The driver's own attribute is
+      // guaranteed by the posting list — record it so the block evaluator
+      // skips that column. Runs are ascending with base ids < tail ids, so
+      // a delta cutoff is one binary search per run.
+      out->filtered_attr = bound_attrs_[best];
       out->runs[0] =
           min_id > 0 ? driver.base().SuffixFrom(min_id) : driver.base();
       out->runs[1] =
@@ -242,6 +266,72 @@ void HomomorphismSearch::RowCandidates(int row_idx, int min_id, int max_id,
     }
   }
   out->runs[0] = IdSpan(storage->data(), storage->size());
+}
+
+void HomomorphismSearch::MergeCandidatesSimd(std::size_t best, int min_id,
+                                             int max_id,
+                                             std::vector<int>* storage) {
+  // The result set is exactly the scalar merge's: driver ∩ every other
+  // bound list, trimmed to [min_id, max_id). Trimming only the driver
+  // suffices (the fold can never emit an id outside the driver), and doing
+  // it first keeps a narrow delta window from paying full-list folds.
+  const CandidateList& driver = bound_lists_[best];
+  IdSpan a0 = driver.base();
+  IdSpan a1 = driver.tail();
+  if (min_id > 0) {
+    a0 = a0.SuffixFrom(min_id);
+    a1 = a1.SuffixFrom(min_id);
+  }
+  a0 = PrefixBelow(a0, max_id);
+  a1 = PrefixBelow(a1, max_id);
+  // Fold lhs ∩ L_j over the other bound lists, ping-ponging between the
+  // scratch buffer and `storage` with the parity arranged so the LAST fold
+  // materializes into `storage`. One fold is at most four IntersectI32
+  // calls: both sides are (up to) two ascending runs with every first-run
+  // id below every second-run id, so the pairwise run intersections are
+  // mutually disjoint and already ascending when emitted in the order
+  // A0∩B0, A0∩B1, A1∩B0, A1∩B1.
+  const std::size_t folds = bound_lists_.size() - 1;
+  std::vector<int>* bufs[2] = {&isect_scratch_, storage};
+  int dst_idx = folds % 2 == 1 ? 1 : 0;
+  std::size_t lhs_size = a0.size() + a1.size();
+  const int* c_data = nullptr;  // contiguous lhs after the first fold
+  std::size_t c_size = 0;
+  bool first = true;
+  for (std::size_t j = 0; j < bound_lists_.size(); ++j) {
+    if (j == best) continue;
+    const IdSpan b0 = bound_lists_[j].base();
+    const IdSpan b1 = bound_lists_[j].tail();
+    std::vector<int>* dst = bufs[dst_idx];
+    dst_idx ^= 1;
+    dst->resize(std::min(lhs_size, b0.size() + b1.size()));
+    std::size_t n = 0;
+    if (first) {
+      n += IntersectI32(a0.begin(), a0.size(), b0.begin(), b0.size(),
+                        dst->data() + n);
+      n += IntersectI32(a0.begin(), a0.size(), b1.begin(), b1.size(),
+                        dst->data() + n);
+      n += IntersectI32(a1.begin(), a1.size(), b0.begin(), b0.size(),
+                        dst->data() + n);
+      n += IntersectI32(a1.begin(), a1.size(), b1.begin(), b1.size(),
+                        dst->data() + n);
+      first = false;
+    } else {
+      n += IntersectI32(c_data, c_size, b0.begin(), b0.size(),
+                        dst->data() + n);
+      n += IntersectI32(c_data, c_size, b1.begin(), b1.size(),
+                        dst->data() + n);
+    }
+    dst->resize(n);
+    c_data = dst->data();
+    c_size = n;
+    lhs_size = n;
+    if (n == 0) break;  // an empty intersection stays empty
+  }
+  // The parity arrangement lands the last fold in `storage`; the only way
+  // to finish elsewhere is the early empty break, where clearing is the
+  // same answer.
+  if (c_size == 0) storage->clear();
 }
 
 bool HomomorphismSearch::TryBindRow(int row_idx, TupleRef tuple,
@@ -329,6 +419,87 @@ bool HomomorphismSearch::Backtrack(
   std::vector<std::pair<int, int>>& undo = undo_storage_[depth];
   undo.clear();
   bool window_closed = false;
+  if (options_.use_simd) {
+    // Block candidate evaluation: AND one survivor bitmask per bound
+    // position over up to 64 candidates at a time, then bind only the
+    // survivors. The filter set is fixed for the whole depth (TryBindRow
+    // undoes its bindings before the next candidate, so the bound
+    // positions seen by every candidate at this depth are identical).
+    std::vector<std::pair<int, int>>& filters = filter_storage_[depth];
+    filters.clear();
+    if (!candidates.fully_filtered) {
+      const Row& r = source_.row(row_idx);
+      for (int attr = 0; attr < source_.schema().arity(); ++attr) {
+        if (attr == candidates.filtered_attr) continue;
+        int bound = valuation_.Get(attr, r[attr]);
+        if (bound >= 0) filters.emplace_back(attr, bound);
+      }
+    }
+    for (int run = 0; run < 2 && !window_closed; ++run) {
+      const IdSpan span = candidates.runs[run];
+      const int* ids = span.begin();
+      std::size_t limit = span.size();
+      if (limit > 0 && ids[limit - 1] >= max_id) {
+        // Ascending runs: everything from the first id past the window is
+        // out, and reaching the window's edge ends run 1 too (same flip the
+        // scalar loop does when it SEES the first out-of-window id).
+        limit = static_cast<std::size_t>(
+            std::lower_bound(ids, ids + limit, max_id) - ids);
+        window_closed = true;
+      }
+      for (std::size_t blk = 0; blk < limit; blk += 64) {
+        const std::size_t bn = std::min<std::size_t>(64, limit - blk);
+        const int* bids = ids + blk;
+        std::uint64_t mask =
+            bn == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bn) - 1;
+        if (!filters.empty()) {
+          // Consecutive-id blocks (full scans, dense delta windows, CSR
+          // groups without holes) read the column directly — stride-1
+          // loads when the store is columnar; scattered blocks gather.
+          const bool consecutive =
+              bids[bn - 1] - bids[0] == static_cast<int>(bn) - 1;
+          for (const auto& [attr, value] : filters) {
+            const ColumnSpan col = target_.Column(attr);
+            mask &= consecutive
+                        ? EqMaskI32(col.data + bids[0] * col.stride,
+                                    col.stride, bn, value)
+                        : EqMaskGatherI32(col.data, col.stride, bids, bn,
+                                          value);
+            if (mask == 0) break;
+          }
+        }
+        // Exact-parity accounting: the scalar loop counts every id up to
+        // and including the last one it reached. Charging each survivor for
+        // itself plus the rejected ids since the previous survivor keeps
+        // `candidates` byte-identical even when a visitor or budget stops
+        // the search mid-block (ids past the stopping point stay
+        // uncounted, exactly like the scalar loop never reaching them).
+        std::size_t counted = 0;
+        while (mask != 0) {
+          const unsigned p = static_cast<unsigned>(__builtin_ctzll(mask));
+          mask &= mask - 1;
+          stats_.candidates += p + 1 - counted;
+          counted = p + 1;
+          const int tuple_id = bids[p];
+          undo.clear();
+          if (!TryBindRow(row_idx, target_.tuple(tuple_id), &undo)) continue;
+          row_tuples_[row_idx] = tuple_id;
+          bool in_delta = any_row_mode && tuple_id >= options_.delta_begin;
+          delta_rows_bound_ += in_delta ? 1 : 0;
+          bool keep_going = Backtrack(depth + 1, visit, stopped);
+          delta_rows_bound_ -= in_delta ? 1 : 0;
+          UndoBindings(undo);
+          if (!keep_going && (*stopped || stats_.budget_hit)) {
+            row_done_[row_idx] = false;
+            return false;
+          }
+        }
+        stats_.candidates += bn - counted;
+      }
+    }
+    row_done_[row_idx] = false;
+    return true;
+  }
   for (int run = 0; run < 2 && !window_closed; ++run) {
     for (int tuple_id : candidates.runs[run]) {
       // Runs are ascending and run 0's ids all precede run 1's, so the first

@@ -19,6 +19,18 @@
 // the `candidates` counter (rows actually tried) and wall time move. The
 // use_intersection ablation flag quantifies the win.
 //
+// Block candidate evaluation (use_simd): instead of testing bound row
+// positions tuple-by-tuple inside TryBindRow, the search evaluates each
+// bound position over a whole block of up to 64 candidates with one
+// util/simd.h kernel call — stride-1 column loads when the target store is
+// columnar (or the ids are consecutive), hardware gathers otherwise — and
+// ANDs the per-position survivor bitmasks before any per-tuple binding. The
+// multi-list intersection likewise runs the vectorized run merge. Like the
+// intersection, this is a pure implementation swap: the survivor set, the
+// visit order, `nodes` and `candidates` are byte-identical with the flag on
+// or off, on any CPU (the kernels are bit-identical across dispatch
+// levels), which the parity tests enforce end to end.
+//
 // Delta restriction (semi-naive matching): a search can be confined to one
 // member of the standard semi-naive partition of the delta-touching matches
 // — seed row in the delta, earlier rows in the old region, later rows
@@ -116,6 +128,23 @@ struct HomSearchOptions {
   /// only `candidates` and wall time change. Off = the single-list ablation
   /// baseline.
   bool use_intersection = true;
+
+  /// Skip the multi-list intersection when the driver (shortest bound-
+  /// position posting) list has at most this many ids: on lists this short
+  /// the scan-and-filter beats the merge's bookkeeping. 8 is the historical
+  /// break-even on the reduction workloads. The threshold decides the
+  /// deterministic intersections/intersect_skips split (a pure function of
+  /// the bound lists and this value) and can shift `candidates` and wall
+  /// time — never which matches are found, their order, or `nodes`.
+  std::size_t min_intersect_size = 8;
+
+  /// Evaluate candidates block-at-a-time with util/simd.h kernels (see the
+  /// file comment): survivor bitmasks over 64-candidate blocks, vectorized
+  /// run intersection, ANDed before any per-tuple binding. Byte-identical
+  /// searches on or off — every counter, match and visit order is preserved
+  /// (ctest-enforced); only wall time moves. Off = the scalar ablation
+  /// baseline (tdbatch --no-simd).
+  bool use_simd = true;
 
   /// Disable the most-constrained-row-first dynamic ordering (rows are then
   /// matched in tableau order).
@@ -219,9 +248,16 @@ class HomomorphismSearch {
 
  private:
   /// Up to two ascending candidate runs (CSR base + tail, or one merged /
-  /// materialized run). Every id in runs[0] precedes every id in runs[1].
+  /// materialized run), plus what is already known about them. Every id in
+  /// runs[0] precedes every id in runs[1]. `filtered_attr` names a bound
+  /// attribute the runs are guaranteed to match (the driver posting list's
+  /// attribute); `fully_filtered` marks intersection output, where EVERY
+  /// bound position is guaranteed. The block evaluator skips columns that
+  /// cannot reject anything.
   struct CandidateRuns {
     IdSpan runs[2];
+    int filtered_attr = -1;
+    bool fully_filtered = false;
   };
 
   bool Backtrack(int depth, const std::function<bool(const Valuation&)>& visit,
@@ -237,6 +273,12 @@ class HomomorphismSearch {
   /// merge).
   void RowCandidates(int row_idx, int min_id, int max_id,
                      std::vector<int>* storage, CandidateRuns* out);
+  /// The use_simd replacement for the scalar k-way galloping merge:
+  /// pairwise IntersectI32 folds over the bound lists' runs, driver (index
+  /// `best` in bound_lists_) trimmed to [min_id, max_id) first. Produces
+  /// exactly the scalar merge's id set into `storage`.
+  void MergeCandidatesSimd(std::size_t best, int min_id, int max_id,
+                           std::vector<int>* storage);
   bool TryBindRow(int row_idx, TupleRef tuple,
                   std::vector<std::pair<int, int>>* undo);
   void UndoBindings(const std::vector<std::pair<int, int>>& undo);
@@ -253,7 +295,12 @@ class HomomorphismSearch {
   std::vector<std::vector<int>> candidate_storage_;
   std::vector<std::vector<std::pair<int, int>>> undo_storage_;
   std::vector<CandidateList> bound_lists_;    // RowCandidates scratch
+  std::vector<int> bound_attrs_;              // attr of each bound list
   std::vector<std::size_t> list_cursors_;     // RowCandidates scratch
+  std::vector<int> isect_scratch_;            // SIMD fold ping-pong buffer
+  // (attr, bound value) pairs the block evaluator filters a depth's
+  // candidates on — per depth, because Backtrack recurses mid-loop.
+  std::vector<std::vector<std::pair<int, int>>> filter_storage_;
   HomSearchStats stats_;
 };
 

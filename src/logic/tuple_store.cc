@@ -5,7 +5,7 @@
 #include <istream>
 #include <ostream>
 
-#include "util/hash.h"
+#include "util/simd.h"
 
 namespace tdlib {
 namespace {
@@ -33,26 +33,19 @@ TupleStore::TupleStore(int arity, TupleLayout layout)
       slot_mask_(kInitialSlots - 1) {}
 
 std::size_t TupleStore::HashRow(const std::int32_t* row) const {
-  std::size_t seed = 0xcbf29ce484222325ULL;
-  for (int i = 0; i < arity_; ++i) {
-    HashCombine(&seed, static_cast<std::size_t>(
-                           static_cast<std::uint32_t>(row[i])));
-  }
-  return seed;
+  return static_cast<std::size_t>(HashRowI32(row, arity_));
 }
 
 std::size_t TupleStore::HashStored(std::size_t id) const {
-  if (layout_ == TupleLayout::kRowMajor) {
-    return HashRow(arena_.data() + id * arity_);
-  }
-  // The hash must be byte-for-byte the layout-blind function of the row, so
-  // dedup tables in both layouts converge to identical slot assignments.
-  std::size_t seed = 0xcbf29ce484222325ULL;
-  for (int i = 0; i < arity_; ++i) {
-    HashCombine(&seed, static_cast<std::size_t>(
-                           static_cast<std::uint32_t>(Component(id, i))));
-  }
-  return seed;
+  // The hash is a layout-blind function of the row (HashRowI32 sees only
+  // the component sequence via the stride), so dedup tables in both layouts
+  // converge to identical slot assignments.
+  return layout_ == TupleLayout::kRowMajor
+             ? static_cast<std::size_t>(
+                   HashRowI32(arena_.data() + id * arity_, arity_))
+             : static_cast<std::size_t>(HashRowI32(
+                   arena_.data() + id, arity_,
+                   static_cast<std::ptrdiff_t>(col_capacity_)));
 }
 
 bool TupleStore::RowEquals(std::size_t id, const std::int32_t* row) const {
@@ -75,10 +68,25 @@ void TupleStore::Rehash(std::size_t target) {
   std::vector<std::int32_t> old = std::move(slots_);
   slots_.assign(target, 0);
   slot_mask_ = target - 1;
+  if (num_tuples_ == 0) return;
+  // Bulk-hash every stored row once up front: columnar slabs take
+  // HashRowsI32's wide path (rows in vector lanes, one contiguous load per
+  // attribute), and either way the per-entry loop below touches only the
+  // precomputed table.
+  std::vector<std::uint64_t> hashes(num_tuples_);
+  if (layout_ == TupleLayout::kRowMajor) {
+    HashRowsI32(arena_.data(), num_tuples_, arity_,
+                /*row_stride=*/arity_, /*attr_stride=*/1, hashes.data());
+  } else {
+    HashRowsI32(arena_.data(), num_tuples_, arity_,
+                /*row_stride=*/1,
+                /*attr_stride=*/static_cast<std::ptrdiff_t>(col_capacity_),
+                hashes.data());
+  }
   for (std::int32_t entry : old) {
     if (entry == 0) continue;
     std::size_t id = static_cast<std::size_t>(entry - 1);
-    std::size_t slot = HashStored(id) & slot_mask_;
+    std::size_t slot = static_cast<std::size_t>(hashes[id]) & slot_mask_;
     while (slots_[slot] != 0) slot = (slot + 1) & slot_mask_;
     slots_[slot] = entry;
   }

@@ -103,6 +103,18 @@ class TupleRef {
   std::ptrdiff_t stride_;
 };
 
+/// A borrowed view of one ATTRIBUTE across all stored tuples: the component
+/// of tuple `id` lives at data[id * stride]. The transpose of TupleRef —
+/// same slab, sliced the other way. Columnar stores hand out stride-1 spans
+/// (the whole column is contiguous: one vector load covers eight adjacent
+/// tuple ids); row-major spans stride by the arity. This is what the
+/// homomorphism search's block filter scans with util/simd.h's EqMaskI32.
+/// Invalidated by Insert, like TupleRef.
+struct ColumnSpan {
+  const std::int32_t* data = nullptr;
+  std::ptrdiff_t stride = 1;
+};
+
 /// The arena. All tuples share one contiguous slab; a private
 /// open-addressing hash table over tuple ids provides O(1) dedup without a
 /// second copy of any tuple. Value semantics (copy/move) are the defaults —
@@ -121,6 +133,18 @@ class TupleStore {
                ? TupleRef(arena_.data() + id * arity_, arity_)
                : TupleRef(arena_.data() + id, arity_,
                           static_cast<std::ptrdiff_t>(col_capacity_));
+  }
+
+  /// View of attribute `attr` across all size() tuples (stride 1 when
+  /// columnar, stride arity() when row-major). Invalidated by Insert.
+  ColumnSpan Column(int attr) const {
+    if (arena_.empty()) return {};  // keep nullptr arithmetic out of UBSan
+    return layout_ == TupleLayout::kRowMajor
+               ? ColumnSpan{arena_.data() + attr,
+                            static_cast<std::ptrdiff_t>(arity_)}
+               : ColumnSpan{arena_.data() +
+                                static_cast<std::size_t>(attr) * col_capacity_,
+                            1};
   }
 
   /// Inserts the row at `row` (arity() contiguous components). Returns

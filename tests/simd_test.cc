@@ -1,0 +1,401 @@
+// Kernel-level tests for util/simd.h: bit-identity of every dispatch level
+// against the scalar reference at block boundaries, unaligned tails, empty
+// and all-survivor masks — plus end-to-end chase parity with use_simd
+// on/off across layouts and dispatch levels. The classic bug class here is
+// a vector tail reading past the end of a block; the boundary sweeps below
+// (and the ASan/UBSan CI leg over this binary) are aimed at exactly that.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/parser.h"
+#include "engine/thread_pool.h"
+#include "logic/instance.h"
+#include "logic/schema.h"
+#include "util/rng.h"
+
+namespace tdlib {
+namespace {
+
+// Every level this host can actually run (dispatch clamps to hardware, so
+// asking for more than DetectedSimdLevel() would silently retest the same
+// tier).
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (DetectedSimdLevel() >= SimdLevel::kSSE2) levels.push_back(SimdLevel::kSSE2);
+  if (DetectedSimdLevel() >= SimdLevel::kAVX2) levels.push_back(SimdLevel::kAVX2);
+  return levels;
+}
+
+// Restores the process-wide dispatch level on scope exit, so a failing
+// test cannot leave the rest of the binary capped at scalar.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) { SetSimdLevelForTesting(level); }
+  ~ScopedSimdLevel() { SetSimdLevelForTesting(DetectedSimdLevel()); }
+};
+
+// The boundary sweep: one below / at / above every vector width in play
+// (4 for SSE2, 8 for AVX2) plus the 64-wide block cap.
+const std::size_t kBoundarySizes[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                                      15, 16, 17, 31, 32, 33, 63, 64};
+
+TEST(SimdDispatch, LevelClampsToHardwareAndRestores) {
+  EXPECT_LE(ActiveSimdLevel(), DetectedSimdLevel());
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+    // Requesting more than the hardware has yields the hardware ceiling,
+    // never a level whose instructions would fault.
+    SetSimdLevelForTesting(SimdLevel::kAVX2);
+    EXPECT_LE(ActiveSimdLevel(), DetectedSimdLevel());
+  }
+  EXPECT_EQ(ActiveSimdLevel(), DetectedSimdLevel());
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAVX2), "avx2");
+}
+
+TEST(EqMask, MatchesScalarAtEveryLevelStrideAndBoundary) {
+  Rng rng(0xE9);
+  for (std::ptrdiff_t stride : {1, 2, 3, 7}) {
+    // One slab serving every (n, stride) pair, values drawn from a tiny
+    // domain so hits and misses both occur in every block.
+    std::vector<std::int32_t> slab(64 * static_cast<std::size_t>(stride) + 8);
+    for (std::int32_t& x : slab) x = static_cast<std::int32_t>(rng.Below(5));
+    for (std::size_t n : kBoundarySizes) {
+      for (std::int32_t value = -1; value <= 5; ++value) {
+        std::uint64_t expected;
+        {
+          ScopedSimdLevel scalar(SimdLevel::kScalar);
+          expected = EqMaskI32(slab.data(), stride, n, value);
+        }
+        // Bits at and above n must be zero, whatever follows in memory.
+        if (n < 64) EXPECT_EQ(expected >> n, 0u) << n;
+        for (SimdLevel level : SupportedLevels()) {
+          ScopedSimdLevel active(level);
+          EXPECT_EQ(EqMaskI32(slab.data(), stride, n, value), expected)
+              << "level=" << SimdLevelName(level) << " stride=" << stride
+              << " n=" << n << " value=" << value;
+        }
+      }
+    }
+  }
+}
+
+TEST(EqMask, AllSurvivorAndEmptyMasks) {
+  std::vector<std::int32_t> same(64, 7);
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel active(level);
+    EXPECT_EQ(EqMaskI32(same.data(), 1, 64, 7), ~std::uint64_t{0})
+        << SimdLevelName(level);
+    EXPECT_EQ(EqMaskI32(same.data(), 1, 64, 8), 0u) << SimdLevelName(level);
+    EXPECT_EQ(EqMaskI32(same.data(), 1, 0, 7), 0u) << SimdLevelName(level);
+    EXPECT_EQ(EqMaskI32(same.data(), 1, 3, 7), 0x7u) << SimdLevelName(level);
+  }
+}
+
+TEST(EqMaskGather, MatchesScalarOnScatteredAscendingIds) {
+  Rng rng(0x6A);
+  for (std::ptrdiff_t stride : {1, 2, 5}) {
+    std::vector<std::int32_t> arena(512 * static_cast<std::size_t>(stride));
+    for (std::int32_t& x : arena) x = static_cast<std::int32_t>(rng.Below(6));
+    for (std::size_t n : kBoundarySizes) {
+      // Ascending unique ids with gaps — the shape posting lists and
+      // intersection output actually have.
+      std::vector<std::int32_t> ids;
+      std::int32_t next = static_cast<std::int32_t>(rng.Below(3));
+      while (ids.size() < n) {
+        ids.push_back(next);
+        next += 1 + static_cast<std::int32_t>(rng.Below(7));
+      }
+      for (std::int32_t value = 0; value < 6; ++value) {
+        std::uint64_t expected;
+        {
+          ScopedSimdLevel scalar(SimdLevel::kScalar);
+          expected = EqMaskGatherI32(arena.data(), stride, ids.data(), n,
+                                     value);
+        }
+        for (SimdLevel level : SupportedLevels()) {
+          ScopedSimdLevel active(level);
+          EXPECT_EQ(EqMaskGatherI32(arena.data(), stride, ids.data(), n,
+                                    value),
+                    expected)
+              << "level=" << SimdLevelName(level) << " stride=" << stride
+              << " n=" << n << " value=" << value;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::int32_t> AscendingRun(Rng* rng, std::size_t n,
+                                       std::uint64_t gap) {
+  std::vector<std::int32_t> run;
+  run.reserve(n);
+  std::int32_t next = static_cast<std::int32_t>(rng->Below(4));
+  for (std::size_t i = 0; i < n; ++i) {
+    run.push_back(next);
+    next += 1 + static_cast<std::int32_t>(rng->Below(gap));
+  }
+  return run;
+}
+
+TEST(Intersect, MatchesStdSetIntersectionAtEveryLevel) {
+  Rng rng(0x157);
+  // (na, nb, gap) shapes: boundary sizes, balanced and heavily skewed
+  // (the latter exercise the galloping strategy switch at ratio 32).
+  const struct {
+    std::size_t na, nb;
+    std::uint64_t gap;
+  } shapes[] = {{0, 0, 3},  {0, 17, 3},   {1, 1, 2},    {3, 4, 2},
+                {4, 4, 2},  {7, 9, 3},    {8, 8, 3},    {16, 33, 2},
+                {64, 64, 2}, {100, 100, 4}, {5, 400, 2}, {3, 1000, 5},
+                {130, 260, 3}};
+  for (const auto& shape : shapes) {
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::int32_t> a = AscendingRun(&rng, shape.na, shape.gap);
+      std::vector<std::int32_t> b = AscendingRun(&rng, shape.nb, shape.gap);
+      std::vector<std::int32_t> expected(std::min(a.size(), b.size()) + 1);
+      auto end = std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                       expected.begin());
+      expected.resize(static_cast<std::size_t>(end - expected.begin()));
+      for (SimdLevel level : SupportedLevels()) {
+        ScopedSimdLevel active(level);
+        std::vector<std::int32_t> out(std::min(a.size(), b.size()) + 1,
+                                      -12345);
+        std::size_t n =
+            IntersectI32(a.data(), a.size(), b.data(), b.size(), out.data());
+        out.resize(n);
+        EXPECT_EQ(out, expected)
+            << "level=" << SimdLevelName(level) << " na=" << shape.na
+            << " nb=" << shape.nb << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(Intersect, IdenticalAndDisjointRuns) {
+  std::vector<std::int32_t> run;
+  for (int i = 0; i < 70; ++i) run.push_back(i * 2);  // evens
+  std::vector<std::int32_t> odds;
+  for (int i = 0; i < 70; ++i) odds.push_back(i * 2 + 1);
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel active(level);
+    std::vector<std::int32_t> out(run.size());
+    EXPECT_EQ(IntersectI32(run.data(), run.size(), run.data() + 0, run.size(),
+                           out.data()),
+              run.size())
+        << SimdLevelName(level);
+    EXPECT_TRUE(std::equal(run.begin(), run.end(), out.begin()));
+    EXPECT_EQ(IntersectI32(run.data(), run.size(), odds.data(), odds.size(),
+                           out.data()),
+              0u)
+        << SimdLevelName(level);
+  }
+}
+
+TEST(HashRows, BitIdenticalAcrossLevelsStridesAndBulk) {
+  Rng r(0x4A5);
+  for (int arity : {1, 2, 3, 7, 8, 9, 12, 16, 23}) {
+    const std::size_t rows = 37;  // odd: exercises the bulk path's tail
+    // Row-major slab and its columnar transpose must hash identically.
+    std::vector<std::int32_t> row_major(rows * static_cast<std::size_t>(arity));
+    for (std::int32_t& x : row_major) {
+      x = static_cast<std::int32_t>(r.Below(1u << 30));
+    }
+    const std::size_t col_cap = rows + 5;  // capacity > rows, like the store
+    std::vector<std::int32_t> columnar(col_cap *
+                                       static_cast<std::size_t>(arity));
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (int a = 0; a < arity; ++a) {
+        columnar[static_cast<std::size_t>(a) * col_cap + i] =
+            row_major[i * static_cast<std::size_t>(arity) +
+                      static_cast<std::size_t>(a)];
+      }
+    }
+    std::vector<std::uint64_t> expected(rows);
+    {
+      ScopedSimdLevel scalar(SimdLevel::kScalar);
+      for (std::size_t i = 0; i < rows; ++i) {
+        expected[i] = HashRowI32(
+            row_major.data() + i * static_cast<std::size_t>(arity), arity);
+      }
+    }
+    for (SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel active(level);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::int32_t* row =
+            row_major.data() + i * static_cast<std::size_t>(arity);
+        EXPECT_EQ(HashRowI32(row, arity), expected[i])
+            << SimdLevelName(level) << " arity=" << arity << " row=" << i;
+        // Strided (columnar) view of the same row.
+        EXPECT_EQ(HashRowI32(columnar.data() + i, arity,
+                             static_cast<std::ptrdiff_t>(col_cap)),
+                  expected[i])
+            << SimdLevelName(level) << " arity=" << arity << " row=" << i;
+      }
+      // Bulk forms, both layouts.
+      std::vector<std::uint64_t> got(rows, 0);
+      HashRowsI32(row_major.data(), rows, arity,
+                  /*row_stride=*/arity, /*attr_stride=*/1, got.data());
+      EXPECT_EQ(got, expected) << SimdLevelName(level) << " arity=" << arity;
+      std::fill(got.begin(), got.end(), 0);
+      HashRowsI32(columnar.data(), rows, arity, /*row_stride=*/1,
+                  /*attr_stride=*/static_cast<std::ptrdiff_t>(col_cap),
+                  got.data());
+      EXPECT_EQ(got, expected) << SimdLevelName(level) << " arity=" << arity;
+    }
+  }
+}
+
+// ---- End-to-end chase parity ------------------------------------------------
+
+struct ChaseFingerprint {
+  std::string instance;
+  ChaseStatus status;
+  std::uint64_t steps, passes, hom_nodes, hom_candidates, match_tasks;
+
+  bool operator==(const ChaseFingerprint& o) const {
+    return instance == o.instance && status == o.status && steps == o.steps &&
+           passes == o.passes && hom_nodes == o.hom_nodes &&
+           hom_candidates == o.hom_candidates && match_tasks == o.match_tasks;
+  }
+};
+
+ChaseFingerprint RunOnce(const Instance& seed, const DependencySet& deps,
+                         ChaseConfig config, TupleLayout layout, bool simd,
+                         int threads) {
+  Instance instance(seed.schema_ptr(), layout);
+  // Re-seed through TupleRefs so the copy lands in the requested layout.
+  for (int attr = 0; attr < seed.schema().arity(); ++attr) {
+    for (int v = 0; v < seed.DomainSize(attr); ++v) {
+      instance.AddValue(attr, seed.ValueName(attr, v),
+                        seed.IsLabeledNull(attr, v));
+    }
+  }
+  for (std::size_t i = 0; i < seed.NumTuples(); ++i) {
+    instance.AddTuple(seed.tuple(static_cast<int>(i)));
+  }
+  config.use_simd = simd;
+  ChaseFingerprint fp;
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    config.pool = &pool;
+    ChaseResult result = RunChase(&instance, deps, config);
+    fp.status = result.status;
+    fp.steps = result.steps;
+    fp.passes = result.passes;
+    fp.hom_nodes = result.hom_nodes;
+    fp.hom_candidates = result.hom_candidates;
+    fp.match_tasks = result.match_tasks;
+  } else {
+    config.pool = nullptr;
+    ChaseResult result = RunChase(&instance, deps, config);
+    fp.status = result.status;
+    fp.steps = result.steps;
+    fp.passes = result.passes;
+    fp.hom_nodes = result.hom_nodes;
+    fp.hom_candidates = result.hom_candidates;
+    fp.match_tasks = result.match_tasks;
+  }
+  fp.instance = instance.ToString();
+  EXPECT_EQ(instance.CheckInvariants(), "");
+  return fp;
+}
+
+TEST(ChaseSimdParity, ByteIdenticalAcrossSimdLayoutIntersectionAndThreads) {
+  // A wide existential program (nulls invented, multi-position joins) plus
+  // a cross-product closure: the two shapes that stress the block filter
+  // and the intersection respectively. use_simd must be invisible in every
+  // byte — including hom_candidates, which use_intersection DOES move.
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(
+               ParseDependency(schema, "R(a,b) & R(a2,b2) => R(a,b2)"))
+               .value());
+  deps.Add(std::move(
+               ParseDependency(schema, "R(a,b) & R(a,b2) => R(a3,b)"))
+               .value());
+  Rng rng(2026);
+  Instance seed(schema);
+  const int domain = 7;
+  for (int attr = 0; attr < 2; ++attr) {
+    for (int v = 0; v < domain; ++v) seed.AddValue(attr);
+  }
+  for (int i = 0; i < 25; ++i) {
+    seed.AddTuple({static_cast<int>(rng.Below(domain)),
+                   static_cast<int>(rng.Below(domain))});
+  }
+
+  ChaseConfig config;
+  config.max_steps = 120;
+  config.max_tuples = 2500;
+
+  for (bool intersect : {true, false}) {
+    config.use_intersection = intersect;
+    ChaseFingerprint baseline =
+        RunOnce(seed, deps, config, TupleLayout::kRowMajor, /*simd=*/false,
+                /*threads=*/1);
+    EXPECT_GT(baseline.steps, 0u);
+    for (TupleLayout layout : {TupleLayout::kRowMajor, TupleLayout::kColumnar}) {
+      for (bool simd : {false, true}) {
+        for (int threads : {1, 2, 4, 8}) {
+          ChaseFingerprint got =
+              RunOnce(seed, deps, config, layout, simd, threads);
+          EXPECT_TRUE(got == baseline)
+              << "intersect=" << intersect << " simd=" << simd
+              << " threads=" << threads << " soa="
+              << (layout == TupleLayout::kColumnar)
+              << "\n steps " << got.steps << " vs " << baseline.steps
+              << "\n nodes " << got.hom_nodes << " vs " << baseline.hom_nodes
+              << "\n cands " << got.hom_candidates << " vs "
+              << baseline.hom_candidates;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChaseSimdParity, ForcedScalarDispatchIsAlsoByteIdentical) {
+  // use_simd on with kernel dispatch capped at scalar — the block-filter
+  // code path with the fallback kernels, which is what the
+  // TDLIB_FORCE_SCALAR=1 CI leg runs process-wide.
+  SchemaPtr schema = MakeSchema({"A", "B"});
+  DependencySet deps;
+  deps.Add(std::move(
+               ParseDependency(schema, "R(a,b) & R(a2,b) => R(a,b2)"))
+               .value());
+  Instance seed(schema);
+  for (int v = 0; v < 5; ++v) {
+    seed.AddValue(0);
+    seed.AddValue(1);
+  }
+  for (int i = 0; i < 5; ++i) seed.AddTuple({i, (i * 2) % 5});
+  ChaseConfig config;
+  config.max_steps = 60;
+  config.max_tuples = 800;
+
+  ChaseFingerprint baseline = RunOnce(seed, deps, config,
+                                      TupleLayout::kRowMajor,
+                                      /*simd=*/true, /*threads=*/1);
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel active(level);
+    for (TupleLayout layout : {TupleLayout::kRowMajor,
+                               TupleLayout::kColumnar}) {
+      ChaseFingerprint got =
+          RunOnce(seed, deps, config, layout, /*simd=*/true, /*threads=*/1);
+      EXPECT_TRUE(got == baseline)
+          << "level=" << SimdLevelName(level)
+          << " soa=" << (layout == TupleLayout::kColumnar);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdlib

@@ -10,6 +10,7 @@
 #include "logic/instance.h"
 #include "logic/schema.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace tdlib {
 namespace {
@@ -250,6 +251,64 @@ TEST(ColumnarStoreTest, SelfInsertionFromOwnArenaIsSafe) {
     ASSERT_EQ(static_cast<std::size_t>(cid), i);
   }
   EXPECT_EQ(copy.CheckInvariants(), "");
+}
+
+TEST(ColumnarStoreTest, ColumnSpanExposesEveryAttributeInBothLayouts) {
+  // Column(attr) is the transpose view the block filter scans: stride 1 on
+  // columnar stores, stride arity on row-major, same components either way.
+  for (TupleLayout layout : {TupleLayout::kRowMajor, TupleLayout::kColumnar}) {
+    TupleStore store(3, layout);
+    ColumnSpan empty = store.Column(1);
+    EXPECT_EQ(empty.data, nullptr);  // no arena yet: no pointer arithmetic
+    for (int i = 0; i < 50; ++i) {
+      std::int32_t row[] = {i, 100 + i, 200 + i};
+      store.Insert(row);
+    }
+    for (int attr = 0; attr < 3; ++attr) {
+      ColumnSpan col = store.Column(attr);
+      ASSERT_NE(col.data, nullptr);
+      EXPECT_EQ(col.stride, layout == TupleLayout::kColumnar ? 1 : 3);
+      for (int id = 0; id < 50; ++id) {
+        EXPECT_EQ(col.data[id * col.stride], attr * 100 + id)
+            << "attr=" << attr << " id=" << id;
+      }
+    }
+  }
+}
+
+TEST(ColumnarStoreTest, WideAritySelfAliasingInsertAcrossDispatchLevels) {
+  // Arity >= 8 takes the vectorized hash's wide path; the dedup table built
+  // under one dispatch level must probe correctly under any other (the hash
+  // is bit-identical across levels), including for self-aliasing
+  // re-insertions that stage out of the store's own slab mid-growth.
+  for (TupleLayout layout : {TupleLayout::kRowMajor, TupleLayout::kColumnar}) {
+    TupleStore store(12, layout);
+    Rng rng(77);
+    for (int i = 0; i < 200; ++i) {
+      std::int32_t row[12];
+      for (int a = 0; a < 12; ++a) {
+        row[a] = static_cast<std::int32_t>(rng.Below(1u << 20));
+      }
+      auto [id, inserted] = store.Insert(row);
+      ASSERT_TRUE(inserted);
+      ASSERT_EQ(id, i);
+    }
+    // Re-insert views of the store's own slab — duplicates, every one.
+    for (int i = 0; i < 200; i += 17) {
+      auto [id, inserted] = store.Insert(store[static_cast<std::size_t>(i)]);
+      EXPECT_FALSE(inserted) << i;
+      EXPECT_EQ(id, i);
+    }
+    // The table must stay probeable with kernels capped at scalar: a single
+    // hash bit differing between levels would break every Find below.
+    SetSimdLevelForTesting(SimdLevel::kScalar);
+    EXPECT_EQ(store.CheckInvariants(), "");
+    auto [id, inserted] = store.Insert(store[5]);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(id, 5);
+    SetSimdLevelForTesting(DetectedSimdLevel());
+    EXPECT_EQ(store.CheckInvariants(), "");
+  }
 }
 
 TEST(ColumnarStoreTest, SerializeIsLayoutBlindBothWays) {
