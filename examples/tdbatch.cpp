@@ -62,7 +62,18 @@
 //                     trace_event JSON (load in chrome://tracing/Perfetto)
 //   --slow-log=S      log a phase breakdown to stderr for every job whose
 //                     submit-to-terminal time reaches S seconds
+//
+// The TDLIB_FAULT environment variable arms the util/fault.h injection
+// sites for this run (e.g. TDLIB_FAULT="chase-alloc:3,deadline"); armed
+// faults surface as typed one-line errors or kSkipped/kCancelled results,
+// and their fault.injected.* counters appear in --metrics output.
+//
+// Exit codes: 0 = success, 2 = usage error, 3 = unreadable input file,
+// 4 = malformed workload/TD program, 5 = cannot write an output file,
+// 1 = any other failure. Every failure prints one diagnostic line to
+// stderr prefixed "tdbatch:".
 #include <atomic>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -73,6 +84,7 @@
 #include "engine/service.h"
 #include "engine/workload.h"
 #include "logic/tuple_store.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -81,6 +93,27 @@
 using namespace tdlib;
 
 namespace {
+
+// Distinct non-zero exit codes, so scripts and the CI harness can tell
+// "bad invocation" from "bad input" from "bad environment" without
+// scraping stderr.
+enum ExitCode {
+  kExitSuccess = 0,
+  kExitFailure = 1,       // unclassified (internal error, exception)
+  kExitUsage = 2,         // bad flags
+  kExitUnreadable = 3,    // an input file could not be opened
+  kExitMalformed = 4,     // workload/TD program failed to parse
+  kExitWriteFailure = 5,  // an output file could not be written
+};
+
+int ExitCodeForError(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNotFound: return kExitUnreadable;
+    case ErrorCode::kParseError: return kExitMalformed;
+    case ErrorCode::kInvalidArgument: return kExitUsage;
+    default: return kExitFailure;
+  }
+}
 
 int Usage() {
   std::cerr << "usage: tdbatch [--workload=reduction-sweep|random] [--size=N]\n"
@@ -96,9 +129,7 @@ int Usage() {
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunBatch(int argc, char** argv) {
   std::string family = "reduction-sweep";
   WorkloadOptions workload;
   // Burst auto-tune is the tdbatch default (the library default stays
@@ -198,8 +229,9 @@ int main(int argc, char** argv) {
       files.empty() ? MakeWorkload(family, workload)
                     : FileWorkload(files, workload);
   if (!jobs.ok()) {
-    std::cerr << "tdbatch: " << jobs.error() << "\n";
-    return 1;
+    std::cerr << "tdbatch: " << ErrorCodeName(jobs.code()) << ": "
+              << jobs.error() << "\n";
+    return ExitCodeForError(jobs.code());
   }
 
   // Observability switches flip before any solving so the whole run is
@@ -275,7 +307,7 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path);
     if (!out) {
       std::cerr << "tdbatch: cannot write " << csv_path << "\n";
-      return 1;
+      return kExitWriteFailure;
     }
     summary.WriteCsv(out);
     std::cout << "wrote " << csv_path << "\n";
@@ -289,7 +321,7 @@ int main(int argc, char** argv) {
       std::ofstream out(metrics_path);
       if (!out) {
         std::cerr << "tdbatch: cannot write " << metrics_path << "\n";
-        return 1;
+        return kExitWriteFailure;
       }
       out << snapshot.ToJson() << "\n";
       std::cout << "wrote " << metrics_path << "\n";
@@ -298,7 +330,7 @@ int main(int argc, char** argv) {
       std::ofstream out(prom_path);
       if (!out) {
         std::cerr << "tdbatch: cannot write " << prom_path << "\n";
-        return 1;
+        return kExitWriteFailure;
       }
       out << snapshot.ToPrometheus();
       std::cout << "wrote " << prom_path << "\n";
@@ -308,7 +340,7 @@ int main(int argc, char** argv) {
     std::ofstream out(trace_path);
     if (!out) {
       std::cerr << "tdbatch: cannot write " << trace_path << "\n";
-      return 1;
+      return kExitWriteFailure;
     }
     TraceBuffer::Global().WriteChromeTrace(out);
     out << "\n";
@@ -318,5 +350,20 @@ int main(int argc, char** argv) {
     if (dropped > 0) std::cout << ", " << dropped << " dropped";
     std::cout << ")\n";
   }
-  return 0;
+  return kExitSuccess;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Arm any TDLIB_FAULT-specified injection sites before the first solve so
+  // the whole run — admission, chase, checkpointing — is under the spec.
+  ArmFaultsFromEnv();
+  try {
+    return RunBatch(argc, argv);
+  } catch (const std::exception& e) {
+    // No internal error should surface as a raw terminate; one line, code 1.
+    std::cerr << "tdbatch: internal error: " << e.what() << "\n";
+    return kExitFailure;
+  }
 }

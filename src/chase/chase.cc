@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
 #include "core/satisfaction.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -418,6 +420,13 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
     return config.cancel != nullptr &&
            config.cancel->load(std::memory_order_relaxed);
   };
+  // Each phase boundary has its own injection site, so tests can land a
+  // cancel (or an allocation failure) on exactly one boundary and assert
+  // the job still publishes exactly one terminal outcome. All checks are
+  // behind the FaultInjectionEnabled() relaxed-load gate.
+  auto injected = [](FaultSite site) {
+    return FaultInjectionEnabled() && ShouldInject(site);
+  };
 
   // Tuples with id >= delta_begin are "new" since the previous matching
   // phase. 0 on the first pass, so pass 1 matches the whole seed instance
@@ -446,6 +455,13 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   ReserveForBudget(instance, deps, config);
 
   if (checkpoint != nullptr && checkpoint->valid) {
+    // A cancel landing exactly at resume entry terminates the run WITHOUT
+    // consuming the checkpoint: the parked state stays valid for the next
+    // attempt, so an ill-timed cancel costs nothing but this run.
+    if (cancelled() || injected(FaultSite::kCancelResume)) {
+      result.status = ChaseStatus::kCancelled;
+      return result;
+    }
     // Continue the interrupted firing phase: the caller restored (or kept)
     // the instance the checkpoint was taken against and verified
     // ResumableWith. Counters continue, so the eventual ChaseResult is the
@@ -480,6 +496,14 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
   // time this runs).
   auto take_checkpoint = [&](std::size_t next_index) {
     if (checkpoint == nullptr) return;
+    // A cancel racing the capture wins: the run is already stopping, and
+    // honoring the cancel means reporting kCancelled with no checkpoint
+    // (the caller asked the job to die, not to pause). The budget status
+    // the caller just set is overwritten before it becomes observable.
+    if (cancelled() || injected(FaultSite::kCancelCheckpoint)) {
+      result.status = ChaseStatus::kCancelled;
+      return;
+    }
     TraceSpan span("chase.checkpoint");
     StopWatch watch;
     ScopedTimer accumulate(&result.checkpoint_seconds);
@@ -520,7 +544,7 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       TraceSpan match_span("chase.match");
       StopWatch match_watch;
       std::size_t pass_start = instance->NumTuples();
-      if (cancelled()) {
+      if (cancelled() || injected(FaultSite::kCancelMatch)) {
         result.status = ChaseStatus::kCancelled;
         return result;
       }
@@ -657,19 +681,34 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
       // enumerated tail needs the O(n log n) sort; a gap-regime pass with a
       // six-figure carried backlog and a handful of new matches pays one
       // linear merge instead of re-sorting the whole backlog.
-      auto canonical = [](const PendingStep& a, const PendingStep& b) {
+      // FaultSite::kFireOrderFlip is the harness's deliberate bug: it
+      // reverses the body-image ordering for this pass's sort, exactly the
+      // kind of one-comparison mistake the differential fuzzer exists to
+      // catch (flipped fire order changes labeled-null invention order,
+      // which diverges the instance bytes). Evaluated once per pass — a
+      // strict weak ordering must not change mid-sort.
+      const bool flip_order = injected(FaultSite::kFireOrderFlip);
+      auto canonical = [flip_order](const PendingStep& a,
+                                    const PendingStep& b) {
         if (a.dep_index != b.dep_index) {
           return a.dep_index < b.dep_index;
         }
-        return a.row_ids < b.row_ids;
+        return flip_order ? b.row_ids < a.row_ids : a.row_ids < b.row_ids;
       };
-      std::sort(pending.begin() +
-                    static_cast<std::ptrdiff_t>(carried_prefix),
-                pending.end(), canonical);
-      std::inplace_merge(pending.begin(),
-                         pending.begin() +
-                             static_cast<std::ptrdiff_t>(carried_prefix),
-                         pending.end(), canonical);
+      if (flip_order) {
+        // The carried prefix was stored under the true ordering; a full
+        // re-sort keeps inplace_merge's sorted-halves precondition out of
+        // the picture while the injected comparator is live.
+        std::sort(pending.begin(), pending.end(), canonical);
+      } else {
+        std::sort(pending.begin() +
+                      static_cast<std::ptrdiff_t>(carried_prefix),
+                  pending.end(), canonical);
+        std::inplace_merge(pending.begin(),
+                           pending.begin() +
+                               static_cast<std::ptrdiff_t>(carried_prefix),
+                           pending.end(), canonical);
+      }
       fired_this_pass = 0;
     }
 
@@ -717,12 +756,24 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
         }
         break;
       }
-      if (cancelled()) {
+      if (cancelled() || injected(FaultSite::kCancelFire)) {
         // Between-fire cancel check: a cancelled job must not keep firing a
         // huge pending burst to the end of the pass. No checkpoint — the
         // caller asked the job to die, not to pause deterministically.
         flush_fire_stats();
         result.status = ChaseStatus::kCancelled;
+        return result;
+      }
+      // Graceful degradation for allocation failure: the between-fire
+      // boundary is the one place the instance is in a well-defined state
+      // with the remaining work in hand, so an injected (or caught, below)
+      // allocation failure parks a checkpoint whose resume replays the
+      // uninterrupted run byte for byte — the step at `pi` has not been
+      // touched yet, so none of its search work is double-counted.
+      if (injected(FaultSite::kChaseAlloc)) {
+        flush_fire_stats();
+        result.status = ChaseStatus::kResourceExhausted;
+        take_checkpoint(pi);
         return result;
       }
       PendingStep& step = pending[pi];
@@ -732,14 +783,30 @@ ChaseResult RunChase(Instance* instance, const DependencySet& deps,
         fire_head_dep = step.dep_index;
       }
       // An earlier fire in this pass may have witnessed this head already.
-      bool witnessed = fire_head->Witnessed(step.match, &fire_stats);
+      bool witnessed = false;
+      std::vector<int> new_ids;
+      try {
+        witnessed = fire_head->Witnessed(step.match, &fire_stats);
+        if (!fire_stats.budget_hit && !witnessed) {
+          new_ids = FireStep(dep, instance, step.match);
+        }
+      } catch (const std::bad_alloc&) {
+        // Real allocation failure: park instead of crashing. Best-effort —
+        // a throw mid-FireStep can leave part of the head inserted, so the
+        // resume completes the derivation soundly (AddTuple dedups, the
+        // chase is monotone) but without the injected path's byte-identity
+        // promise.
+        flush_fire_stats();
+        result.status = ChaseStatus::kResourceExhausted;
+        take_checkpoint(pi);
+        return result;
+      }
       if (fire_stats.budget_hit) {
         flush_fire_stats();
         result.status = limit_status(fire_stats);
         return result;
       }
       if (witnessed) continue;
-      std::vector<int> new_ids = FireStep(dep, instance, step.match);
       ++result.steps;
       ++fired_this_pass;
       if (config.record_trace) {
@@ -787,6 +854,7 @@ std::string_view ChaseStatusName(ChaseStatus status) {
     case ChaseStatus::kTimeout: return "timeout";
     case ChaseStatus::kHomBudget: return "hom-budget";
     case ChaseStatus::kCancelled: return "cancelled";
+    case ChaseStatus::kResourceExhausted: return "resource-exhausted";
   }
   return "?";
 }
@@ -953,12 +1021,17 @@ void ChaseCheckpoint::Serialize(std::ostream& os) const {
   }
 }
 
-std::optional<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::istream& is) {
+Result<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::istream& is) {
+  using R = Result<ChaseCheckpoint>;
+  auto corrupt = [](const char* what) {
+    return R::Error(ErrorCode::kCorrupt,
+                    std::string("checkpoint: ") + what);
+  };
   std::string magic;
   int valid_flag;
-  if (!(is >> magic >> valid_flag) || magic != kCheckpointMagic) {
-    return std::nullopt;
-  }
+  if (!(is >> magic >> valid_flag)) return corrupt("truncated header");
+  if (magic != kCheckpointMagic) return corrupt("bad magic");
+  if (valid_flag != 0 && valid_flag != 1) return corrupt("bad valid flag");
   ChaseCheckpoint ckpt;
   if (valid_flag == 0) return ckpt;  // an empty (non-resumable) checkpoint
   ckpt.valid = true;
@@ -972,7 +1045,7 @@ std::optional<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::istream& is) {
         auto_burst_flag >> ckpt.match_slice_ids >> intersect_flag >>
         record_trace_flag >> eager_flag >> ckpt.hom_max_nodes >>
         num_pending)) {
-    return std::nullopt;
+    return corrupt("truncated counters/shape block");
   }
   ckpt.use_delta = use_delta_flag != 0;
   ckpt.auto_burst = auto_burst_flag != 0;
@@ -984,20 +1057,23 @@ std::optional<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::istream& is) {
     PendingChaseStep step;
     if (!(is >> step.dep_index) || !ReadValuation(is, &step.match) ||
         !ReadIntVec(is, &step.row_ids)) {
-      return std::nullopt;
+      return corrupt("truncated pending step");
     }
     ckpt.pending.push_back(std::move(step));
   }
-  if (!(is >> num_trace)) return std::nullopt;
+  if (!(is >> num_trace)) return corrupt("missing trace count");
   for (std::size_t i = 0; i < num_trace; ++i) {
     ChaseStep step;
     if (!(is >> step.dependency_index) ||
         !ReadValuation(is, &step.body_match) ||
         !ReadIntVec(is, &step.new_tuples)) {
-      return std::nullopt;
+      return corrupt("truncated trace step");
     }
     ckpt.trace.push_back(std::move(step));
   }
+  // Dependency/tuple/value id ranges are validated later by CompatibleWith
+  // against the (deps, instance) the checkpoint is used with; here the
+  // contract is only "no UB, no unchecked allocation, typed error".
   return ckpt;
 }
 

@@ -26,6 +26,7 @@
 #include "logic/homomorphism.h"
 #include "logic/instance.h"
 #include "util/executor.h"
+#include "util/status.h"
 
 namespace tdlib {
 
@@ -147,6 +148,9 @@ enum class ChaseStatus {
   kTimeout,     ///< deadline exceeded
   kHomBudget,   ///< a homomorphism search ran out of nodes (result unreliable)
   kCancelled,   ///< ChaseConfig::cancel was raised mid-run
+  kResourceExhausted,  ///< an allocation failed between fires; the run parked
+                       ///  a resumable checkpoint instead of aborting, so a
+                       ///  later (or less memory-pressured) call continues it
 };
 
 /// One fired chase step (recorded when ChaseConfig::record_trace is set).
@@ -276,9 +280,11 @@ struct ChaseCheckpoint {
   void Reset() { *this = ChaseCheckpoint(); }
 
   /// Text round-trip (whitespace-separated; Valuations and traces included).
-  /// Deserialize returns std::nullopt on malformed input.
+  /// Deserialize treats the stream as untrusted: every count and flag is
+  /// bounds-checked and malformed input yields ErrorCode::kCorrupt with a
+  /// field-level message — never UB, a crash, or an unchecked allocation.
   void Serialize(std::ostream& os) const;
-  static std::optional<ChaseCheckpoint> Deserialize(std::istream& is);
+  static Result<ChaseCheckpoint> Deserialize(std::istream& is);
 };
 
 /// A goal predicate evaluated against the evolving instance; the chase stops

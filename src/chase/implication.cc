@@ -75,23 +75,33 @@ void ChaseSession::Serialize(std::ostream& os) const {
   checkpoint.Serialize(os);
 }
 
-std::optional<ChaseSession> ChaseSession::Deserialize(const SchemaPtr& schema,
-                                                      std::istream& is) {
+Result<ChaseSession> ChaseSession::Deserialize(const SchemaPtr& schema,
+                                               std::istream& is) {
+  using R = Result<ChaseSession>;
   std::string magic;
   std::uint64_t fingerprint;
   int has_instance;
-  if (!(is >> magic >> fingerprint >> has_instance) || magic != "tdsess1") {
-    return std::nullopt;
+  if (!(is >> magic >> fingerprint >> has_instance)) {
+    return R::Error(ErrorCode::kCorrupt, "session: truncated header");
+  }
+  if (magic != "tdsess1") {
+    return R::Error(ErrorCode::kCorrupt, "session: bad magic");
+  }
+  if (has_instance != 0 && has_instance != 1) {
+    return R::Error(ErrorCode::kCorrupt, "session: bad instance flag");
   }
   ChaseSession session;
   session.question_fingerprint = fingerprint;
   if (has_instance != 0) {
-    session.instance = Instance::Deserialize(schema, is);
-    if (!session.instance.has_value()) return std::nullopt;
+    Result<Instance> instance = Instance::Deserialize(schema, is);
+    if (!instance.ok()) {
+      return R::Error(instance.code(), "session: " + instance.error());
+    }
+    session.instance = std::move(instance).value();
   }
-  std::optional<ChaseCheckpoint> ckpt = ChaseCheckpoint::Deserialize(is);
-  if (!ckpt.has_value()) return std::nullopt;
-  session.checkpoint = std::move(*ckpt);
+  Result<ChaseCheckpoint> ckpt = ChaseCheckpoint::Deserialize(is);
+  if (!ckpt.ok()) return R::Error(ckpt.code(), "session: " + ckpt.error());
+  session.checkpoint = std::move(ckpt).value();
   return session;
 }
 

@@ -58,11 +58,13 @@ struct ChaseSession {
 
   /// Text round trip (Instance::Serialize + ChaseCheckpoint::Serialize), so
   /// a budget-stopped chase can be parked outside the process and picked up
-  /// again. Deserialize returns std::nullopt on malformed input; the caller
-  /// supplies the schema (it owns the dependency set).
+  /// again. Deserialize treats the stream as untrusted (checkpoints arrive
+  /// from disk): malformed input yields ErrorCode::kCorrupt with the
+  /// failing layer's message; the caller supplies the schema (it owns the
+  /// dependency set).
   void Serialize(std::ostream& os) const;
-  static std::optional<ChaseSession> Deserialize(const SchemaPtr& schema,
-                                                 std::istream& is);
+  static Result<ChaseSession> Deserialize(const SchemaPtr& schema,
+                                          std::istream& is);
 };
 
 /// Three-valued implication verdict.

@@ -98,6 +98,15 @@ JobResult RunJob(const Job& job, const DualSolverConfig& config,
                                      session);
   result.wall_seconds = timer.ElapsedSeconds();
   result.status = JobStatus::kCompleted;
+  if (dual.verdict == DualVerdict::kUnknown &&
+      dual.implication.chase.status == ChaseStatus::kCancelled) {
+    // The chase observed a cancel (the job-level flag or an injected
+    // phase-boundary cancel) and the solver stopped without a verdict:
+    // report the honest kCancelled instead of a kCompleted/kUnknown. A run
+    // that reached a real verdict before the cancel keeps it — cancellation
+    // is a request, not a rollback of finished work.
+    result.status = JobStatus::kCancelled;
+  }
   result.verdict = dual.verdict;
   result.rounds_used = dual.rounds_used;
   result.chase_steps = dual.implication.chase.steps;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
 
@@ -36,6 +38,7 @@ struct ServiceMetrics {
   Counter* skipped;
   Counter* cancelled;
   Counter* resumes;
+  Counter* shed;
   Gauge* inflight;
   Histogram* queue_wait_seconds;
   Histogram* job_seconds;
@@ -50,6 +53,7 @@ ServiceMetrics& GetServiceMetrics() {
     sm->skipped = r.GetCounter("engine.jobs_skipped");
     sm->cancelled = r.GetCounter("engine.jobs_cancelled");
     sm->resumes = r.GetCounter("engine.job_resumes");
+    sm->shed = r.GetCounter("engine.jobs_shed");
     sm->inflight = r.GetGauge("engine.jobs_inflight");
     sm->queue_wait_seconds =
         r.GetHistogram("engine.queue_wait_seconds", LatencyBuckets());
@@ -117,8 +121,10 @@ void ExecuteOnWorker(ServiceCore* core, const std::shared_ptr<JobState>& s,
                    StopWatch::Now() - s->submit_ns);
   // Scope every span the solver stack opens below under this job.
   TraceJobScope job_scope(s->trace_id);
-  if (s->cancel.load(std::memory_order_relaxed)) {
-    // Cancelled while queued: terminal without running.
+  if (s->cancel.load(std::memory_order_relaxed) ||
+      (FaultInjectionEnabled() && ShouldInject(FaultSite::kCancelQueue))) {
+    // Cancelled while queued (or a fault-injected queue-boundary cancel):
+    // terminal without running.
     r.status = JobStatus::kCancelled;
   } else if ((s->skip_when != nullptr &&
               s->skip_when->load(std::memory_order_relaxed)) ||
@@ -229,21 +235,42 @@ SolverService::~SolverService() {
   core_->pool.WaitIdle();
 }
 
-JobHandle SolverService::Submit(Job job, SubmitOptions options) {
-  const int priority = options.priority.value_or(job.priority);
+namespace {
+
+std::shared_ptr<engine_internal::JobState> MakeJobState(
+    const std::shared_ptr<engine_internal::ServiceCore>& core, Job job,
+    SubmitOptions* options, int priority) {
   auto state = std::make_shared<engine_internal::JobState>(std::move(job));
   state->priority = priority;
-  state->deadline_seconds = options.deadline_seconds;
-  state->skip_when = options.skip_when;
-  state->on_complete = std::move(options.on_complete);
-  state->core = core_;
+  state->deadline_seconds = options->deadline_seconds;
+  state->skip_when = options->skip_when;
+  state->on_complete = std::move(options->on_complete);
+  state->core = core;
   state->trace_id = NextTraceId();
-  state->slow_log_seconds = core_->options.slow_log_seconds;
-  state->slow_log_sink = core_->options.slow_log_sink;
+  state->slow_log_seconds = core->options.slow_log_seconds;
+  state->slow_log_sink = core->options.slow_log_sink;
   state->submit_timer.Reset();
   state->submit_ns = StopWatch::Now();
   GetServiceMetrics().submitted->Add(1);
-  if (!core_->Enqueue(state, priority)) {
+  return state;
+}
+
+// Load shedding: the job never runs, but its handle still terminates (as
+// kSkipped) and its callback still fires exactly once — a shed submission
+// is observationally a skip, just with its own counter so operators can
+// tell overload apart from skip_when gates.
+void ShedAsSkipped(const std::shared_ptr<engine_internal::JobState>& state) {
+  GetServiceMetrics().shed->Add(1);
+  JobResult shed;
+  shed.name = state->job.name;
+  shed.status = JobStatus::kSkipped;
+  engine_internal::PublishTerminal(state, shed);
+}
+
+void EnqueueOrSkip(const std::shared_ptr<engine_internal::ServiceCore>& core,
+                   const std::shared_ptr<engine_internal::JobState>& state,
+                   int priority) {
+  if (!core->Enqueue(state, priority)) {
     // Pool shutting down (service mid-destruction): terminal immediately.
     // The exactly-once-per-run callback contract holds on this path too —
     // streaming consumers count one callback per submission — and the skip
@@ -254,6 +281,49 @@ JobHandle SolverService::Submit(Job job, SubmitOptions options) {
     skipped.status = JobStatus::kSkipped;
     engine_internal::PublishTerminal(state, skipped);
   }
+}
+
+}  // namespace
+
+JobHandle SolverService::Submit(Job job, SubmitOptions options) {
+  const int priority = options.priority.value_or(job.priority);
+  auto state = MakeJobState(core_, std::move(job), &options, priority);
+  if (core_->AtCapacity()) {
+    ShedAsSkipped(state);
+  } else {
+    EnqueueOrSkip(core_, state, priority);
+  }
+  return JobHandle(std::move(state));
+}
+
+bool SolverService::TrySubmit(Job job, SubmitOptions options,
+                              JobHandle* handle) {
+  if (core_->AtCapacity()) return false;
+  const int priority = options.priority.value_or(job.priority);
+  auto state = MakeJobState(core_, std::move(job), &options, priority);
+  EnqueueOrSkip(core_, state, priority);
+  *handle = JobHandle(std::move(state));
+  return true;
+}
+
+JobHandle SolverService::SubmitWithRetry(Job job, SubmitOptions options,
+                                         const RetryOptions& retry) {
+  const int attempts = std::max(1, retry.max_attempts);
+  const int priority = options.priority.value_or(job.priority);
+  double backoff = std::max(0.0, retry.initial_backoff_seconds);
+  for (int attempt = 1; core_->AtCapacity(); ++attempt) {
+    if (attempt >= attempts) {
+      // Every attempt found the queue full: give up visibly rather than
+      // block the caller forever against a saturated service.
+      auto state = MakeJobState(core_, std::move(job), &options, priority);
+      ShedAsSkipped(state);
+      return JobHandle(std::move(state));
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff *= std::max(1.0, retry.multiplier);
+  }
+  auto state = MakeJobState(core_, std::move(job), &options, priority);
+  EnqueueOrSkip(core_, state, priority);
   return JobHandle(std::move(state));
 }
 

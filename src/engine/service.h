@@ -30,6 +30,7 @@
 #define TDLIB_ENGINE_SERVICE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -57,6 +58,14 @@ struct ServiceOptions {
   /// Where slow-log lines go; null = stderr. Must be thread-safe (it runs
   /// on whichever thread publishes the terminal state).
   std::function<void(const std::string&)> slow_log_sink;
+
+  /// Backpressure: when > 0, Submit sheds a job (terminal kSkipped, counted
+  /// in engine.jobs_shed) instead of enqueuing while the pool's queue
+  /// already holds this many tasks, and TrySubmit declines it. 0 = accept
+  /// everything (the historical behavior). Shedding at admission keeps an
+  /// overloaded service's queue latency bounded — a caller that must not
+  /// lose work uses TrySubmit/SubmitWithRetry and holds the job itself.
+  std::size_t max_queue_depth = 0;
 };
 
 /// Per-submission controls — what used to be batch-global.
@@ -94,6 +103,16 @@ struct SubmitOptions {
   const std::atomic<bool>* skip_when = nullptr;
 };
 
+/// Retry policy for SubmitWithRetry: attempts are spaced by an exponential
+/// backoff (initial_backoff_seconds, then *multiplier each time). The waits
+/// happen on the CALLING thread — this is the client-side answer to
+/// admission shedding, for callers that prefer latency over load loss.
+struct RetryOptions {
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.001;
+  double multiplier = 2.0;
+};
+
 namespace engine_internal {
 
 /// The shared guts: the pool plus the options. JobStates hold a weak_ptr so
@@ -105,6 +124,14 @@ struct ServiceCore : std::enable_shared_from_this<ServiceCore> {
   /// Schedules `state` on the pool at `priority`. Returns false (leaving
   /// the state untouched) iff the pool is shutting down.
   bool Enqueue(const std::shared_ptr<JobState>& state, int priority);
+
+  /// True when admission control should decline new work (max_queue_depth
+  /// set and the pool's queue already at it). Racy by design — see
+  /// ServiceOptions::max_queue_depth.
+  bool AtCapacity() const {
+    return options.max_queue_depth > 0 &&
+           pool.QueueDepth() >= options.max_queue_depth;
+  }
 
   ServiceOptions options;
   ThreadPool pool;
@@ -127,6 +154,21 @@ class SolverService {
   /// job is copied into the handle's shared state, so the caller's Job may
   /// die immediately.
   JobHandle Submit(Job job, SubmitOptions options = {});
+
+  /// Admission-checked submission: returns false — publishing NOTHING, so
+  /// the caller still owns the job and may retry — when the queue is at
+  /// ServiceOptions::max_queue_depth. On success behaves exactly like
+  /// Submit and stores the handle through `handle` (which must be non-null).
+  /// The depth check and the enqueue are not atomic; the bound is a target,
+  /// not an exact invariant, which is fine for load shedding.
+  bool TrySubmit(Job job, SubmitOptions options, JobHandle* handle);
+
+  /// TrySubmit in a backoff loop: sleeps between attempts per `retry`, and
+  /// if every attempt finds the queue full, gives up by publishing the job
+  /// as kSkipped (counted both as shed and skipped) so the returned handle
+  /// always terminates — no caller-visible difference from a skip_when skip.
+  JobHandle SubmitWithRetry(Job job, SubmitOptions options,
+                            const RetryOptions& retry);
 
   /// Blocks until every job submitted so far is terminal. The service keeps
   /// accepting submissions afterwards.

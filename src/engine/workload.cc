@@ -122,7 +122,8 @@ Result<std::vector<Job>> FileWorkload(const std::vector<std::string>& paths,
   for (const std::string& path : paths) {
     std::ifstream in(path);
     if (!in) {
-      return Result<std::vector<Job>>::Error("cannot read " + path);
+      return Result<std::vector<Job>>::Error(ErrorCode::kNotFound,
+                                             "cannot read " + path);
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
@@ -130,11 +131,13 @@ Result<std::vector<Job>> FileWorkload(const std::vector<std::string>& paths,
     Result<DependencySet> parsed =
         ParseDependencyProgram(buffer.str(), &schema);
     if (!parsed.ok()) {
-      return Result<std::vector<Job>>::Error(path + ": " + parsed.error());
+      return Result<std::vector<Job>>::Error(ErrorCode::kParseError,
+                                             path + ": " + parsed.error());
     }
     DependencySet program = std::move(parsed).value();
     if (program.items.size() < 2) {
       return Result<std::vector<Job>>::Error(
+          ErrorCode::kParseError,
           path + ": need at least two dependencies (premises, then goal)");
     }
     Dependency goal = std::move(program.items.back());
@@ -151,6 +154,7 @@ Result<std::vector<Job>> MakeWorkload(std::string_view family,
   if (family == "reduction-sweep") return ReductionSweepWorkload(options);
   if (family == "random") return RandomTdWorkload(options);
   return Result<std::vector<Job>>::Error(
+      ErrorCode::kInvalidArgument,
       "unknown workload family '" + std::string(family) + "' (expected " +
       Join(WorkloadFamilies(), " | ") + ")");
 }

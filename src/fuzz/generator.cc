@@ -1,0 +1,137 @@
+// Case generation for tdfuzz: three families, all pure in (seed, round,
+// index). The families are chosen to cover the three behavioral regimes of
+// the dual solver — quickly-terminating random questions, the structured
+// semigroup-reduction instances (whose regimes interleave implied /
+// refuted / gap), and Fig.1-style embedded pumping gadgets whose chase
+// side never terminates (the regime where budgets, checkpoints and resume
+// actually bind).
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/generators.h"
+#include "core/parser.h"
+#include "engine/workload.h"
+#include "fuzz/fuzz.h"
+#include "logic/schema.h"
+#include "util/rng.h"
+
+namespace tdlib {
+namespace {
+
+// SplitMix64 finalizer: decorrelates (seed, round, index) into an Rng seed
+// so neighboring rounds/cases share no draw stream.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t CaseSeed(std::uint64_t seed, std::uint64_t round,
+                       std::uint64_t index) {
+  return Mix(seed ^ Mix(round ^ Mix(index)));
+}
+
+// Redraws a goal until it is non-trivial (a trivial goal holds everywhere
+// and the case degenerates); bounded so a pathological generator setting
+// cannot loop forever.
+Dependency NonTrivialGoal(Rng* rng, const TdGeneratorOptions& gen,
+                          const SchemaPtr& schema) {
+  Dependency goal = RandomDependency(rng, gen, schema);
+  for (int redraw = 0; goal.IsTrivial() && redraw < 64; ++redraw) {
+    goal = RandomDependency(rng, gen, schema);
+  }
+  return goal;
+}
+
+Job RandomTdCase(std::uint64_t case_seed, std::string name,
+                 const DualSolverConfig& solver) {
+  Rng rng(case_seed);
+  TdGeneratorOptions gen;
+  gen.arity = rng.IntIn(2, 3);
+  gen.body_rows = rng.IntIn(1, 3);
+  gen.head_rows = rng.IntIn(1, 2);
+  gen.force_full = rng.Chance(1, 2);
+  DependencySet deps;
+  Dependency first = RandomDependency(&rng, gen);
+  SchemaPtr schema = first.schema_ptr();
+  deps.Add(std::move(first), "p0");
+  const int extra = rng.IntIn(1, 2);
+  for (int k = 0; k < extra; ++k) {
+    gen.force_full = rng.Chance(1, 2);
+    deps.Add(RandomDependency(&rng, gen, schema), "p" + std::to_string(k + 1));
+  }
+  gen.force_full = false;
+  Dependency goal = NonTrivialGoal(&rng, gen, schema);
+  return Job{std::move(name), std::move(deps), std::move(goal), solver, 0};
+}
+
+Job ReductionCase(std::uint64_t case_seed, std::string name,
+                  const DualSolverConfig& solver) {
+  Rng rng(case_seed);
+  // The sweep is deterministic in its size; vary the size a little and pick
+  // one job from it, so successive rounds walk different presentation
+  // shapes without re-deriving the reduction machinery here.
+  WorkloadOptions options;
+  options.size = 6 + static_cast<int>(rng.Below(6));
+  std::vector<Job> sweep = ReductionSweepWorkload(options);
+  Job picked = std::move(sweep[rng.Below(sweep.size())]);
+  picked.name = std::move(name);
+  picked.config = solver;
+  picked.priority = 0;
+  return picked;
+}
+
+Job GadgetCase(std::uint64_t case_seed, std::string name,
+               const DualSolverConfig& solver) {
+  Rng rng(case_seed);
+  // The paper's Fig.1 embedded TD: every fire invents a fresh a9, which
+  // enables the next fire — the canonical pumping gadget, and the shape
+  // where checkpoint/resume and burst capping are actually exercised.
+  SchemaPtr schema = MakeSchema({"A", "B", "C"});
+  Result<Dependency> fig1 =
+      ParseDependency(schema, "R(a,b,c) & R(a,b2,c2) => R(a9,b,c2)");
+  DependencySet deps;
+  deps.Add(std::move(fig1).value(), "fig1");
+  TdGeneratorOptions gen;
+  gen.body_rows = rng.IntIn(1, 2);
+  gen.head_rows = 1;
+  if (rng.Chance(1, 2)) {
+    gen.force_full = true;  // a full companion keeps some cases terminating
+    deps.Add(RandomDependency(&rng, gen, schema), "extra");
+  }
+  gen.force_full = false;
+  gen.body_rows = 2;
+  Dependency goal = NonTrivialGoal(&rng, gen, schema);
+  return Job{std::move(name), std::move(deps), std::move(goal), solver, 0};
+}
+
+}  // namespace
+
+std::vector<Job> GenerateFuzzCases(const FuzzOptions& options,
+                                   std::uint64_t round) {
+  std::vector<Job> cases;
+  cases.reserve(static_cast<std::size_t>(options.cases_per_round));
+  const DualSolverConfig solver = FuzzSolverConfig(options);
+  for (int i = 0; i < options.cases_per_round; ++i) {
+    const std::uint64_t case_seed =
+        CaseSeed(options.seed, round, static_cast<std::uint64_t>(i));
+    std::string name = "r" + std::to_string(round) + "/c" + std::to_string(i);
+    switch (i % 3) {
+      case 0:
+        cases.push_back(RandomTdCase(case_seed, "random/" + name, solver));
+        break;
+      case 1:
+        cases.push_back(
+            ReductionCase(case_seed, "reduction/" + name, solver));
+        break;
+      default:
+        cases.push_back(GadgetCase(case_seed, "gadget/" + name, solver));
+        break;
+    }
+  }
+  return cases;
+}
+
+}  // namespace tdlib

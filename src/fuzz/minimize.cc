@@ -1,0 +1,151 @@
+// Divergence minimization: greedy delta-debugging over the structure of a
+// diverging job. Two granularities, coarse to fine — drop whole premise
+// dependencies, then drop individual body/head rows of every remaining
+// tableau — iterated to a fixpoint. The predicate is the harness itself:
+// a removal is kept iff CheckJobAcrossAxes still reports a divergence.
+//
+// Minimization re-solves the job many times, so it only runs after a
+// divergence is found — the steady-state fuzz loop never pays for it.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dependency.h"
+#include "fuzz/fuzz.h"
+
+namespace tdlib {
+namespace {
+
+bool StillDiverges(const Job& job, const FuzzOptions& options) {
+  return !CheckJobAcrossAxes(job, options).empty();
+}
+
+// Rebuilds `dep` without body row `drop_body` / head row `drop_head`
+// (either may be -1 = keep all). Variables are compacted: only ids still
+// referenced by a surviving row are re-allocated, in ascending order per
+// attribute, preserving their names. Returns false when the reduced
+// dependency is structurally invalid (e.g. empty body) — the caller just
+// skips that removal.
+bool DropRow(const Dependency& dep, int drop_body, int drop_head,
+             Dependency* out) {
+  const Tableau& body = dep.body();
+  const Tableau& head = dep.head();
+  const int arity = dep.schema().arity();
+
+  std::vector<Row> body_rows, head_rows;
+  for (int i = 0; i < body.num_rows(); ++i) {
+    if (i != drop_body) body_rows.push_back(body.row(i));
+  }
+  for (int i = 0; i < head.num_rows(); ++i) {
+    if (i != drop_head) head_rows.push_back(head.row(i));
+  }
+  if (body_rows.empty() || head_rows.empty()) return false;
+
+  // Per-attribute old-id -> new-id map over the surviving rows.
+  std::vector<std::vector<int>> remap(static_cast<std::size_t>(arity));
+  for (int attr = 0; attr < arity; ++attr) {
+    remap[attr].assign(static_cast<std::size_t>(body.NumVars(attr)), -1);
+  }
+  Dependency::Builder builder(dep.schema_ptr());
+  auto remap_rows = [&](std::vector<Row>* rows) {
+    for (Row& row : *rows) {
+      for (int attr = 0; attr < arity; ++attr) {
+        int& v = row[static_cast<std::size_t>(attr)];
+        if (remap[attr][static_cast<std::size_t>(v)] < 0) {
+          remap[attr][static_cast<std::size_t>(v)] =
+              builder.Var(attr, body.VarName(attr, v));
+        }
+        v = remap[attr][static_cast<std::size_t>(v)];
+      }
+    }
+  };
+  remap_rows(&body_rows);
+  remap_rows(&head_rows);
+  for (Row& row : body_rows) builder.AddBodyRow(std::move(row));
+  for (Row& row : head_rows) builder.AddHeadRow(std::move(row));
+  Result<Dependency> built = std::move(builder).Build();
+  if (!built.ok()) return false;
+  *out = std::move(built).value();
+  return true;
+}
+
+// One pass of premise dropping; returns true if anything was removed.
+bool ShrinkPremises(Job* job, const FuzzOptions& options) {
+  bool shrunk = false;
+  for (std::size_t i = 0; i < job->dependencies.items.size();) {
+    Job candidate = *job;
+    candidate.dependencies.items.erase(candidate.dependencies.items.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+    if (i < candidate.dependencies.names.size()) {
+      candidate.dependencies.names.erase(
+          candidate.dependencies.names.begin() +
+          static_cast<std::ptrdiff_t>(i));
+    }
+    if (StillDiverges(candidate, options)) {
+      *job = std::move(candidate);
+      shrunk = true;  // same index now holds the next premise
+    } else {
+      ++i;
+    }
+  }
+  return shrunk;
+}
+
+// One pass of row dropping over one dependency slot (a premise index, or
+// the goal when index < 0); returns true if anything was removed.
+bool ShrinkRows(Job* job, int premise_index, const FuzzOptions& options) {
+  bool shrunk = false;
+  auto current = [&]() -> const Dependency& {
+    return premise_index < 0
+               ? job->goal
+               : job->dependencies.items[static_cast<std::size_t>(
+                     premise_index)];
+  };
+  auto try_drop = [&](int drop_body, int drop_head) {
+    Dependency reduced = current();
+    if (!DropRow(current(), drop_body, drop_head, &reduced)) return false;
+    Job candidate = *job;
+    if (premise_index < 0) {
+      candidate.goal = std::move(reduced);
+    } else {
+      candidate.dependencies.items[static_cast<std::size_t>(premise_index)] =
+          std::move(reduced);
+    }
+    if (!StillDiverges(candidate, options)) return false;
+    *job = std::move(candidate);
+    return true;
+  };
+  for (int i = 0; i < current().body().num_rows();) {
+    if (try_drop(i, -1)) {
+      shrunk = true;  // rows shifted down; retry the same index
+    } else {
+      ++i;
+    }
+  }
+  for (int i = 0; i < current().head().num_rows();) {
+    if (try_drop(-1, i)) {
+      shrunk = true;
+    } else {
+      ++i;
+    }
+  }
+  return shrunk;
+}
+
+}  // namespace
+
+Job MinimizeDivergence(const Job& job, const FuzzOptions& options) {
+  if (!StillDiverges(job, options)) return job;
+  Job minimal = job;
+  bool progressed = true;
+  while (progressed) {
+    progressed = ShrinkPremises(&minimal, options);
+    for (int i = -1;
+         i < static_cast<int>(minimal.dependencies.items.size()); ++i) {
+      progressed = ShrinkRows(&minimal, i, options) || progressed;
+    }
+  }
+  return minimal;
+}
+
+}  // namespace tdlib

@@ -143,23 +143,28 @@ void Instance::Serialize(std::ostream& os) const {
   store_.Serialize(os);
 }
 
-std::optional<Instance> Instance::Deserialize(SchemaPtr schema,
-                                              std::istream& is,
-                                              TupleLayout layout) {
+Result<Instance> Instance::Deserialize(SchemaPtr schema, std::istream& is,
+                                       TupleLayout layout) {
+  using R = Result<Instance>;
+  auto corrupt = [](const char* what) {
+    return R::Error(ErrorCode::kCorrupt, std::string("instance: ") + what);
+  };
   std::string magic;
   int arity;
-  if (!(is >> magic >> arity) || magic != kInstanceMagic ||
-      arity != schema->arity()) {
-    return std::nullopt;
-  }
+  if (!(is >> magic >> arity)) return corrupt("truncated header");
+  if (magic != kInstanceMagic) return corrupt("bad magic");
+  if (arity != schema->arity()) return corrupt("arity does not match schema");
   Instance instance(std::move(schema), layout);
   for (int attr = 0; attr < arity; ++attr) {
     std::size_t domain;
-    if (!(is >> domain)) return std::nullopt;
+    if (!(is >> domain)) return corrupt("truncated domain count");
     for (std::size_t v = 0; v < domain; ++v) {
       int null_flag;
       std::string name;
-      if (!(is >> null_flag) || !ReadString(is, &name)) return std::nullopt;
+      if (!(is >> null_flag) || null_flag < 0 || null_flag > 1 ||
+          !ReadString(is, &name)) {
+        return corrupt("malformed domain value entry");
+      }
       // AddValue appends, so restored ids are dense and identical.
       instance.AddValue(attr, std::move(name), null_flag != 0);
     }
@@ -167,20 +172,23 @@ std::optional<Instance> Instance::Deserialize(SchemaPtr schema,
   // The serialized tuple block carries no layout; read it into whatever
   // layout this instance uses (row-major checkpoints restore into columnar
   // stores and vice versa).
-  std::optional<TupleStore> store = TupleStore::Deserialize(is, layout);
-  if (!store.has_value() || store->arity() != arity) return std::nullopt;
+  Result<TupleStore> store = TupleStore::Deserialize(is, layout);
+  if (!store.ok()) return R::Error(store.code(), store.error());
+  if (store.value().arity() != arity) {
+    return corrupt("tuple block arity mismatch");
+  }
   // Route tuples through AddTuple so the inverted index (and dedup table)
   // are rebuilt; insertion in id order reproduces ids and ascending posting
   // lists exactly.
-  instance.Reserve(store->size(), 0);
-  for (std::size_t id = 0; id < store->size(); ++id) {
-    TupleRef t = (*store)[id];
+  instance.Reserve(store.value().size(), 0);
+  for (std::size_t id = 0; id < store.value().size(); ++id) {
+    TupleRef t = store.value()[id];
     for (int attr = 0; attr < arity; ++attr) {
       if (t[attr] < 0 || t[attr] >= instance.DomainSize(attr)) {
-        return std::nullopt;
+        return corrupt("tuple value outside its domain");
       }
     }
-    if (!instance.AddTuple(t)) return std::nullopt;
+    if (!instance.AddTuple(t)) return corrupt("duplicate tuple");
   }
   return instance;
 }

@@ -247,9 +247,11 @@ class Instance {
   void Serialize(std::ostream& os) const;
 
   /// Round-trips Serialize against `schema` (which must have the serialized
-  /// arity) into an instance with the requested layout. Returns std::nullopt
-  /// on malformed input.
-  static std::optional<Instance> Deserialize(
+  /// arity) into an instance with the requested layout. The stream is
+  /// untrusted: every domain size, null flag, name length and tuple value
+  /// is bounds-checked, and malformed input yields ErrorCode::kCorrupt with
+  /// a field-level message — never UB or an unchecked allocation.
+  static Result<Instance> Deserialize(
       SchemaPtr schema, std::istream& is,
       TupleLayout layout = DefaultTupleLayout());
 

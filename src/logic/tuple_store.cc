@@ -181,14 +181,20 @@ void TupleStore::Serialize(std::ostream& os) const {
   }
 }
 
-std::optional<TupleStore> TupleStore::Deserialize(std::istream& is,
-                                                  TupleLayout layout) {
+Result<TupleStore> TupleStore::Deserialize(std::istream& is,
+                                           TupleLayout layout) {
+  using R = Result<TupleStore>;
+  auto corrupt = [](const char* what) {
+    return R::Error(ErrorCode::kCorrupt, std::string("tuple store: ") + what);
+  };
   std::string magic;
   int arity;
   std::size_t count;
-  if (!(is >> magic >> arity >> count) || magic != kStoreMagic || arity < 0 ||
-      arity > (1 << 20)) {  // untrusted arity: reject before row allocation
-    return std::nullopt;
+  if (!(is >> magic >> arity >> count)) return corrupt("truncated header");
+  if (magic != kStoreMagic) return corrupt("bad magic");
+  if (arity < 0 || arity > (1 << 20)) {
+    // Untrusted arity: reject before row allocation.
+    return corrupt("arity out of range");
   }
   TupleStore store(arity, layout);
   // The count is untrusted input: pre-size only up to a sane bound (the
@@ -198,11 +204,13 @@ std::optional<TupleStore> TupleStore::Deserialize(std::istream& is,
   std::vector<std::int32_t> row(static_cast<std::size_t>(arity));
   for (std::size_t id = 0; id < count; ++id) {
     for (std::int32_t& x : row) {
-      if (!(is >> x)) return std::nullopt;
+      if (!(is >> x)) return corrupt("truncated tuple block");
     }
     auto [got_id, inserted] = store.Insert(row.data());
     // Re-insertion in id order must reproduce the original ids exactly.
-    if (!inserted || got_id != static_cast<int>(id)) return std::nullopt;
+    if (!inserted || got_id != static_cast<int>(id)) {
+      return corrupt("duplicate row breaks id assignment");
+    }
   }
   return store;
 }

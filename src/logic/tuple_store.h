@@ -46,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace tdlib {
 
 // Domain values are plain `int` throughout tdlib; the arena stores them as
@@ -176,10 +178,12 @@ class TupleStore {
   /// ids, not refs) resume against a restored instance byte for byte.
   void Serialize(std::ostream& os) const;
 
-  /// Round-trips Serialize into a store with the requested layout. Returns
-  /// std::nullopt on malformed input or a duplicate row (a serialized store
-  /// is dedup-consistent by construction).
-  static std::optional<TupleStore> Deserialize(
+  /// Round-trips Serialize into a store with the requested layout. The
+  /// stream is untrusted: arity and count are bounds-checked before any
+  /// allocation, and malformed input — bad magic, truncation, a duplicate
+  /// row (a serialized store is dedup-consistent by construction) — yields
+  /// ErrorCode::kCorrupt with a field-level message.
+  static Result<TupleStore> Deserialize(
       std::istream& is, TupleLayout layout = DefaultTupleLayout());
 
  private:

@@ -5,9 +5,36 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace tdlib {
+
+/// Machine-readable failure class. The message says what went wrong; the
+/// code says what KIND of wrong, so callers (tdbatch's exit codes, the fuzz
+/// harness's corrupt-input checks) can branch without parsing prose.
+enum class ErrorCode {
+  kUnknown = 0,      ///< unclassified (legacy Error(string) callers)
+  kInvalidArgument,  ///< bad parameter or flag value
+  kNotFound,         ///< missing/unreadable file or named entity
+  kParseError,       ///< malformed source text (TD programs)
+  kCorrupt,          ///< malformed serialized state (stores, checkpoints)
+  kResourceExhausted,///< a budget, queue bound or allocation gave out
+  kUnavailable,      ///< the target exists but cannot serve right now
+};
+
+inline std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kParseError: return "parse-error";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
 
 /// Either a value or an error message. tdlib avoids exceptions (matching the
 /// style of the database codebases this library is modeled on); fallible
@@ -20,13 +47,22 @@ class Result {
 
   /// Named constructor for errors.
   static Result Error(std::string message) {
+    return Error(ErrorCode::kUnknown, std::move(message));
+  }
+
+  /// Typed-error constructor.
+  static Result Error(ErrorCode code, std::string message) {
     Result r;
+    r.code_ = code;
     r.error_ = std::move(message);
     return r;
   }
 
   bool ok() const { return value_.has_value(); }
   const std::string& error() const { return error_; }
+
+  /// kUnknown on success or for untyped errors.
+  ErrorCode code() const { return code_; }
 
   const T& value() const& {
     assert(ok());
@@ -45,6 +81,7 @@ class Result {
   Result() = default;
   std::optional<T> value_;
   std::string error_;
+  ErrorCode code_ = ErrorCode::kUnknown;
 };
 
 }  // namespace tdlib

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/fault.h"
+
 namespace tdlib {
 
 /// Nanosecond-tick stopwatch on the steady clock. The single timing
@@ -85,6 +87,12 @@ class Deadline {
   explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
 
   bool Expired() const {
+    // FaultSite::kDeadline forces expiry mid-search — even on a deadline-
+    // free run — so the kTimeout paths are testable without wall-clock
+    // races. Off (the default), the gate is one relaxed load.
+    if (FaultInjectionEnabled() && ShouldInject(FaultSite::kDeadline)) {
+      return true;
+    }
     return budget_ > 0 && timer_.ElapsedSeconds() >= budget_;
   }
 

@@ -32,23 +32,27 @@ TEST(TupleStoreSerialize, RoundTripReproducesIdsAndInvariants) {
   store.Serialize(out);
 
   std::istringstream in(out.str());
-  std::optional<TupleStore> restored = TupleStore::Deserialize(in);
-  ASSERT_TRUE(restored.has_value());
-  EXPECT_EQ(restored->size(), store.size());
-  EXPECT_EQ(restored->arity(), store.arity());
-  EXPECT_EQ(restored->CheckInvariants(), "");
+  Result<TupleStore> restored = TupleStore::Deserialize(in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), store.size());
+  EXPECT_EQ(restored.value().arity(), store.arity());
+  EXPECT_EQ(restored.value().CheckInvariants(), "");
   for (std::size_t id = 0; id < store.size(); ++id) {
-    EXPECT_EQ((*restored)[id], store[id]) << id;
+    EXPECT_EQ(restored.value()[id], store[id]) << id;
   }
   // Find must agree, i.e. the dedup table was rebuilt correctly.
-  EXPECT_EQ(restored->Find(rows[2]), 2);
+  EXPECT_EQ(restored.value().Find(rows[2]), 2);
 }
 
 TEST(TupleStoreSerialize, RejectsGarbage) {
   std::istringstream bad("not-a-store 2 1\n0 0");
-  EXPECT_FALSE(TupleStore::Deserialize(bad).has_value());
+  Result<TupleStore> bad_result = TupleStore::Deserialize(bad);
+  EXPECT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.code(), ErrorCode::kCorrupt);
   std::istringstream truncated("tdstore1 2 3\n0 0\n");
-  EXPECT_FALSE(TupleStore::Deserialize(truncated).has_value());
+  Result<TupleStore> truncated_result = TupleStore::Deserialize(truncated);
+  EXPECT_FALSE(truncated_result.ok());
+  EXPECT_EQ(truncated_result.code(), ErrorCode::kCorrupt);
 }
 
 TEST(InstanceSerialize, RoundTripPreservesDomainsNullsAndIndex) {
@@ -65,18 +69,18 @@ TEST(InstanceSerialize, RoundTripPreservesDomainsNullsAndIndex) {
   std::ostringstream out;
   instance.Serialize(out);
   std::istringstream in(out.str());
-  std::optional<Instance> restored = Instance::Deserialize(schema, in);
-  ASSERT_TRUE(restored.has_value());
-  EXPECT_EQ(restored->CheckInvariants(), "");
-  EXPECT_EQ(restored->ToString(), instance.ToString());
-  EXPECT_EQ(restored->NumTuples(), instance.NumTuples());
-  EXPECT_EQ(restored->ValueName(0, 0), "alice smith");
-  EXPECT_EQ(restored->ValueName(1, 0), "x:1");
-  EXPECT_TRUE(restored->IsLabeledNull(0, 1));
-  EXPECT_FALSE(restored->IsLabeledNull(0, 0));
-  EXPECT_EQ(restored->TuplesWith(0, 0).ToVector(),
+  Result<Instance> restored = Instance::Deserialize(schema, in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().CheckInvariants(), "");
+  EXPECT_EQ(restored.value().ToString(), instance.ToString());
+  EXPECT_EQ(restored.value().NumTuples(), instance.NumTuples());
+  EXPECT_EQ(restored.value().ValueName(0, 0), "alice smith");
+  EXPECT_EQ(restored.value().ValueName(1, 0), "x:1");
+  EXPECT_TRUE(restored.value().IsLabeledNull(0, 1));
+  EXPECT_FALSE(restored.value().IsLabeledNull(0, 0));
+  EXPECT_EQ(restored.value().TuplesWith(0, 0).ToVector(),
             instance.TuplesWith(0, 0).ToVector());
-  EXPECT_EQ(restored->FindTuple({0, 1}), instance.FindTuple({0, 1}));
+  EXPECT_EQ(restored.value().FindTuple({0, 1}), instance.FindTuple({0, 1}));
 }
 
 TEST(InstanceSerialize, RejectsSchemaMismatch) {
@@ -89,7 +93,9 @@ TEST(InstanceSerialize, RejectsSchemaMismatch) {
   instance.Serialize(out);
   SchemaPtr abc = MakeSchema({"A", "B", "C"});
   std::istringstream in(out.str());
-  EXPECT_FALSE(Instance::Deserialize(abc, in).has_value());
+  Result<Instance> mismatched = Instance::Deserialize(abc, in);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.code(), ErrorCode::kCorrupt);
 }
 
 // ---- Chase checkpoint: capture and resume ----------------------------------
@@ -167,25 +173,25 @@ void CheckResumeParity(const DependencySet& deps, const Instance& seed,
   interrupted.Serialize(out);
   checkpoint.Serialize(out);
   std::istringstream in(out.str());
-  std::optional<Instance> restored_instance =
+  Result<Instance> restored_instance =
       Instance::Deserialize(seed.schema_ptr(), in);
-  ASSERT_TRUE(restored_instance.has_value());
-  std::optional<ChaseCheckpoint> restored_checkpoint =
+  ASSERT_TRUE(restored_instance.ok());
+  Result<ChaseCheckpoint> restored_checkpoint =
       ChaseCheckpoint::Deserialize(in);
-  ASSERT_TRUE(restored_checkpoint.has_value());
-  ASSERT_TRUE(restored_checkpoint->valid);
+  ASSERT_TRUE(restored_checkpoint.ok());
+  ASSERT_TRUE(restored_checkpoint.value().valid);
 
   // ...then continued, in memory and from the restored copy.
   ChaseResult resumed = RunChase(&interrupted, deps, big_config, {},
                                  &checkpoint);
-  ChaseResult restored_resumed = RunChase(&*restored_instance, deps,
+  ChaseResult restored_resumed = RunChase(&restored_instance.value(), deps,
                                           big_config, {},
-                                          &*restored_checkpoint);
+                                          &restored_checkpoint.value());
 
   ExpectSameResult(resumed, reference_result);
   ExpectSameResult(restored_resumed, reference_result);
   EXPECT_EQ(interrupted.ToString(), reference.ToString());
-  EXPECT_EQ(restored_instance->ToString(), reference.ToString());
+  EXPECT_EQ(restored_instance.value().ToString(), reference.ToString());
 }
 
 TEST(ChaseCheckpoint, ResumeParityOnThePumpingReduction) {
@@ -263,29 +269,29 @@ TEST(ChaseCheckpoint, RestoreIsLayoutIndependent) {
   interrupted.Serialize(out);
   checkpoint.Serialize(out);
   std::istringstream in(out.str());
-  std::optional<Instance> columnar = Instance::Deserialize(
+  Result<Instance> columnar = Instance::Deserialize(
       seed.schema_ptr(), in, TupleLayout::kColumnar);
-  ASSERT_TRUE(columnar.has_value());
-  ASSERT_EQ(columnar->layout(), TupleLayout::kColumnar);
-  EXPECT_EQ(columnar->CheckInvariants(), "");
+  ASSERT_TRUE(columnar.ok());
+  ASSERT_EQ(columnar.value().layout(), TupleLayout::kColumnar);
+  EXPECT_EQ(columnar.value().CheckInvariants(), "");
   // The restored columnar instance is indistinguishable from the row-major
   // original: same rendering, same serialized bytes.
-  EXPECT_EQ(columnar->ToString(), interrupted.ToString());
+  EXPECT_EQ(columnar.value().ToString(), interrupted.ToString());
   std::ostringstream columnar_bytes;
-  columnar->Serialize(columnar_bytes);
+  columnar.value().Serialize(columnar_bytes);
   std::ostringstream row_major_bytes;
   interrupted.Serialize(row_major_bytes);
   EXPECT_EQ(columnar_bytes.str(), row_major_bytes.str());
 
-  std::optional<ChaseCheckpoint> restored_checkpoint =
+  Result<ChaseCheckpoint> restored_checkpoint =
       ChaseCheckpoint::Deserialize(in);
-  ASSERT_TRUE(restored_checkpoint.has_value());
-  ASSERT_TRUE(restored_checkpoint->ResumableWith(big_config, *columnar,
-                                                 pumping.deps));
-  ChaseResult resumed = RunChase(&*columnar, pumping.deps, big_config, {},
-                                 &*restored_checkpoint);
+  ASSERT_TRUE(restored_checkpoint.ok());
+  ASSERT_TRUE(restored_checkpoint.value().ResumableWith(
+      big_config, columnar.value(), pumping.deps));
+  ChaseResult resumed = RunChase(&columnar.value(), pumping.deps, big_config,
+                                 {}, &restored_checkpoint.value());
   ExpectSameResult(resumed, reference_result);
-  EXPECT_EQ(columnar->ToString(), reference.ToString());
+  EXPECT_EQ(columnar.value().ToString(), reference.ToString());
 }
 
 TEST(ChaseCheckpoint, AutoBurstAndSliceShapeGuardRefusesResume) {
@@ -364,15 +370,15 @@ TEST(ChaseCheckpoint, RejectsCorruptCountsWithoutCrashing) {
   std::istringstream huge_pending(
       "tdckpt2 1\n0 0 0\n0 0 0 0 0 0\n1 0 0 0 1 0 1 0\n"
       "18446744073709551615\n");
-  EXPECT_FALSE(ChaseCheckpoint::Deserialize(huge_pending).has_value());
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize(huge_pending).ok());
   // Old-format checkpoints (tdckpt1) predate the match-strategy shape
   // fields; they must be rejected, never resumed under a guessed shape.
   std::istringstream old_format("tdckpt1 1\n0 0\n0 0 0 0 0\n1 0 0 1 0\n0\n0\n");
-  EXPECT_FALSE(ChaseCheckpoint::Deserialize(old_format).has_value());
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize(old_format).ok());
   std::istringstream huge_store("tdstore1 2 18446744073709551615\n0 0\n");
-  EXPECT_FALSE(TupleStore::Deserialize(huge_store).has_value());
+  EXPECT_FALSE(TupleStore::Deserialize(huge_store).ok());
   std::istringstream huge_arity("tdstore1 2147483647 1\n");
-  EXPECT_FALSE(TupleStore::Deserialize(huge_arity).has_value());
+  EXPECT_FALSE(TupleStore::Deserialize(huge_arity).ok());
 }
 
 TEST(ChaseCheckpoint, SerializeRoundTripsTheInvalidCheckpoint) {
@@ -380,11 +386,13 @@ TEST(ChaseCheckpoint, SerializeRoundTripsTheInvalidCheckpoint) {
   std::ostringstream out;
   empty.Serialize(out);
   std::istringstream in(out.str());
-  std::optional<ChaseCheckpoint> restored = ChaseCheckpoint::Deserialize(in);
-  ASSERT_TRUE(restored.has_value());
-  EXPECT_FALSE(restored->valid);
+  Result<ChaseCheckpoint> restored = ChaseCheckpoint::Deserialize(in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored.value().valid);
   std::istringstream bad("wrong-magic 1");
-  EXPECT_FALSE(ChaseCheckpoint::Deserialize(bad).has_value());
+  Result<ChaseCheckpoint> bad_result = ChaseCheckpoint::Deserialize(bad);
+  EXPECT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.code(), ErrorCode::kCorrupt);
 }
 
 // ---- ChaseSession through the implication / dual-solver layers -------------
@@ -423,14 +431,15 @@ void CheckSessionParity(const std::vector<Job>& jobs, std::uint64_t small,
     std::ostringstream out;
     session.Serialize(out);
     std::istringstream in(out.str());
-    std::optional<ChaseSession> restored =
+    Result<ChaseSession> restored =
         ChaseSession::Deserialize(job.goal.schema_ptr(), in);
-    ASSERT_TRUE(restored.has_value()) << job.name;
+    ASSERT_TRUE(restored.ok()) << job.name;
 
     ImplicationResult resumed =
         ChaseImplies(job.dependencies, job.goal, big_config, &session);
     ImplicationResult restored_resumed =
-        ChaseImplies(job.dependencies, job.goal, big_config, &*restored);
+        ChaseImplies(job.dependencies, job.goal, big_config,
+                     &restored.value());
 
     EXPECT_EQ(resumed.verdict, reference.verdict) << job.name;
     EXPECT_EQ(restored_resumed.verdict, reference.verdict) << job.name;

@@ -1,0 +1,318 @@
+// Tests for the fault-injection plane (util/fault.h) and the graceful
+// degradation it forces: every injected fault must surface as a typed
+// error, a parked checkpoint, or a kSkipped/kCancelled result — never a
+// crash, a hang, or a double-published outcome.
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chase/chase.h"
+#include "engine/service.h"
+#include "reduction/reduction.h"
+#include "semigroup/normalizer.h"
+#include "semigroup/presentation.h"
+#include "util/metrics.h"
+
+namespace tdlib {
+namespace {
+
+// Every test starts and ends with a clean plane: armed faults are
+// process-wide state and must not leak across tests (or into other suites
+// in the same binary).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAllFaults(); }
+  void TearDown() override { DisarmAllFaults(); }
+};
+
+// A (deps, goal) pair whose chase PUMPS FOREVER under unlimited budgets:
+// the equation "A A0 = A0" puts A0 on an equation's right-hand side, so the
+// reduction's expansion gadget applies to the goal's own frozen triangle
+// and every fire feeds the next (same construction as service_test.cc).
+// This is the regime where budgets actually bind — and therefore where the
+// injection sites sit on the executed path.
+Job PumpingJob(const std::string& name) {
+  Presentation p;
+  p.AddSymbol("A");
+  p.AddEquationFromText("A A0 = A0");
+  p.AddAbsorptionEquations();
+  NormalizationResult norm = NormalizeTo21(p);
+  Result<GurevichLewisReduction> red =
+      GurevichLewisReduction::Create(norm.normalized);
+  EXPECT_TRUE(red.ok());
+  DualSolverConfig config;
+  config.rounds = 1;
+  config.base_chase.max_steps = 0;    // unlimited
+  config.base_chase.max_tuples = 0;   // unlimited
+  config.base_counterexample.max_tuples = 0;
+  return Job{name, red.value().dependencies(), red.value().goal(), config, 0};
+}
+
+ChaseConfig BoundedConfig(std::uint64_t max_steps) {
+  ChaseConfig config;
+  config.max_steps = max_steps;
+  config.record_trace = true;
+  return config;
+}
+
+std::string InstanceBytes(const Instance& instance) {
+  std::ostringstream oss;
+  instance.Serialize(oss);
+  return oss.str();
+}
+
+// ---- Allocation failure -> parked checkpoint ------------------------------
+
+TEST_F(FaultTest, ChaseAllocFailureParksResumableCheckpoint) {
+  Job job = PumpingJob("alloc");
+  const DependencySet& deps = job.dependencies;
+
+  // Reference: one uninterrupted run to the step budget.
+  Instance uninterrupted = job.goal.body().Freeze();
+  ChaseCheckpoint reference_checkpoint;
+  ChaseResult reference = RunChase(&uninterrupted, deps, BoundedConfig(40),
+                                   {}, &reference_checkpoint);
+  ASSERT_EQ(reference.status, ChaseStatus::kStepLimit);
+
+  // Injected run: the 10th between-fires allocation check fails.
+  Instance injected = job.goal.body().Freeze();
+  ChaseCheckpoint checkpoint;
+  ArmFault(FaultSite::kChaseAlloc, 10);
+  ChaseResult stopped =
+      RunChase(&injected, deps, BoundedConfig(40), {}, &checkpoint);
+  EXPECT_EQ(stopped.status, ChaseStatus::kResourceExhausted);
+  EXPECT_TRUE(checkpoint.valid);
+  EXPECT_LT(stopped.steps, reference.steps);
+  EXPECT_EQ(FaultInjectionCount(FaultSite::kChaseAlloc), 1u);
+
+  // Resuming the parked checkpoint replays the uninterrupted run byte for
+  // byte: same status, same cumulative counters, same instance.
+  DisarmAllFaults();
+  ASSERT_TRUE(checkpoint.ResumableWith(BoundedConfig(40), injected, deps));
+  ChaseResult resumed =
+      RunChase(&injected, deps, BoundedConfig(40), {}, &checkpoint);
+  EXPECT_EQ(resumed.status, reference.status);
+  EXPECT_EQ(resumed.steps, reference.steps);
+  EXPECT_EQ(resumed.passes, reference.passes);
+  EXPECT_EQ(resumed.hom_nodes, reference.hom_nodes);
+  EXPECT_EQ(resumed.trace.size(), reference.trace.size());
+  EXPECT_EQ(InstanceBytes(injected), InstanceBytes(uninterrupted));
+}
+
+// ---- Cancellation at every phase boundary ---------------------------------
+
+TEST_F(FaultTest, CancelAtMatchBoundaryStopsWithoutCheckpoint) {
+  Job job = PumpingJob("chase");
+  const DependencySet& deps = job.dependencies;
+  Instance instance = job.goal.body().Freeze();
+  ChaseCheckpoint checkpoint;
+  ArmFaultAlways(FaultSite::kCancelMatch);
+  ChaseResult result =
+      RunChase(&instance, deps, BoundedConfig(40), {}, &checkpoint);
+  EXPECT_EQ(result.status, ChaseStatus::kCancelled);
+  EXPECT_FALSE(checkpoint.valid);
+}
+
+TEST_F(FaultTest, CancelBetweenFiresStopsWithoutCheckpoint) {
+  Job job = PumpingJob("chase");
+  const DependencySet& deps = job.dependencies;
+  Instance instance = job.goal.body().Freeze();
+  ChaseCheckpoint checkpoint;
+  ArmFault(FaultSite::kCancelFire, 5);
+  ChaseResult result =
+      RunChase(&instance, deps, BoundedConfig(40), {}, &checkpoint);
+  EXPECT_EQ(result.status, ChaseStatus::kCancelled);
+  EXPECT_FALSE(checkpoint.valid);
+}
+
+TEST_F(FaultTest, CancelRacingTheCheckpointCaptureWins) {
+  Job job = PumpingJob("chase");
+  const DependencySet& deps = job.dependencies;
+  Instance instance = job.goal.body().Freeze();
+  ChaseCheckpoint checkpoint;
+  // The budget stop at max_steps wants to park a checkpoint; the injected
+  // cancel must win and suppress it.
+  ArmFaultAlways(FaultSite::kCancelCheckpoint);
+  ChaseResult result =
+      RunChase(&instance, deps, BoundedConfig(10), {}, &checkpoint);
+  EXPECT_EQ(result.status, ChaseStatus::kCancelled);
+  EXPECT_FALSE(checkpoint.valid);
+}
+
+TEST_F(FaultTest, CancelAtResumeEntryPreservesTheCheckpoint) {
+  Job job = PumpingJob("chase");
+  const DependencySet& deps = job.dependencies;
+  Instance instance = job.goal.body().Freeze();
+  ChaseCheckpoint checkpoint;
+  ChaseResult parked =
+      RunChase(&instance, deps, BoundedConfig(10), {}, &checkpoint);
+  ASSERT_EQ(parked.status, ChaseStatus::kStepLimit);
+  ASSERT_TRUE(checkpoint.valid);
+
+  // An ill-timed cancel at resume entry reports kCancelled but must NOT
+  // consume the parked state.
+  ArmFaultAlways(FaultSite::kCancelResume);
+  ChaseResult cancelled =
+      RunChase(&instance, deps, BoundedConfig(40), {}, &checkpoint);
+  EXPECT_EQ(cancelled.status, ChaseStatus::kCancelled);
+  EXPECT_TRUE(checkpoint.valid);
+
+  // The next attempt continues exactly where the park left off.
+  DisarmAllFaults();
+  ChaseResult resumed =
+      RunChase(&instance, deps, BoundedConfig(40), {}, &checkpoint);
+  EXPECT_EQ(resumed.status, ChaseStatus::kStepLimit);
+  EXPECT_EQ(resumed.steps, 40u);
+}
+
+TEST_F(FaultTest, CancelAtQueuePickupYieldsExactlyOneTerminalOutcome) {
+  ArmFaultAlways(FaultSite::kCancelQueue);
+  ServiceOptions options;
+  options.num_threads = 1;
+  SolverService service(options);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(service.Submit(PumpingJob("q" + std::to_string(i))));
+  }
+  for (const JobHandle& handle : handles) {
+    JobResult first = handle.Wait();
+    EXPECT_EQ(first.status, JobStatus::kCancelled);
+    // Terminal means terminal: a second Wait observes the same outcome.
+    JobResult second = handle.Wait();
+    EXPECT_EQ(second.status, JobStatus::kCancelled);
+    EXPECT_EQ(second.DeterministicSummary(), first.DeterministicSummary());
+  }
+}
+
+// ---- Forced deadline expiry -----------------------------------------------
+
+TEST_F(FaultTest, DeadlineFaultForcesTimeoutWithoutWallClockRaces) {
+  Job job = PumpingJob("chase");
+  const DependencySet& deps = job.dependencies;
+  Instance instance = job.goal.body().Freeze();
+  ChaseConfig config = BoundedConfig(1000);
+  config.deadline_seconds = 3600;  // would never expire on its own
+  ArmFaultAlways(FaultSite::kDeadline);
+  ChaseResult result = RunChase(&instance, deps, config);
+  EXPECT_EQ(result.status, ChaseStatus::kTimeout);
+}
+
+// ---- Service backpressure -------------------------------------------------
+
+TEST_F(FaultTest, BoundedQueueShedsOverflowAsSkipped) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1;
+  SolverService service(options);
+
+  // One job running, one queued; everything beyond that must shed.
+  JobHandle running = service.Submit(PumpingJob("running"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  JobHandle queued = service.Submit(PumpingJob("queued"));
+  JobHandle shed = service.Submit(PumpingJob("shed"));
+  JobResult shed_result = shed.Wait();  // terminal immediately, no worker
+  EXPECT_EQ(shed_result.status, JobStatus::kSkipped);
+
+  running.Cancel();
+  queued.Cancel();
+  running.Wait();
+  queued.Wait();
+}
+
+TEST_F(FaultTest, TrySubmitRefusesAtCapacityWithoutPublishing) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1;
+  SolverService service(options);
+
+  JobHandle running = service.Submit(PumpingJob("running"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  JobHandle queued = service.Submit(PumpingJob("queued"));
+
+  JobHandle refused;
+  EXPECT_FALSE(service.TrySubmit(PumpingJob("refused"), {}, &refused));
+
+  running.Cancel();
+  queued.Cancel();
+  running.Wait();
+  queued.Wait();
+
+  // Once the stale queue entry drains (cancelling a queued job publishes
+  // its terminal state immediately, but the pool task evaporates only at
+  // dequeue), TrySubmit admits again.
+  JobHandle admitted;
+  bool readmitted = false;
+  for (int i = 0; i < 100 && !readmitted; ++i) {
+    readmitted = service.TrySubmit(PumpingJob("admitted"), {}, &admitted);
+    if (!readmitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(readmitted);
+  admitted.Cancel();
+  EXPECT_EQ(admitted.Wait().status, JobStatus::kCancelled);
+}
+
+TEST_F(FaultTest, SubmitWithRetryShedsAfterExhaustingAttempts) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1;
+  SolverService service(options);
+
+  JobHandle running = service.Submit(PumpingJob("running"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  JobHandle queued = service.Submit(PumpingJob("queued"));
+
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_seconds = 0.001;
+  JobHandle retried = service.SubmitWithRetry(PumpingJob("retried"), {}, retry);
+  EXPECT_EQ(retried.Wait().status, JobStatus::kSkipped);
+
+  running.Cancel();
+  queued.Cancel();
+  running.Wait();
+  queued.Wait();
+}
+
+// ---- Observability --------------------------------------------------------
+
+TEST_F(FaultTest, InjectionCountersAppearInMetrics) {
+  SetMetricsEnabled(true);
+  ArmFaultAlways(FaultSite::kDeadline);
+  Job job = PumpingJob("chase");
+  const DependencySet& deps = job.dependencies;
+  Instance instance = job.goal.body().Freeze();
+  ChaseConfig config = BoundedConfig(100);
+  config.deadline_seconds = 3600;
+  RunChase(&instance, deps, config);
+  SetMetricsEnabled(false);
+
+  EXPECT_GE(FaultInjectionCount(FaultSite::kDeadline), 1u);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  auto it = snapshot.counters.find("fault.injected.deadline");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_GE(it->second, 1);
+}
+
+// ---- Spec parsing ---------------------------------------------------------
+
+TEST_F(FaultTest, SpecStringArmsSitesAndRejectsGarbage) {
+  std::string error;
+  EXPECT_TRUE(ArmFaultsFromSpec("chase-alloc:3,deadline", &error)) << error;
+  EXPECT_TRUE(FaultInjectionEnabled());
+  DisarmAllFaults();
+
+  EXPECT_FALSE(ArmFaultsFromSpec("no-such-site", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ArmFaultsFromSpec("chase-alloc:zero", &error));
+}
+
+}  // namespace
+}  // namespace tdlib

@@ -451,17 +451,18 @@ TEST(MetricsResumeParity, ResumedChaseStaysByteIdenticalWithMetricsOn) {
   interrupted.Serialize(out);
   checkpoint.Serialize(out);
   std::istringstream in(out.str());
-  std::optional<Instance> restored =
+  Result<Instance> restored =
       Instance::Deserialize(seed.schema_ptr(), in);
-  ASSERT_TRUE(restored.has_value());
-  std::optional<ChaseCheckpoint> restored_checkpoint =
+  ASSERT_TRUE(restored.ok());
+  Result<ChaseCheckpoint> restored_checkpoint =
       ChaseCheckpoint::Deserialize(in);
-  ASSERT_TRUE(restored_checkpoint.has_value());
-  ASSERT_TRUE(restored_checkpoint->ResumableWith(big, *restored, deps));
+  ASSERT_TRUE(restored_checkpoint.ok());
+  ASSERT_TRUE(restored_checkpoint.value().ResumableWith(
+      big, restored.value(), deps));
 
-  ChaseResult resumed =
-      RunChase(&*restored, deps, big, {}, &*restored_checkpoint);
-  EXPECT_EQ(restored->ToString(), reference.instance_text);
+  ChaseResult resumed = RunChase(&restored.value(), deps, big, {},
+                                 &restored_checkpoint.value());
+  EXPECT_EQ(restored.value().ToString(), reference.instance_text);
   EXPECT_EQ(resumed.status, reference.result.status);
   EXPECT_EQ(resumed.steps, reference.result.steps);
   EXPECT_EQ(resumed.passes, reference.result.passes);

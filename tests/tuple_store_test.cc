@@ -327,16 +327,16 @@ TEST(ColumnarStoreTest, SerializeIsLayoutBlindBothWays) {
   EXPECT_EQ(rm_out.str(), soa_out.str());
 
   std::istringstream in(rm_out.str());
-  std::optional<TupleStore> restored =
+  Result<TupleStore> restored =
       TupleStore::Deserialize(in, TupleLayout::kColumnar);
-  ASSERT_TRUE(restored.has_value());
-  EXPECT_EQ(restored->layout(), TupleLayout::kColumnar);
-  EXPECT_EQ(restored->CheckInvariants(), "");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().layout(), TupleLayout::kColumnar);
+  EXPECT_EQ(restored.value().CheckInvariants(), "");
   for (std::size_t id = 0; id < row_major.size(); ++id) {
-    EXPECT_EQ((*restored)[id], row_major[id]) << id;
+    EXPECT_EQ(restored.value()[id], row_major[id]) << id;
   }
   std::ostringstream round;
-  restored->Serialize(round);
+  restored.value().Serialize(round);
   EXPECT_EQ(round.str(), rm_out.str());
 }
 
