@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and leaves machine-readable perf records
 # (BENCH_engine.json, BENCH_chase.json, BENCH_chase_parallel.json,
-# BENCH_service.json, BENCH_layout.json, BENCH_layout_hom.json) so
-# successive PRs accumulate a throughput trajectory.
+# BENCH_service.json, BENCH_layout.json, BENCH_layout_hom.json,
+# BENCH_cache.json) so successive PRs accumulate a throughput trajectory.
 #
 #   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json] \
 #                           [chase-parallel-out.json] [service-out.json] \
-#                           [layout-out.json] [layout-hom-out.json]
+#                           [layout-out.json] [layout-hom-out.json] \
+#                           [cache-out.json]
 #
 # The build dir must already contain bench/bench_batch_engine,
 # bench/bench_chase, bench/bench_homomorphism and bench/bench_service
@@ -20,6 +21,7 @@ CHASE_PARALLEL_OUT="${4:-BENCH_chase_parallel.json}"
 SERVICE_OUT="${5:-BENCH_service.json}"
 LAYOUT_OUT="${6:-BENCH_layout.json}"
 LAYOUT_HOM_OUT="${7:-BENCH_layout_hom.json}"
+CACHE_OUT="${8:-BENCH_cache.json}"
 
 # Stamps a bench JSON with provenance metadata (git sha, UTC date, host
 # thread count) under a "tdlib_meta" key, so the BENCH_* trajectory stays
@@ -87,6 +89,9 @@ run_bench "$BUILD_DIR/bench/bench_homomorphism" "$LAYOUT_HOM_OUT" \
 # The service API record: submit-to-complete latency percentiles at pool
 # widths 1/2/4/8, plus the escalation-resume wall-time series.
 run_bench "$BUILD_DIR/bench/bench_service" "$SERVICE_OUT"
+# The result-cache record: raw LRU probe cost and the cold-vs-warm sweep
+# (acceptance target: warm >= 10x cold, byte-identical to serial).
+run_bench "$BUILD_DIR/bench/bench_cache" "$CACHE_OUT"
 
 # Console recap of the headline series. Best-effort without python3, but
 # when python3 exists the parallel parity check at the bottom is a hard
@@ -97,7 +102,7 @@ if ! command -v python3 > /dev/null; then
   exit 0
 fi
 python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" "$SERVICE_OUT" \
-  "$LAYOUT_OUT" "$LAYOUT_HOM_OUT" <<'EOF'
+  "$LAYOUT_OUT" "$LAYOUT_HOM_OUT" "$CACHE_OUT" <<'EOF'
 import json, sys
 
 data = json.load(open(sys.argv[1]))
@@ -183,6 +188,33 @@ for (family, key), runs in sorted(groups.items()):
                       f"{b.get(field)}")
 if not ok:
     sys.exit(1)
+
+# Cache recap: warm-vs-cold sweep throughput. Byte-identity of every
+# cache-served sweep is the HARD check (identical_to_serial straight from
+# the bench, which compares against RunSerial); the 10x warm speedup target
+# prints a WARN when missed but does not gate (single-repetition wall times
+# on a shared box are too noisy for a hard perf gate).
+cache = json.load(open(sys.argv[7]))
+sweep_modes = {}
+for b in cache.get("benchmarks", []):
+    if b["name"].split("/")[0] == "BM_CacheWarmSweep":
+        sweep_modes[int(b.get("warm", 0))] = b
+if 0 in sweep_modes and 1 in sweep_modes:
+    cold, warm = sweep_modes[0], sweep_modes[1]
+    cache_ok = True
+    for b in (cold, warm):
+        if int(b.get("identical_to_serial", 0)) != 1:
+            cache_ok = False
+            print(f"  PARITY VIOLATION BM_CacheWarmSweep warm="
+                  f"{int(b.get('warm', 0))}: not byte-identical to serial")
+    speedup = warm["jobs_per_sec"] / cold["jobs_per_sec"] \
+        if cold.get("jobs_per_sec") else 0.0
+    flag = "" if speedup >= 10.0 else "  WARN: below 10x target"
+    print(f"cache warm sweep: cold {cold['jobs_per_sec']:.1f} -> warm "
+          f"{warm['jobs_per_sec']:.1f} jobs/s ({speedup:.1f}x, "
+          f"fp {warm.get('fp_us_per_job', 0):.0f}us/job){flag}")
+    if not cache_ok:
+        sys.exit(1)
 
 # Layout recap: per family, wall time across the {soa, intersect, simd}
 # combos, plus a HARD parity check — fired_steps and hom_nodes must be

@@ -51,8 +51,22 @@
 //                     instead of resuming the previous round's checkpoint
 //                     (ablation baseline; results are byte-identical, the
 //                     chase just re-derives every round's prefix)
+//   --cache[=BYTES]   canonical-form result cache for the service mode,
+//                     with an optional byte budget (default on, 64 MiB):
+//                     jobs identical up to variable/attribute renaming are
+//                     solved once and served byte-identically thereafter,
+//                     and concurrent isomorphic submissions coalesce onto
+//                     one chase. The summary table/CSV gain a "cache"
+//                     column (miss/hit/coalesced) and a hit/miss stats line
+//   --no-cache        ablation baseline: every submission runs its own
+//                     chase (the pre-cache behavior, byte-identical output)
+//   --cache-file=PATH warm-start file: load cached verdicts from PATH
+//                     before the batch (a corrupt file is reported and
+//                     skipped — cold start, never wrong verdicts) and save
+//                     the cache back to PATH afterwards
 //   --stop-on-refutation   skip jobs not yet started once any job refutes
-//   --serial          run on the calling thread (reference mode)
+//   --serial          run on the calling thread (reference mode; the cache
+//                     is a service feature, so --serial ignores it)
 //   --csv=PATH        also write per-job rows as CSV
 //   --metrics[=PATH]  enable the metrics layer; dump the final snapshot as
 //                     JSON to PATH (stdout when no PATH)
@@ -80,6 +94,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
+#include "cache/store.h"
 #include "engine/batch_solver.h"
 #include "engine/service.h"
 #include "engine/workload.h"
@@ -122,7 +138,8 @@ int Usage() {
                "               [--deadline=S] [--stream] [--naive-chase]\n"
                "               [--layout=row|soa] [--no-intersect]\n"
                "               [--no-simd] [--no-auto-burst] [--serial-chase]\n"
-               "               [--no-resume] [--stop-on-refutation]\n"
+               "               [--no-resume] [--cache[=BYTES]] [--no-cache]\n"
+               "               [--cache-file=PATH] [--stop-on-refutation]\n"
                "               [--serial] [--csv=PATH] [--metrics[=PATH]]\n"
                "               [--prom=PATH] [--trace=PATH] [--slow-log=S]\n"
                "               [file.td ...]\n";
@@ -147,6 +164,9 @@ int RunBatch(int argc, char** argv) {
   std::string prom_path;
   std::string trace_path;
   double slow_log_seconds = 0;
+  bool use_cache = true;
+  std::size_t cache_bytes = CacheOptions{}.max_bytes;
+  std::string cache_file;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -192,6 +212,15 @@ int RunBatch(int argc, char** argv) {
         chase_parallelism = false;
       } else if (arg == "--no-resume") {
         workload.solver.resume_chase = false;
+      } else if (arg == "--cache") {
+        use_cache = true;
+      } else if (StartsWith(arg, "--cache=")) {
+        use_cache = true;
+        cache_bytes = std::stoull(arg.substr(8));
+      } else if (arg == "--no-cache") {
+        use_cache = false;
+      } else if (StartsWith(arg, "--cache-file=")) {
+        cache_file = arg.substr(13);
       } else if (arg == "--stop-on-refutation") {
         stop_on_refutation = true;
       } else if (arg == "--serial") {
@@ -259,10 +288,30 @@ int RunBatch(int argc, char** argv) {
     // admission gate so queued jobs are skipped, exactly like the old
     // batch-global control.
     Timer wall;
+    std::shared_ptr<ResultCache> cache;
+    if (use_cache) {
+      CacheOptions cache_options;
+      cache_options.max_bytes = cache_bytes;
+      cache = std::make_shared<ResultCache>(cache_options);
+      if (!cache_file.empty()) {
+        Result<int> loaded = LoadResultCacheFile(cache_file, cache.get());
+        if (loaded.ok()) {
+          std::cout << "cache: warm start, " << loaded.value()
+                    << " entries from " << cache_file << "\n";
+        } else if (loaded.code() == ErrorCode::kCorrupt) {
+          // Best-effort warm start: a damaged file degrades to whatever
+          // valid prefix loaded, never to wrong verdicts or an abort.
+          std::cerr << "tdbatch: ignoring corrupt cache file " << cache_file
+                    << " (" << loaded.error() << ")\n";
+        }
+        // kNotFound = no warm-start file yet: silent cold start.
+      }
+    }
     ServiceOptions service_options;
     service_options.num_threads = num_threads;
     service_options.chase_parallelism = chase_parallelism;
     service_options.slow_log_seconds = slow_log_seconds;
+    service_options.result_cache = cache;
     SolverService service(service_options);
     summary.num_threads = service.num_threads();
 
@@ -297,6 +346,24 @@ int RunBatch(int argc, char** argv) {
         case JobStatus::kCompleted: ++summary.completed; break;
         case JobStatus::kCancelled: ++summary.cancelled; break;
         case JobStatus::kSkipped: ++summary.skipped; break;
+      }
+    }
+    if (cache != nullptr) {
+      const CacheStats stats = cache->Stats();
+      std::cout << "cache: " << stats.hits << " hit(s), " << stats.misses
+                << " miss(es), " << stats.coalesced << " coalesced, "
+                << stats.entries << " entries (" << stats.bytes
+                << " bytes)\n";
+      if (!cache_file.empty()) {
+        Result<int> saved = SaveResultCacheFile(cache_file, *cache);
+        if (saved.ok()) {
+          std::cout << "wrote " << cache_file << " (" << saved.value()
+                    << " entries)\n";
+        } else {
+          std::cerr << "tdbatch: cannot write " << cache_file << " ("
+                    << saved.error() << ")\n";
+          return kExitWriteFailure;
+        }
       }
     }
   }

@@ -1,0 +1,185 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+
+#include "util/metrics.h"
+
+namespace tdlib {
+namespace {
+
+// Registry pointers resolved once per process (metrics.h idiom: the
+// registry never deletes a metric, so the statics are stable). Gauges get
+// deltas, not sets — several ResultCache instances may publish into the
+// same process registry (tests, tdbatch + fuzz), and deltas sum correctly.
+Counter* HitsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.hits");
+  return c;
+}
+Counter* MissesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.misses");
+  return c;
+}
+Counter* EvictionsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.evictions");
+  return c;
+}
+Counter* InsertionsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.insertions");
+  return c;
+}
+Counter* CoalescedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("cache.inflight_coalesced");
+  return c;
+}
+Gauge* BytesGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("cache.bytes");
+  return g;
+}
+Gauge* EntriesGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("cache.entries");
+  return g;
+}
+
+}  // namespace
+
+JobResult CachedVerdictToResult(const CachedVerdict& verdict,
+                                const std::string& name) {
+  JobResult result;
+  result.name = name;
+  result.status = JobStatus::kCompleted;
+  result.verdict = verdict.verdict;
+  result.rounds_used = verdict.rounds_used;
+  result.chase_steps = verdict.chase_steps;
+  result.chase_passes = verdict.chase_passes;
+  result.hom_nodes = verdict.hom_nodes;
+  result.match_tasks = verdict.match_tasks;
+  result.carried_passes = verdict.carried_passes;
+  result.candidates_checked = verdict.candidates_checked;
+  result.cache_source = CacheSource::kHit;
+  return result;
+}
+
+CachedVerdict CachedVerdictFromResult(const JobResult& result,
+                                      std::uint64_t source_trace_id) {
+  CachedVerdict verdict;
+  verdict.verdict = result.verdict;
+  verdict.rounds_used = result.rounds_used;
+  verdict.chase_steps = result.chase_steps;
+  verdict.chase_passes = result.chase_passes;
+  verdict.hom_nodes = result.hom_nodes;
+  verdict.match_tasks = result.match_tasks;
+  verdict.carried_passes = result.carried_passes;
+  verdict.candidates_checked = result.candidates_checked;
+  verdict.source_trace_id = source_trace_id;
+  return verdict;
+}
+
+ResultCache::ResultCache(CacheOptions options) : options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.max_bytes < kEntryCost) options_.max_bytes = kEntryCost;
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Each shard gets an equal slice of the budget, floored at one entry so a
+  // tiny budget with many shards still caches something per shard.
+  shard_budget_ = std::max<std::size_t>(
+      options_.max_bytes / shards_.size(), kEntryCost);
+}
+
+bool ResultCache::Lookup(const CacheFingerprint& fingerprint,
+                         CachedVerdict* out) {
+  if (!fingerprint.valid) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter()->Add(1);
+    return false;
+  }
+  Shard& shard = ShardFor(fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      it->second->second.hits += 1;
+      if (out != nullptr) *out = it->second->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      HitsCounter()->Add(1);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  MissesCounter()->Add(1);
+  return false;
+}
+
+void ResultCache::Insert(const CacheFingerprint& fingerprint,
+                         const CachedVerdict& verdict) {
+  if (!fingerprint.valid) return;
+  Shard& shard = ShardFor(fingerprint);
+  std::int64_t evicted = 0;
+  std::int64_t entry_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      // Content-addressed refresh: keep recency and hit count, overwrite
+      // the (identical by construction) deterministic payload.
+      const std::uint64_t hits = it->second->second.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      it->second->second = verdict;
+      it->second->second.hits = hits;
+      return;
+    }
+    shard.lru.emplace_front(fingerprint, verdict);
+    shard.index[fingerprint] = shard.lru.begin();
+    shard.bytes += kEntryCost;
+    entry_delta = 1;
+    while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      shard.bytes -= kEntryCost;
+      ++evicted;
+      --entry_delta;
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  InsertionsCounter()->Add(1);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    EvictionsCounter()->Add(evicted);
+  }
+  EntriesGauge()->Add(entry_delta);
+  BytesGauge()->Add(entry_delta * static_cast<std::int64_t>(kEntryCost));
+}
+
+void ResultCache::CountCoalesced() {
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  CoalescedCounter()->Add(1);
+}
+
+CacheStats ResultCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += static_cast<std::int64_t>(shard->lru.size());
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+void ResultCache::ForEach(
+    const std::function<void(const CacheFingerprint&, const CachedVerdict&)>&
+        visit) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& entry : shard->lru) visit(entry.first, entry.second);
+  }
+}
+
+}  // namespace tdlib

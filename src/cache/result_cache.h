@@ -1,0 +1,168 @@
+// The result cache: content-addressed verdicts behind SolverService.
+//
+// Maps canonical-form fingerprints (cache/canonical.h) to the deterministic
+// fields of a completed JobResult. Because the fingerprint already encodes
+// every budget and strategy knob that steers those fields, a hit can be
+// replayed verbatim: the service publishes the cached verdict with only the
+// submission's name substituted, and the bytes equal a fresh solve's — the
+// ctest-enforced transparency contract (tests/cache_test.cc).
+//
+// Shape: a sharded LRU with a byte budget. Each shard owns a mutex, an
+// intrusive recency list and an index; fingerprints scatter uniformly (they
+// are SplitMix64-finalized), so concurrent Submits from the engine pool
+// rarely collide on a shard lock. Eviction is per shard, oldest first,
+// until the shard is back inside its slice of the byte budget. Counters
+// (cache.hits / cache.misses / cache.evictions / cache.insertions plus
+// byte/entry gauges) publish into util/metrics; the always-on CacheStats
+// atomics exist so tdbatch and tests can read totals without flipping the
+// global metrics switch.
+//
+// The in-flight dedup table (second isomorphic Submit attaches to the
+// running chase) lives with the service, not here: a running JobState is
+// engine state, scoped to one service's pool. See engine/service.cc.
+#ifndef TDLIB_CACHE_RESULT_CACHE_H_
+#define TDLIB_CACHE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "engine/job.h"
+
+namespace tdlib {
+
+/// Construction-time knobs.
+struct CacheOptions {
+  /// Byte budget across all shards (approximate: entries are costed at
+  /// kEntryCost each). Must be > 0; the cache never grows past it.
+  std::size_t max_bytes = 64ull << 20;
+
+  /// Shard count (clamped to >= 1). More shards = less lock contention,
+  /// coarser per-shard budget slices. Tests pin 1 for deterministic LRU.
+  int shards = 8;
+};
+
+/// The deterministic payload of one completed job — every field the cache
+/// must replay for a hit to be byte-identical to a fresh solve, plus
+/// provenance (hit count, the producing run's trace id).
+struct CachedVerdict {
+  DualVerdict verdict = DualVerdict::kUnknown;
+  int rounds_used = 0;
+  std::uint64_t chase_steps = 0;
+  std::uint64_t chase_passes = 0;
+  std::uint64_t hom_nodes = 0;
+  std::uint64_t match_tasks = 0;
+  std::uint64_t carried_passes = 0;
+  std::uint64_t candidates_checked = 0;
+
+  /// Times this entry was served (in-memory only; starts at 0 after a
+  /// persistent-store load).
+  std::uint64_t hits = 0;
+
+  /// Trace id of the run that produced the verdict (util/trace_span spans
+  /// of the original chase carry it), 0 when unknown/loaded from disk.
+  std::uint64_t source_trace_id = 0;
+};
+
+/// Builds the JobResult a hit publishes: the cached deterministic fields
+/// under the submitting job's name, status kCompleted, provenance kHit.
+/// Wall-clock fields start at zero — they describe this (instant) serve.
+JobResult CachedVerdictToResult(const CachedVerdict& verdict,
+                                const std::string& name);
+
+/// Extracts the cacheable payload of a completed result.
+CachedVerdict CachedVerdictFromResult(const JobResult& result,
+                                      std::uint64_t source_trace_id);
+
+/// Always-on operation totals (relaxed atomics, summed over shards).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t coalesced = 0;  ///< submissions attached to an in-flight run
+  std::int64_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+/// See the file comment. Thread-safe; shareable across services (the
+/// ServiceOptions carries a shared_ptr so tdbatch can load/save around the
+/// service lifetime).
+class ResultCache {
+ public:
+  /// Accounting cost of one entry: payload + fingerprint keys + node and
+  /// index overhead, rounded to a stable figure so byte-budget tests are
+  /// exact. The budget is a memory *model*, not a malloc audit.
+  static constexpr std::size_t kEntryCost = 256;
+
+  explicit ResultCache(CacheOptions options = {});
+
+  /// Looks `fingerprint` up; on a hit copies the payload into `out`
+  /// (pre-bumped hit count included), refreshes recency, and counts a hit.
+  /// A miss (or invalid fingerprint) counts a miss and returns false.
+  bool Lookup(const CacheFingerprint& fingerprint, CachedVerdict* out);
+
+  /// Inserts or refreshes (fingerprints are content addresses, so a
+  /// re-insert under the same key carries identical deterministic fields —
+  /// the entry is refreshed rather than duplicated). Evicts oldest-first
+  /// until the shard is inside its byte-budget slice; the newest entry
+  /// itself is never evicted. Invalid fingerprints are ignored.
+  void Insert(const CacheFingerprint& fingerprint,
+              const CachedVerdict& verdict);
+
+  /// Counts one submission that attached to an in-flight isomorphic run
+  /// (the service calls this; kept here so every cache.* counter has one
+  /// owner).
+  void CountCoalesced();
+
+  CacheStats Stats() const;
+
+  /// Visits every entry, shard by shard, most recent first within a shard
+  /// (the persistent store's save order, so a budget-truncated reload keeps
+  /// the hottest entries). The callback must not call back into the cache.
+  void ForEach(const std::function<void(const CacheFingerprint&,
+                                        const CachedVerdict&)>& visit) const;
+
+  const CacheOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<CacheFingerprint, CachedVerdict>> lru;
+    std::unordered_map<
+        CacheFingerprint,
+        std::list<std::pair<CacheFingerprint, CachedVerdict>>::iterator,
+        CacheFingerprintHash>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const CacheFingerprint& fingerprint) {
+    return *shards_[static_cast<std::size_t>(
+        CacheFingerprintHash{}(fingerprint)) % shards_.size()];
+  }
+
+  CacheOptions options_;
+  std::size_t shard_budget_;  ///< max_bytes / shards, at least one entry
+  /// unique_ptr because a Shard owns a mutex (immovable, so no vector<Shard>).
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> insertions_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> coalesced_{0};
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CACHE_RESULT_CACHE_H_

@@ -35,12 +35,13 @@ double BatchSummary::Throughput() const {
 std::string BatchSummary::ToTable() const {
   TablePrinter table({"job", "verdict", "rounds", "steps", "passes",
                       "hom_nodes", "match_tasks", "carried", "candidates",
-                      "seconds", "match_s", "fire_s"});
+                      "seconds", "match_s", "fire_s", "cache"});
   for (const JobResult& r : results) {
     table.AddRowValues(r.name, std::string(r.VerdictName()), r.rounds_used,
                        r.chase_steps, r.chase_passes, r.hom_nodes,
                        r.match_tasks, r.carried_passes, r.candidates_checked,
-                       r.wall_seconds, r.match_seconds, r.fire_seconds);
+                       r.wall_seconds, r.match_seconds, r.fire_seconds,
+                       std::string(CacheSourceName(r.cache_source)));
   }
   std::ostringstream oss;
   oss << table.ToString();

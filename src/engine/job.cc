@@ -16,6 +16,16 @@ std::string_view DualVerdictName(DualVerdict verdict) {
   return "UNKNOWN";
 }
 
+std::string_view CacheSourceName(CacheSource source) {
+  switch (source) {
+    case CacheSource::kNone: return "none";
+    case CacheSource::kMiss: return "miss";
+    case CacheSource::kHit: return "hit";
+    case CacheSource::kCoalesced: return "coalesced";
+  }
+  return "none";
+}
+
 bool IsRefutation(const JobResult& result) {
   return result.status == JobStatus::kCompleted &&
          (result.verdict == DualVerdict::kRefutedFinite ||
@@ -49,7 +59,8 @@ std::vector<std::string> JobResult::CsvHeader() {
           "rounds_used",  "chase_steps",   "chase_passes",
           "hom_nodes",    "match_tasks",   "carried_passes",
           "candidates",   "wall_seconds",  "queue_seconds",
-          "match_seconds", "fire_seconds", "checkpoint_seconds"};
+          "match_seconds", "fire_seconds", "checkpoint_seconds",
+          "cache"};
 }
 
 namespace {
@@ -80,7 +91,8 @@ std::vector<std::string> JobResult::CsvRow() const {
           std::to_string(queue_seconds),
           std::to_string(match_seconds),
           std::to_string(fire_seconds),
-          std::to_string(checkpoint_seconds)};
+          std::to_string(checkpoint_seconds),
+          std::string(CacheSourceName(cache_source))};
 }
 
 JobResult RunJob(const Job& job) { return RunJob(job, job.config); }

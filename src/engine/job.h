@@ -41,6 +41,20 @@ enum class JobStatus {
   kCancelled,  ///< JobHandle::Cancel() stopped it (queued or mid-run)
 };
 
+/// How the result cache participated in producing a result. Provenance
+/// only — a cache-served verdict is byte-identical to a fresh solve, so
+/// this is excluded from DeterministicSummary (it is NOT deterministic:
+/// it depends on what ran before).
+enum class CacheSource {
+  kNone,       ///< cache disabled / not consulted (deadline, resume, ...)
+  kMiss,       ///< consulted, absent: this submission ran the solver
+  kHit,        ///< served instantly from a cached verdict
+  kCoalesced,  ///< attached to an in-flight isomorphic run (in-flight dedup)
+};
+
+/// "none", "miss", "hit", "coalesced".
+std::string_view CacheSourceName(CacheSource source);
+
 /// Structured outcome of one job.
 struct JobResult {
   std::string name;
@@ -59,6 +73,11 @@ struct JobResult {
   std::uint64_t candidates_checked = 0;
 
   double wall_seconds = 0;  ///< nondeterministic; excluded from comparisons
+
+  /// Cache provenance (engine/service fills it; plain RunJob leaves kNone).
+  /// History-dependent, so excluded from DeterministicSummary like the
+  /// wall-clock fields; surfaced in CsvRow and BatchSummary::ToTable.
+  CacheSource cache_source = CacheSource::kNone;
 
   // Wall-clock phase breakdown (nondeterministic, excluded from
   // DeterministicSummary like wall_seconds; carried into CsvRow/ToTable and

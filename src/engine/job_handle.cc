@@ -32,6 +32,7 @@ std::optional<JobResult> JobHandle::Poll() const {
 bool JobHandle::Cancel() const {
   if (state_ == nullptr) return false;
   JobResult cancelled;
+  std::shared_ptr<engine_internal::JobState> runner;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (state_->done) return false;   // finished/skipped: harmless no-op
@@ -42,11 +43,14 @@ bool JobHandle::Cancel() const {
     // ResumeWithBudget run, which clears it first.
     state_->cancel.store(true, std::memory_order_relaxed);
     if (state_->started) return true;  // running: cooperative stop, soon
-    // Still queued: terminal right here, not when a worker finally gets to
-    // it — a cancelled submission must not wait behind unrelated work.
-    // `claimed` fences the worker out (it returns without running or
-    // re-firing the callback) while we complete the run outside the lock.
+    // Still queued (or attached to a dedup runner — a waiter never runs on
+    // a worker, so it always takes this path): terminal right here, not
+    // when a worker finally gets to it — a cancelled submission must not
+    // wait behind unrelated work. `claimed` fences the worker (or the
+    // runner's fan-out) out while we complete the run outside the lock.
     state_->claimed = true;
+    runner = std::move(state_->coalesce_runner);
+    state_->coalesce_runner.reset();
     cancelled.name = state_->job.name;
     cancelled.status = JobStatus::kCancelled;
   }
@@ -56,6 +60,10 @@ bool JobHandle::Cancel() const {
   // It runs on the cancelling thread, the one exception to the on-a-worker
   // rule (documented in SubmitOptions).
   engine_internal::PublishTerminal(state_, cancelled);
+  // Coalesced submission: leave the shared run, and stop it if this was its
+  // last audience — the ISSUE-level contract "one chase, N completions,
+  // cancel only when the last waiter cancels".
+  if (runner != nullptr) engine_internal::DetachWaiter(runner, state_);
   return true;
 }
 
@@ -78,8 +86,17 @@ bool JobHandle::ResumeWithBudget(const DualSolverConfig& config) const {
     state_->started = false;  // the resumed run is queued again
     state_->claimed = false;
     // Orphan any task still queued for a previous run (a queued Cancel
-    // leaves one behind): only the task enqueued below may execute.
+    // leaves one behind): only the task enqueued below may execute. A
+    // pending dedup fan-out is orphaned the same way (it only claims
+    // generation-0 waiters).
     ++state_->run_generation;
+    // The resumed run must neither fill nor be served from the cache: its
+    // config no longer matches what was fingerprinted at submission, and a
+    // stale fingerprint would poison the cache with the new run's counters.
+    state_->fingerprint = CacheFingerprint{};
+    state_->cache.reset();
+    state_->coalesce_runner.reset();
+    state_->cache_source = CacheSource::kNone;
   }
   static Counter* resumes =
       MetricsRegistry::Global().GetCounter("engine.job_resumes");

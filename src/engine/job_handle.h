@@ -38,13 +38,16 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "cache/fingerprint.h"
 #include "engine/job.h"
 #include "util/timer.h"
 
 namespace tdlib {
 
 class SolverService;
+class ResultCache;
 
 namespace engine_internal {
 
@@ -90,6 +93,25 @@ struct JobState {
   ChaseSession session;             ///< resumable chase of THIS (D, D0)
   std::function<void(const JobResult&)> on_complete;
   Timer submit_timer;               ///< deadline epoch; reset on resume
+
+  // Result-cache plumbing (see cache/result_cache.h and the dedup model in
+  // engine/service.cc). `fingerprint`/`cache` are set before the state is
+  // shared and only on runs that should FILL the cache (the dedup runner,
+  // or the submission itself when dedup is off); ResumeWithBudget clears
+  // them — a resumed run's config differs from what was fingerprinted.
+  CacheFingerprint fingerprint;        ///< valid only on cache-filling runs
+  std::shared_ptr<ResultCache> cache;  ///< fill target at publication
+  bool internal_runner = false;  ///< dedup runner: service-owned, never
+                                 ///  handed to callers; skips per-submission
+                                 ///  accounting (its waiters carry it)
+  CacheSource cache_source = CacheSource::kNone;  ///< stamped into results
+
+  // Guarded by mu. On a runner: the submissions awaiting its verdict
+  // (closed exactly once, at publication). On a waiter: the runner it is
+  // attached to (cleared at fan-out / cancel, breaking the ref cycle).
+  std::vector<std::shared_ptr<JobState>> waiters;
+  bool waiters_closed = false;
+  std::shared_ptr<JobState> coalesce_runner;
 };
 
 /// The single terminal-publication path for every run of every job: fires
@@ -103,6 +125,14 @@ struct JobState {
 /// Submit whose Enqueue failed), so no other thread can publish it.
 void PublishTerminal(const std::shared_ptr<JobState>& state,
                      const JobResult& result);
+
+/// Removes a cancelled waiter from its dedup runner and, when it was the
+/// LAST waiter, cancels the runner itself (after unpublishing it from the
+/// in-flight table so new isomorphic submissions start a fresh run instead
+/// of attaching to a dying one). Called by JobHandle::Cancel after the
+/// waiter's own kCancelled publication. Defined in service.cc.
+void DetachWaiter(const std::shared_ptr<JobState>& runner,
+                  const std::shared_ptr<JobState>& waiter);
 
 }  // namespace engine_internal
 

@@ -7,7 +7,10 @@
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "cache/canonical.h"
+#include "cache/result_cache.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/trace_span.h"
@@ -151,8 +154,51 @@ void ExecuteOnWorker(ServiceCore* core, const std::shared_ptr<JobState>& s,
       r.status = JobStatus::kCancelled;
     }
   }
+  // Provenance stamp: kMiss on cache-filling runs (the dedup runner's copy
+  // is rewritten per waiter at fan-out anyway), kNone on uncached jobs.
+  r.cache_source = s->cache_source;
 
   PublishTerminal(s, r);
+}
+
+// Delivers a dedup runner's terminal result to every submission attached to
+// it: unpublish the runner from the in-flight table (the cache was already
+// filled by the caller, so late isomorphic submissions hit it), close the
+// waiter list, then publish a per-waiter copy — renamed, provenance-stamped
+// — through PublishTerminal, which accounts each logical submission exactly
+// once. A waiter whose run is already terminal (it cancelled) or no longer
+// generation 0 (it cancelled AND resumed; the resumed run owns the state
+// now) is skipped: its termination belongs to someone else.
+void FanOutToWaiters(const std::shared_ptr<JobState>& runner,
+                     const JobResult& result) {
+  if (std::shared_ptr<ServiceCore> core = runner->core.lock()) {
+    std::lock_guard<std::mutex> lock(core->inflight_mu);
+    auto it = core->inflight.find(runner->fingerprint);
+    if (it != core->inflight.end() && it->second == runner) {
+      core->inflight.erase(it);
+    }
+  }
+  std::vector<std::shared_ptr<JobState>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(runner->mu);
+    runner->waiters_closed = true;
+    waiters = std::move(runner->waiters);
+    runner->waiters.clear();
+  }
+  for (const std::shared_ptr<JobState>& waiter : waiters) {
+    {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      waiter->coalesce_runner.reset();  // break the ref cycle either way
+      if (waiter->done || waiter->claimed || waiter->run_generation != 0) {
+        continue;
+      }
+      waiter->claimed = true;  // fence concurrent Cancels out of this run
+    }
+    JobResult renamed = result;
+    renamed.name = waiter->job.name;
+    renamed.cache_source = waiter->cache_source;
+    PublishTerminal(waiter, renamed);
+  }
 }
 
 }  // namespace
@@ -165,6 +211,21 @@ void PublishTerminal(const std::shared_ptr<JobState>& state,
   // still collect afterwards without synchronizing against stray callbacks.
   // (Corollary: the callback must not Wait() on its own handle.)
   if (state->on_complete) state->on_complete(result);
+
+  // Cache fill, BEFORE the terminal state becomes observable below: a
+  // caller that Wait()s and immediately resubmits an isomorphic job must
+  // hit — publishing done first would let that resubmission race the
+  // insert and re-solve. The same ordering also precedes the in-flight
+  // table cleanup (fan-out), so once a runner leaves the table a late
+  // isomorphic submission finds the verdict in the cache. Only completed
+  // runs fill (a cancelled/skipped run proves nothing about the problem),
+  // and only runs that were fingerprinted at submission do.
+  if (state->cache != nullptr && state->fingerprint.valid &&
+      result.status == JobStatus::kCompleted) {
+    state->cache->Insert(state->fingerprint,
+                         CachedVerdictFromResult(result, state->trace_id));
+  }
+
   bool was_started;
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -177,15 +238,21 @@ void PublishTerminal(const std::shared_ptr<JobState>& state,
   // Outcome accounting, exactly once per terminal run: every path that
   // makes a run terminal funnels through this function, so the per-status
   // counters partition the terminal runs (kSkipped and kCancelled included)
-  // and can never double-count one.
+  // and can never double-count one. An internal dedup runner is NOT a
+  // logical submission — its waiters each publish through here and carry
+  // the counts — so it skips the outcome partition and the latency
+  // histogram; the in-flight gauge stays symmetric (the worker counted the
+  // runner up when it picked it up).
   const double elapsed = state->submit_timer.ElapsedSeconds();
   ServiceMetrics& m = GetServiceMetrics();
-  switch (result.status) {
-    case JobStatus::kCompleted: m.completed->Add(1); break;
-    case JobStatus::kSkipped: m.skipped->Add(1); break;
-    case JobStatus::kCancelled: m.cancelled->Add(1); break;
+  if (!state->internal_runner) {
+    switch (result.status) {
+      case JobStatus::kCompleted: m.completed->Add(1); break;
+      case JobStatus::kSkipped: m.skipped->Add(1); break;
+      case JobStatus::kCancelled: m.cancelled->Add(1); break;
+    }
+    m.job_seconds->Observe(elapsed);
   }
-  m.job_seconds->Observe(elapsed);
   // Only runs a worker actually picked up were counted in-flight; a queued
   // cancel or a pool-rejected submission never was.
   if (was_started) m.inflight->Add(-1);
@@ -207,6 +274,58 @@ void PublishTerminal(const std::shared_ptr<JobState>& state,
       std::fprintf(stderr, "%s\n", oss.str().c_str());
     }
   }
+
+  // Dedup runner: deliver the verdict to every attached submission. Depth-
+  // one recursion into PublishTerminal (waiters are never runners).
+  if (state->internal_runner) FanOutToWaiters(state, result);
+}
+
+void DetachWaiter(const std::shared_ptr<JobState>& runner,
+                  const std::shared_ptr<JobState>& waiter) {
+  {
+    std::lock_guard<std::mutex> lock(runner->mu);
+    auto& waiters = runner->waiters;
+    waiters.erase(std::remove(waiters.begin(), waiters.end(), waiter),
+                  waiters.end());
+    if (!waiters.empty() || runner->waiters_closed) return;
+  }
+  // Last waiter gone: the run has no audience, stop it. The check and the
+  // cancel cannot be one critical section of runner->mu alone — an
+  // isomorphic submission could attach between them (the runner is still in
+  // the in-flight table) and would then receive a kCancelled it never asked
+  // for. So first unpublish the runner from the table under inflight_mu
+  // (after which no new waiter can find it), then re-check emptiness under
+  // both locks and only then cancel. Lock order inflight_mu -> mu matches
+  // the attach path.
+  std::shared_ptr<ServiceCore> core = runner->core.lock();
+  JobResult cancelled;
+  bool publish = false;
+  {
+    std::unique_lock<std::mutex> table_lock;
+    if (core != nullptr) {
+      table_lock = std::unique_lock<std::mutex>(core->inflight_mu);
+    }
+    std::lock_guard<std::mutex> lock(runner->mu);
+    if (!runner->waiters.empty() || runner->waiters_closed) return;
+    if (core != nullptr) {
+      auto it = core->inflight.find(runner->fingerprint);
+      if (it != core->inflight.end() && it->second == runner) {
+        core->inflight.erase(it);
+      }
+    }
+    if (runner->done || runner->claimed) return;
+    // Mirrors JobHandle::Cancel: a running chase observes the flag on the
+    // solver stack's cancel cadence; a still-queued runner terminates right
+    // here (claimed fences its worker task out).
+    runner->cancel.store(true, std::memory_order_relaxed);
+    if (!runner->started) {
+      runner->claimed = true;
+      publish = true;
+      cancelled.name = runner->job.name;
+      cancelled.status = JobStatus::kCancelled;
+    }
+  }
+  if (publish) PublishTerminal(runner, cancelled);
 }
 
 ServiceCore::ServiceCore(const ServiceOptions& opts)
@@ -267,6 +386,109 @@ void ShedAsSkipped(const std::shared_ptr<engine_internal::JobState>& state) {
   engine_internal::PublishTerminal(state, shed);
 }
 
+// Publishes `status` as `state`'s terminal result on the submitting thread
+// (the cache paths' analogue of a queued cancel: terminal without a worker).
+void PublishImmediate(const std::shared_ptr<engine_internal::JobState>& state,
+                      JobStatus status) {
+  JobResult result;
+  result.name = state->job.name;
+  result.status = status;
+  engine_internal::PublishTerminal(state, result);
+}
+
+// Consults the result cache for `state`'s submission. Returns true iff the
+// submission was fully handled here — served from cache (terminal before
+// Submit returns, like a queued cancel) or attached to an in-flight
+// isomorphic run (terminal at that run's fan-out). Returns false when the
+// caller must enqueue the state itself; in the dedup-off miss case the
+// state then carries fingerprint+cache so its completion fills the cache.
+//
+// Gate semantics on cache paths: skip_when is read HERE, at submit time —
+// the cache-served analogue of the worker's pickup-time read — and never
+// again (a coalesced waiter whose gate rises mid-flight still completes;
+// gates say "don't START work", and no work is started for it).
+bool TryServeFromCache(
+    const std::shared_ptr<engine_internal::ServiceCore>& core,
+    const std::shared_ptr<engine_internal::JobState>& state) {
+  const std::shared_ptr<ResultCache>& cache = core->options.result_cache;
+  if (cache == nullptr) return false;
+  // A wall-clock deadline makes the outcome machine-load-dependent: not
+  // cacheable, not safe to coalesce (waiters may hold different deadlines).
+  if (state->deadline_seconds > 0) return false;
+  const CacheFingerprint fp = FingerprintProblem(
+      state->job.dependencies, state->job.goal, state->config);
+  if (!fp.valid) return false;  // config itself uncacheable
+  if (state->skip_when != nullptr &&
+      state->skip_when->load(std::memory_order_relaxed)) {
+    PublishImmediate(state, JobStatus::kSkipped);
+    return true;
+  }
+  CachedVerdict verdict;
+  if (cache->Lookup(fp, &verdict)) {
+    engine_internal::PublishTerminal(
+        state, CachedVerdictToResult(verdict, state->job.name));
+    return true;
+  }
+  if (!core->options.cache_inflight_dedup) {
+    // Miss, no dedup: the submission runs itself and fills the cache.
+    state->fingerprint = fp;
+    state->cache = cache;
+    state->cache_source = CacheSource::kMiss;
+    return false;
+  }
+  // Miss with dedup: attach to the in-flight runner for this fingerprint,
+  // or create one. Attach happens under inflight_mu -> runner->mu: while a
+  // runner is findable in the table its waiter list is still open (fan-out
+  // and DetachWaiter both unpublish from the table BEFORE closing), so an
+  // attach that finds a runner always succeeds.
+  std::shared_ptr<engine_internal::JobState> runner;
+  {
+    std::lock_guard<std::mutex> table_lock(core->inflight_mu);
+    auto it = core->inflight.find(fp);
+    if (it != core->inflight.end()) {
+      runner = it->second;
+      std::lock_guard<std::mutex> lock(runner->mu);
+      state->cache_source = CacheSource::kCoalesced;
+      state->coalesce_runner = runner;
+      runner->waiters.push_back(state);
+      cache->CountCoalesced();
+      return true;
+    }
+    // Fresh miss under backpressure is still a fresh chase: shed it like
+    // any other enqueue (the caller's capacity check handles the state).
+    if (core->AtCapacity()) return false;
+    runner = std::make_shared<engine_internal::JobState>(state->job);
+    runner->internal_runner = true;
+    runner->priority = state->priority;
+    runner->core = core;
+    runner->trace_id = NextTraceId();
+    runner->slow_log_seconds = core->options.slow_log_seconds;
+    runner->slow_log_sink = core->options.slow_log_sink;
+    runner->submit_timer.Reset();
+    runner->submit_ns = StopWatch::Now();
+    runner->fingerprint = fp;
+    runner->cache = cache;
+    runner->cache_source = CacheSource::kMiss;
+    // The creating submission is the first waiter (provenance kMiss: its
+    // submission is the one that caused a chase). Safe without runner->mu —
+    // the runner is not visible to anyone until the table insert below.
+    state->cache_source = CacheSource::kMiss;
+    state->coalesce_runner = runner;
+    runner->waiters.push_back(state);
+    core->inflight[fp] = runner;
+  }
+  if (!core->Enqueue(runner, runner->priority)) {
+    // Pool shutting down: the runner terminates as kSkipped and its fan-out
+    // delivers the skip to the waiter — same observable contract as
+    // EnqueueOrSkip gives an uncached submission.
+    JobResult skipped;
+    skipped.name = runner->job.name;
+    skipped.status = JobStatus::kSkipped;
+    engine_internal::PublishTerminal(runner, skipped);
+  }
+  return true;
+}
+
 void EnqueueOrSkip(const std::shared_ptr<engine_internal::ServiceCore>& core,
                    const std::shared_ptr<engine_internal::JobState>& state,
                    int priority) {
@@ -288,6 +510,10 @@ void EnqueueOrSkip(const std::shared_ptr<engine_internal::ServiceCore>& core,
 JobHandle SolverService::Submit(Job job, SubmitOptions options) {
   const int priority = options.priority.value_or(job.priority);
   auto state = MakeJobState(core_, std::move(job), &options, priority);
+  // Cache first, capacity second: a hit or an in-flight attach consumes no
+  // queue slot, so it is served even when admission control is shedding
+  // (the cache is exactly what keeps an overloaded service responsive).
+  if (TryServeFromCache(core_, state)) return JobHandle(std::move(state));
   if (core_->AtCapacity()) {
     ShedAsSkipped(state);
   } else {
@@ -301,7 +527,9 @@ bool SolverService::TrySubmit(Job job, SubmitOptions options,
   if (core_->AtCapacity()) return false;
   const int priority = options.priority.value_or(job.priority);
   auto state = MakeJobState(core_, std::move(job), &options, priority);
-  EnqueueOrSkip(core_, state, priority);
+  if (!TryServeFromCache(core_, state)) {
+    EnqueueOrSkip(core_, state, priority);
+  }
   *handle = JobHandle(std::move(state));
   return true;
 }
@@ -323,7 +551,9 @@ JobHandle SolverService::SubmitWithRetry(Job job, SubmitOptions options,
     backoff *= std::max(1.0, retry.multiplier);
   }
   auto state = MakeJobState(core_, std::move(job), &options, priority);
-  EnqueueOrSkip(core_, state, priority);
+  if (!TryServeFromCache(core_, state)) {
+    EnqueueOrSkip(core_, state, priority);
+  }
   return JobHandle(std::move(state));
 }
 

@@ -33,12 +33,17 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
+#include "cache/fingerprint.h"
 #include "engine/job_handle.h"
 #include "engine/thread_pool.h"
 
 namespace tdlib {
+
+class ResultCache;
 
 /// Service-wide knobs (fixed at construction).
 struct ServiceOptions {
@@ -66,6 +71,23 @@ struct ServiceOptions {
   /// overloaded service's queue latency bounded — a caller that must not
   /// lose work uses TrySubmit/SubmitWithRetry and holds the job itself.
   std::size_t max_queue_depth = 0;
+
+  /// Canonical-form result cache (cache/result_cache.h); null = off. The
+  /// service consults it BEFORE enqueuing: a submission whose (D, D0,
+  /// budgets) canonicalize to a cached verdict terminates instantly with a
+  /// byte-identical result (CacheSource::kHit). Shared, so one cache can
+  /// back several services and outlive all of them (tdbatch's warm-start
+  /// file loads into it before the service exists). Submissions carrying a
+  /// wall-clock deadline bypass the cache — their results are not a
+  /// deterministic function of the job (cache/canonical.h).
+  std::shared_ptr<ResultCache> result_cache;
+
+  /// In-flight dedup (requires result_cache): a submission isomorphic to a
+  /// RUNNING job attaches to that run instead of starting its own chase —
+  /// one solve, N completions (CacheSource::kCoalesced), and the shared run
+  /// is cancelled only when its last waiter cancels. Off = every miss runs
+  /// itself (still filling the cache at completion).
+  bool cache_inflight_dedup = true;
 };
 
 /// Per-submission controls — what used to be batch-global.
@@ -135,6 +157,15 @@ struct ServiceCore : std::enable_shared_from_this<ServiceCore> {
 
   ServiceOptions options;
   ThreadPool pool;
+
+  /// In-flight dedup table: fingerprint -> the internal runner solving it.
+  /// Entries are registered at miss time and erased by the runner's
+  /// publication (or by DetachWaiter when the last waiter cancels). Lock
+  /// order: inflight_mu before any JobState::mu, never the reverse.
+  std::mutex inflight_mu;
+  std::unordered_map<CacheFingerprint, std::shared_ptr<JobState>,
+                     CacheFingerprintHash>
+      inflight;
 };
 
 }  // namespace engine_internal

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "chase/dual_solver.h"
 #include "engine/service.h"
 #include "engine/thread_pool.h"
@@ -333,6 +334,44 @@ std::vector<FuzzDivergence> CheckJobAcrossAxes(const Job& job,
       out.push_back({job.name, "service",
                      "summary: reference=" + serial.DeterministicSummary() +
                          " variant=" + via_service.DeterministicSummary()});
+    }
+  }
+
+  if (options.check_cache) {
+    // Cached vs fresh: the same job submitted twice through a cache-enabled
+    // service. The cold submit misses and runs a chase; the warm one is
+    // served from the canonical-form result cache — and BOTH must reproduce
+    // the serial reference summary byte for byte (kFullIdentity on the
+    // deterministic fields), which is the cache's transparency contract.
+    JobResult serial = RunJob(job);
+    ++runs;
+    JobResult cold, warm;
+    {
+      FlipGuard flip(options.inject_fire_order_flip);
+      ServiceOptions service_options;
+      service_options.num_threads = 2;
+      service_options.result_cache = std::make_shared<ResultCache>();
+      SolverService service(service_options);
+      cold = service.Submit(job).Wait();
+      ++runs;  // the warm submit deliberately runs no solver
+      warm = service.Submit(job).Wait();
+    }
+    if (serial.DeterministicSummary() != cold.DeterministicSummary()) {
+      out.push_back({job.name, "cache",
+                     "cold summary: reference=" + serial.DeterministicSummary() +
+                         " variant=" + cold.DeterministicSummary()});
+    }
+    if (serial.DeterministicSummary() != warm.DeterministicSummary()) {
+      out.push_back({job.name, "cache",
+                     "warm summary: reference=" + serial.DeterministicSummary() +
+                         " variant=" + warm.DeterministicSummary()});
+    }
+    if (cold.status == JobStatus::kCompleted &&
+        warm.cache_source != CacheSource::kHit) {
+      out.push_back(
+          {job.name, "cache",
+           "warm submit not served from cache (source=" +
+               std::string(CacheSourceName(warm.cache_source)) + ")"});
     }
   }
 

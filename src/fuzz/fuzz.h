@@ -59,6 +59,12 @@ struct FuzzOptions {
   /// Check the serial-vs-service axis (same job through SolverService).
   bool check_service = true;
 
+  /// Check the cached-vs-fresh axis: the same job submitted twice through a
+  /// cache-enabled service — the cold (miss) and warm (hit) results must
+  /// both be byte-identical to the serial reference (kFullIdentity), and
+  /// the warm submit must actually be served from the cache.
+  bool check_cache = true;
+
   /// Sabotage knob for harness self-tests: arm the fire-order-flip fault
   /// site (util/fault.h) around every VARIANT run, so the variants fire
   /// pending steps in reversed canonical order while the reference does
@@ -112,7 +118,7 @@ struct RunDigest {
 struct FuzzDivergence {
   std::string case_name;
   std::string axis;    ///< "naive", "threads", "layout", "intersection",
-                       ///  "simd", "auto-burst", "resume", "service"
+                       ///  "simd", "auto-burst", "resume", "service", "cache"
   std::string detail;  ///< first differing field, with both values
 };
 

@@ -43,6 +43,42 @@ struct VectorHash {
   }
 };
 
+/// SplitMix64 finalizer: a full-avalanche bijection on 64 bits, used to
+/// decorrelate the two lanes of HashBytes128 below.
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A 128-bit content hash (two finalized 64-bit lanes). Not cryptographic:
+/// it addresses content in trusted stores (the result cache's canonical-form
+/// fingerprints), where 128 bits make accidental collisions negligible but
+/// no adversary is feeding inputs.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+/// Hashes a byte range into 128 bits: two FNV-1a-style lanes walked over the
+/// same bytes with different seeds and mixing orders, cross-finalized with
+/// SplitMix64 so each output word depends on both lanes and the length.
+inline Hash128 HashBytes128(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t a = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t b = 0x9ae16a3b2f90404fULL;  // independent second seed
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;  // FNV-1a prime
+  for (std::size_t i = 0; i < len; ++i) {
+    a = (a ^ p[i]) * kPrime;
+    b = (b + p[i] + 1) * kPrime;
+  }
+  Hash128 h;
+  h.hi = SplitMix64(a ^ (static_cast<std::uint64_t>(len) * kPrime));
+  h.lo = SplitMix64(b ^ (a << 32 | a >> 32));
+  return h;
+}
+
 }  // namespace tdlib
 
 #endif  // TDLIB_UTIL_HASH_H_

@@ -1,5 +1,6 @@
 // Corrupt-corpus regression suite: every deserializer in the persistence
-// stack (TupleStore, Instance, ChaseCheckpoint, ChaseSession) is fed a
+// stack (TupleStore, Instance, ChaseCheckpoint, ChaseSession, the result
+// cache store) is fed a
 // sweep of deterministically damaged inputs — truncations at every offset
 // regime, single bit flips, and outright garbage — and must return either
 // a typed error (ErrorCode::kCorrupt for damaged wire bytes) or a
@@ -11,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
+#include "cache/store.h"
 #include "chase/chase.h"
 #include "chase/implication.h"
 #include "core/parser.h"
@@ -30,6 +33,7 @@ struct Corpus {
   std::string instance_bytes;
   std::string checkpoint_bytes;
   std::string session_bytes;
+  std::string cache_bytes;
 };
 
 Corpus MakeCorpus() {
@@ -74,6 +78,25 @@ Corpus MakeCorpus() {
     std::ostringstream oss;
     session.Serialize(oss);
     corpus.session_bytes = oss.str();
+  }
+  {
+    CacheOptions options;
+    options.shards = 1;
+    ResultCache cache(options);
+    for (std::uint64_t n = 1; n <= 4; ++n) {
+      CacheFingerprint fp;
+      fp.hi = n;
+      fp.lo = n * 1000003;
+      fp.valid = true;
+      CachedVerdict verdict;
+      verdict.verdict = DualVerdict::kImplied;
+      verdict.rounds_used = static_cast<int>(n);
+      verdict.chase_steps = n * 17;
+      cache.Insert(fp, verdict);
+    }
+    std::ostringstream oss;
+    SaveResultCache(oss, cache);
+    corpus.cache_bytes = oss.str();
   }
   return corpus;
 }
@@ -158,6 +181,28 @@ TEST(SerializationCorruptTest, SessionSurvivesTheDamageSweep) {
   EXPECT_GT(rejected, 0);
 }
 
+TEST(SerializationCorruptTest, ResultCacheStoreSurvivesTheDamageSweep) {
+  // The store load is best-effort: a damaged file must either load cleanly
+  // (flips can land in payload digits and still parse) or report kCorrupt,
+  // keeping whatever prefix parsed — never crash, hang, or fabricate
+  // entries beyond the declared count.
+  Corpus corpus = MakeCorpus();
+  int rejected = 0;
+  for (const std::string& damaged : DamagedVariants(corpus.cache_bytes)) {
+    ResultCache cache;
+    std::istringstream in(damaged);
+    Result<int> result = LoadResultCache(in, &cache);
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_EQ(result.code(), ErrorCode::kCorrupt) << result.error();
+    } else {
+      EXPECT_LE(result.value(), 4);
+    }
+    EXPECT_LE(cache.Stats().entries, 4);
+  }
+  EXPECT_GT(rejected, 0);
+}
+
 TEST(SerializationCorruptTest, HealthyBytesStillRoundTrip) {
   // The sweep is only meaningful if the undamaged corpus parses.
   Corpus corpus = MakeCorpus();
@@ -176,6 +221,13 @@ TEST(SerializationCorruptTest, HealthyBytesStillRoundTrip) {
   {
     std::istringstream in(corpus.session_bytes);
     EXPECT_TRUE(ChaseSession::Deserialize(corpus.schema, in).ok());
+  }
+  {
+    ResultCache cache;
+    std::istringstream in(corpus.cache_bytes);
+    Result<int> loaded = LoadResultCache(in, &cache);
+    EXPECT_TRUE(loaded.ok());
+    EXPECT_EQ(cache.Stats().entries, 4);
   }
 }
 
