@@ -1,0 +1,178 @@
+// Throughput and tail latency of the multi-process sharded cluster.
+//
+// BM_ClusterThroughput submits the reduction sweep to a router backed by
+// 1/2/4 real tdworker processes and reports jobs/sec plus the
+// submit→on_complete latency percentiles — the worker axis shows what
+// sharding buys (and on a 1-core container, what it costs: frame codec +
+// socket hops on every job). Every cluster verdict is checked byte-for-byte
+// against an in-process serial reference (identical_to_serial), because a
+// distributed speedup that changes answers is a bug, not a win.
+//
+// BM_ClusterKillOneWorker is the robustness headline: the same sweep on two
+// workers with one of them SIGKILLed mid-run. The interesting numbers are
+// crashes/retries (the recovery machinery actually fired) next to
+// identical_to_serial=1 (the murder was invisible in the answers).
+//
+// Both benchmarks need the worker binary; point $TDLIB_TDWORKER at
+// build/examples/tdworker (bench/run_benchmarks.sh does this) or they skip.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "engine/job.h"
+#include "engine/workload.h"
+#include "util/timer.h"
+
+namespace tdlib {
+namespace {
+
+const std::vector<Job>& SweepJobs() {
+  static const std::vector<Job> jobs = [] {
+    WorkloadOptions options;
+    options.size = 12;
+    return ReductionSweepWorkload(options);
+  }();
+  return jobs;
+}
+
+/// The serial reference: each sweep job solved in this process, summarized
+/// to the deterministic byte string the cluster must reproduce.
+const std::vector<std::string>& SerialSummaries() {
+  static const std::vector<std::string> summaries = [] {
+    std::vector<std::string> out;
+    for (const Job& job : SweepJobs()) {
+      out.push_back(RunJob(job).DeterministicSummary());
+    }
+    return out;
+  }();
+  return summaries;
+}
+
+bool HaveWorkerBinary() { return std::getenv("TDLIB_TDWORKER") != nullptr; }
+
+double Percentile(std::vector<double>* sorted_values, double p) {
+  if (sorted_values->empty()) return 0;
+  std::sort(sorted_values->begin(), sorted_values->end());
+  const double rank = p * static_cast<double>(sorted_values->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_values->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted_values)[lo] * (1 - frac) + (*sorted_values)[hi] * frac;
+}
+
+/// One sweep through a fresh router; appends per-job latencies, checks
+/// every verdict against the serial reference, and accumulates the run's
+/// stats. `kill_slot` >= 0 SIGKILLs that slot once, mid-run.
+bool RunSweep(const ClusterOptions& options, int kill_slot,
+              std::vector<double>* latencies_us, ClusterStats* totals) {
+  const std::vector<Job>& jobs = SweepJobs();
+  ClusterRouter router(options);
+
+  std::mutex mu;
+  Timer epoch;
+  std::vector<double> submitted_at(jobs.size(), 0);
+  std::vector<double> completed_at(jobs.size(), 0);
+  std::vector<ClusterHandle> handles;
+  handles.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ClusterSubmitOptions submit;
+    submit.on_complete = [&mu, &completed_at, &epoch, i](const ClusterResult&) {
+      std::lock_guard<std::mutex> lock(mu);
+      completed_at[i] = epoch.ElapsedSeconds();
+    };
+    submitted_at[i] = epoch.ElapsedSeconds();
+    handles.push_back(router.Submit(jobs[i], submit));
+  }
+  if (kill_slot >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    router.KillWorker(kill_slot);
+  }
+
+  bool identical = true;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const ClusterResult& result = handles[i].Wait();
+    if (result.outcome != ClusterOutcome::kCompleted &&
+        result.outcome != ClusterOutcome::kFallback) {
+      identical = false;  // a shed job has no verdict to compare
+      continue;
+    }
+    if (result.result.DeterministicSummary() != SerialSummaries()[i]) {
+      identical = false;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    latencies_us->push_back((completed_at[i] - submitted_at[i]) * 1e6);
+  }
+
+  const ClusterStats stats = router.Stats();
+  totals->submitted += stats.submitted;
+  totals->completed += stats.completed;
+  totals->retries += stats.retries;
+  totals->worker_crashes += stats.worker_crashes;
+  totals->worker_restarts += stats.worker_restarts;
+  return identical;
+}
+
+void BM_ClusterThroughput(benchmark::State& state) {
+  if (!HaveWorkerBinary()) {
+    state.SkipWithError("TDLIB_TDWORKER not set; build examples first");
+    return;
+  }
+  ClusterOptions options;
+  options.num_workers = static_cast<int>(state.range(0));
+
+  std::vector<double> latencies_us;
+  ClusterStats totals;
+  bool identical = true;
+  for (auto _ : state) {
+    identical = RunSweep(options, /*kill_slot=*/-1, &latencies_us, &totals) &&
+                identical;
+  }
+
+  state.counters["workers"] = static_cast<double>(options.num_workers);
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(totals.completed), benchmark::Counter::kIsRate);
+  state.counters["lat_p50_us"] = Percentile(&latencies_us, 0.50);
+  state.counters["lat_p99_us"] = Percentile(&latencies_us, 0.99);
+  state.counters["identical_to_serial"] = identical ? 1 : 0;
+}
+BENCHMARK(BM_ClusterThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ClusterKillOneWorker(benchmark::State& state) {
+  if (!HaveWorkerBinary()) {
+    state.SkipWithError("TDLIB_TDWORKER not set; build examples first");
+    return;
+  }
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.restart_backoff_seconds = 0.01;
+  options.restart_backoff_cap_seconds = 0.1;
+
+  std::vector<double> latencies_us;
+  ClusterStats totals;
+  bool identical = true;
+  for (auto _ : state) {
+    identical = RunSweep(options, /*kill_slot=*/0, &latencies_us, &totals) &&
+                identical;
+  }
+
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(totals.completed), benchmark::Counter::kIsRate);
+  state.counters["lat_p99_us"] = Percentile(&latencies_us, 0.99);
+  state.counters["crashes"] = static_cast<double>(totals.worker_crashes) /
+                              static_cast<double>(state.iterations());
+  state.counters["retries"] = static_cast<double>(totals.retries) /
+                              static_cast<double>(state.iterations());
+  state.counters["identical_to_serial"] = identical ? 1 : 0;
+}
+BENCHMARK(BM_ClusterKillOneWorker)->UseRealTime();
+
+}  // namespace
+}  // namespace tdlib

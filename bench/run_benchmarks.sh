@@ -2,12 +2,13 @@
 # Runs the benchmark suite and leaves machine-readable perf records
 # (BENCH_engine.json, BENCH_chase.json, BENCH_chase_parallel.json,
 # BENCH_service.json, BENCH_layout.json, BENCH_layout_hom.json,
-# BENCH_cache.json) so successive PRs accumulate a throughput trajectory.
+# BENCH_cache.json, BENCH_cluster.json) so successive PRs accumulate a
+# throughput trajectory.
 #
 #   bench/run_benchmarks.sh [build-dir] [engine-out.json] [chase-out.json] \
 #                           [chase-parallel-out.json] [service-out.json] \
 #                           [layout-out.json] [layout-hom-out.json] \
-#                           [cache-out.json]
+#                           [cache-out.json] [cluster-out.json]
 #
 # The build dir must already contain bench/bench_batch_engine,
 # bench/bench_chase, bench/bench_homomorphism and bench/bench_service
@@ -22,6 +23,7 @@ SERVICE_OUT="${5:-BENCH_service.json}"
 LAYOUT_OUT="${6:-BENCH_layout.json}"
 LAYOUT_HOM_OUT="${7:-BENCH_layout_hom.json}"
 CACHE_OUT="${8:-BENCH_cache.json}"
+CLUSTER_OUT="${9:-BENCH_cluster.json}"
 
 # Stamps a bench JSON with provenance metadata (git sha, UTC date, host
 # thread count) under a "tdlib_meta" key, so the BENCH_* trajectory stays
@@ -92,6 +94,11 @@ run_bench "$BUILD_DIR/bench/bench_service" "$SERVICE_OUT"
 # The result-cache record: raw LRU probe cost and the cold-vs-warm sweep
 # (acceptance target: warm >= 10x cold, byte-identical to serial).
 run_bench "$BUILD_DIR/bench/bench_cache" "$CACHE_OUT"
+# The sharded-cluster record: sweep throughput + latency percentiles over
+# 1/2/4 real worker processes, and the kill-one-worker recovery leg. Needs
+# the tdworker binary (built with the examples).
+export TDLIB_TDWORKER="$BUILD_DIR/examples/tdworker"
+run_bench "$BUILD_DIR/bench/bench_cluster" "$CLUSTER_OUT"
 
 # Console recap of the headline series. Best-effort without python3, but
 # when python3 exists the parallel parity check at the bottom is a hard
@@ -102,7 +109,7 @@ if ! command -v python3 > /dev/null; then
   exit 0
 fi
 python3 - "$ENGINE_OUT" "$CHASE_OUT" "$CHASE_PARALLEL_OUT" "$SERVICE_OUT" \
-  "$LAYOUT_OUT" "$LAYOUT_HOM_OUT" "$CACHE_OUT" <<'EOF'
+  "$LAYOUT_OUT" "$LAYOUT_HOM_OUT" "$CACHE_OUT" "$CLUSTER_OUT" <<'EOF'
 import json, sys
 
 data = json.load(open(sys.argv[1]))
@@ -286,6 +293,31 @@ layout_ok = check_layout(sys.argv[5], "real_time",
 layout_ok = check_layout(sys.argv[6], "real_time",
                          ("matches", "nodes"), "candidates") and layout_ok
 if not layout_ok:
+    sys.exit(1)
+
+# Cluster recap: sweep throughput/p99 along the worker axis and the
+# kill-one-worker leg. Byte-identity with the serial reference is the HARD
+# check on every row — the throughput numbers are informational (on a
+# shared 1-core box the worker axis mostly measures socket overhead), but a
+# cluster that answers differently from the serial solver is broken.
+cluster = json.load(open(sys.argv[8]))
+cluster_ok = True
+for b in cluster.get("benchmarks", []):
+    if "identical_to_serial" not in b:
+        continue
+    name = b["name"].split("/")[0]
+    extra = ""
+    if name == "BM_ClusterKillOneWorker":
+        extra = (f"  crashes={b.get('crashes', 0):.0f}"
+                 f" retries={b.get('retries', 0):.0f}")
+    print(f"{b['name']:<40} {b.get('jobs_per_sec', 0):8.1f} jobs/s "
+          f"p99={b.get('lat_p99_us', 0) / 1e3:8.2f}ms"
+          f"  identical_to_serial={int(b['identical_to_serial'])}{extra}")
+    if int(b["identical_to_serial"]) != 1:
+        cluster_ok = False
+        print(f"  PARITY VIOLATION {b['name']}: cluster verdicts diverge "
+              f"from the serial reference")
+if not cluster_ok:
     sys.exit(1)
 
 # Service recap: the latency-percentile series per pool width, then the

@@ -1,0 +1,261 @@
+// tdrouter: the sharded-service front end (src/cluster/router.h as a CLI).
+//
+// Spawns N tdworker processes, routes a generated workload across them by
+// canonical-fingerprint consistent hashing, and prints a per-job table plus
+// a one-line summary the CI smoke job greps. Robustness hooks make the
+// failure modes drivable from a shell: kill a worker mid-run, arm socket
+// faults via TDLIB_FAULT, bound queues and quotas, or run with zero
+// workers to watch the in-process fallback take over.
+//
+//   $ ./build/examples/tdrouter --workers=2 --size=12
+//   $ ./build/examples/tdrouter --workers=2 --kill-worker-after=3 --check-serial
+//
+// Flags:
+//   --workers=N           worker process count (default 2; 0 = fallback only)
+//   --worker-cmd=PATH     worker executable (default: $TDLIB_TDWORKER, else
+//                         "tdworker" next to this binary)
+//   --workload=NAME       reduction-sweep (default) or random
+//   --size=N              jobs to generate (default 12)
+//   --seed=N              random-workload seed (default 1)
+//   --threads=N           chase parallelism inside each worker (default 1)
+//   --probe-steps=N       park-and-migrate probe budget (default 0 = off)
+//   --max-retries=N       crash retries per job before kSkipped (default 2)
+//   --max-restarts=N      restarts per worker slot (default 3)
+//   --queue-depth=N       admission bound on in-flight jobs (default 1024)
+//   --tenant-quota=N      per-tenant in-flight bound (default 0 = off)
+//   --tenants=N           spread jobs round-robin over N tenant ids (default 1)
+//   --kill-worker-after=K SIGKILL worker slot 0 after the K-th completion
+//                         (the crash-recovery smoke leg)
+//   --check-serial        re-solve every completed job serially in-process
+//                         and require byte-identical DeterministicSummary
+//                         (exit 6 on any divergence)
+//   --stream              print each result line as it completes
+//   --metrics[=PATH]      enable metrics; dump the final snapshot as JSON
+//
+// Exit codes: 0 = success, 2 = usage error, 4 = malformed workload,
+// 6 = serial-parity divergence, 1 = any other failure.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "engine/workload.h"
+#include "util/fault.h"
+#include "util/metrics.h"
+
+namespace {
+
+constexpr int kExitSuccess = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitMalformed = 4;
+constexpr int kExitParity = 6;
+
+bool ParseUint(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tdrouter [--workers=N] [--worker-cmd=PATH] "
+               "[--workload=NAME] [--size=N] [--seed=N] [--threads=N]\n"
+               "                [--probe-steps=N] [--max-retries=N] "
+               "[--max-restarts=N] [--queue-depth=N] [--tenant-quota=N]\n"
+               "                [--tenants=N] [--kill-worker-after=K] "
+               "[--check-serial] [--stream] [--metrics[=PATH]]\n");
+  return kExitUsage;
+}
+
+/// Default worker command: $TDLIB_TDWORKER, else "tdworker" in argv[0]'s
+/// directory (the build tree layout puts the two side by side).
+std::string DefaultWorkerCommand(const char* argv0) {
+  const char* env = std::getenv("TDLIB_TDWORKER");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::string self = argv0;
+  const std::size_t slash = self.find_last_of('/');
+  return slash == std::string::npos ? "tdworker"
+                                    : self.substr(0, slash + 1) + "tdworker";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdlib::ClusterOptions options;
+  options.worker_command = DefaultWorkerCommand(argv[0]);
+  std::string workload = "reduction-sweep";
+  tdlib::WorkloadOptions workload_options;
+  int tenants = 1;
+  std::uint64_t kill_after = 0;
+  bool check_serial = false;
+  bool stream = false;
+  bool metrics = false;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "--workers" && ParseUint(val, &n)) {
+      options.num_workers = static_cast<int>(n);
+    } else if (key == "--worker-cmd" && !val.empty()) {
+      options.worker_command = val;
+    } else if (key == "--workload" && !val.empty()) {
+      workload = val;
+    } else if (key == "--size" && ParseUint(val, &n)) {
+      workload_options.size = static_cast<int>(n);
+    } else if (key == "--seed" && ParseUint(val, &n)) {
+      workload_options.seed = n;
+    } else if (key == "--threads" && ParseUint(val, &n)) {
+      options.worker_threads = static_cast<int>(n);
+    } else if (key == "--probe-steps" && ParseUint(val, &n)) {
+      options.migration_probe_steps = n;
+    } else if (key == "--max-retries" && ParseUint(val, &n)) {
+      options.max_retries = static_cast<int>(n);
+    } else if (key == "--max-restarts" && ParseUint(val, &n)) {
+      options.max_restarts = static_cast<int>(n);
+    } else if (key == "--queue-depth" && ParseUint(val, &n)) {
+      options.max_queue_depth = static_cast<std::size_t>(n);
+    } else if (key == "--tenant-quota" && ParseUint(val, &n)) {
+      options.tenant_quota = static_cast<std::size_t>(n);
+    } else if (key == "--tenants" && ParseUint(val, &n) && n > 0) {
+      tenants = static_cast<int>(n);
+    } else if (key == "--kill-worker-after" && ParseUint(val, &n)) {
+      kill_after = n;
+    } else if (arg == "--check-serial") {
+      check_serial = true;
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (key == "--metrics") {
+      metrics = true;
+      metrics_path = val;
+    } else {
+      std::fprintf(stderr, "tdrouter: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (metrics) tdlib::SetMetricsEnabled(true);
+  tdlib::ArmFaultsFromEnv();
+
+  tdlib::Result<std::vector<tdlib::Job>> jobs =
+      tdlib::MakeWorkload(workload, workload_options);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "tdrouter: %s\n", jobs.error().c_str());
+    return kExitMalformed;
+  }
+
+  std::atomic<std::int64_t> completions{0};
+  std::mutex print_mu;
+
+  std::vector<tdlib::ClusterResult> results(jobs.value().size());
+  {
+    tdlib::ClusterRouter router(options);
+    std::vector<tdlib::ClusterHandle> handles;
+    handles.reserve(jobs.value().size());
+    for (std::size_t i = 0; i < jobs.value().size(); ++i) {
+      tdlib::ClusterSubmitOptions submit;
+      submit.tenant = "tenant-" + std::to_string(i % tenants);
+      submit.on_complete = [&, i](const tdlib::ClusterResult& r) {
+        completions.fetch_add(1, std::memory_order_relaxed);
+        if (stream) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("%-20s %-10s %-18s attempts=%d%s%s\n",
+                      r.result.name.c_str(),
+                      std::string(tdlib::ClusterOutcomeName(r.outcome)).c_str(),
+                      std::string(r.result.VerdictName()).c_str(), r.attempts,
+                      r.migrated ? " migrated" : "",
+                      r.result.cache_source == tdlib::CacheSource::kHit
+                          ? " hit"
+                          : "");
+        }
+      };
+      handles.push_back(router.Submit(jobs.value()[i], std::move(submit)));
+    }
+    if (kill_after > 0) {
+      while (completions.load(std::memory_order_relaxed) <
+             static_cast<std::int64_t>(kill_after)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      router.KillWorker(0);
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      results[i] = handles[i].Wait();
+    }
+    router.WaitIdle();
+
+    const tdlib::ClusterStats stats = router.Stats();
+    std::printf(
+        "tdrouter: submitted=%lld completed=%lld shed=%lld "
+        "retries=%lld retries_exhausted=%lld migrated=%lld fallback=%lld "
+        "cache_hits=%lld crashes=%lld restarts=%lld heartbeat_timeouts=%lld\n",
+        static_cast<long long>(stats.submitted),
+        static_cast<long long>(stats.completed),
+        static_cast<long long>(stats.shed_queue + stats.shed_quota),
+        static_cast<long long>(stats.retries),
+        static_cast<long long>(stats.retries_exhausted),
+        static_cast<long long>(stats.migrated),
+        static_cast<long long>(stats.fallback),
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.worker_crashes),
+        static_cast<long long>(stats.worker_restarts),
+        static_cast<long long>(stats.heartbeat_timeouts));
+  }
+
+  int exit_code = kExitSuccess;
+  if (check_serial) {
+    int checked = 0, divergent = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const tdlib::ClusterResult& r = results[i];
+      if (r.outcome != tdlib::ClusterOutcome::kCompleted &&
+          r.outcome != tdlib::ClusterOutcome::kFallback) {
+        continue;  // shed / retries-exhausted jobs never ran anywhere
+      }
+      tdlib::JobResult serial =
+          tdlib::RunJob(jobs.value()[i], jobs.value()[i].config);
+      ++checked;
+      if (serial.DeterministicSummary() != r.result.DeterministicSummary()) {
+        ++divergent;
+        std::fprintf(stderr,
+                     "tdrouter: PARITY DIVERGENCE on %s\n  cluster: %s\n"
+                     "  serial:  %s\n",
+                     r.result.name.c_str(),
+                     r.result.DeterministicSummary().c_str(),
+                     serial.DeterministicSummary().c_str());
+      }
+    }
+    std::printf("tdrouter: parity=%s checked=%d divergent=%d\n",
+                divergent == 0 ? "ok" : "FAIL", checked, divergent);
+    if (divergent > 0) exit_code = kExitParity;
+  }
+
+  if (metrics) {
+    const std::string json =
+        tdlib::MetricsRegistry::Global().Snapshot().ToJson();
+    if (metrics_path.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(metrics_path);
+      out << json << '\n';
+      if (!out) {
+        std::fprintf(stderr, "tdrouter: cannot write %s\n",
+                     metrics_path.c_str());
+        return kExitFailure;
+      }
+    }
+  }
+  return exit_code;
+}

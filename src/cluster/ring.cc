@@ -1,0 +1,53 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace tdlib {
+namespace {
+
+std::uint64_t PointPosition(int member, int replica) {
+  // Decorrelate (member, replica) pairs through one splitmix64 round; the
+  // odd multiplier keeps distinct members' point sets disjoint in practice.
+  return SplitMix64(static_cast<std::uint64_t>(member) * 1000003u +
+                    static_cast<std::uint64_t>(replica));
+}
+
+}  // namespace
+
+void HashRing::Add(int member) {
+  if (Contains(member)) return;
+  members_.insert(
+      std::lower_bound(members_.begin(), members_.end(), member), member);
+  for (int replica = 0; replica < kVirtualNodes; ++replica) {
+    Point p{PointPosition(member, replica), member};
+    points_.insert(std::lower_bound(points_.begin(), points_.end(), p), p);
+  }
+}
+
+void HashRing::Remove(int member) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it == members_.end() || *it != member) return;
+  members_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [member](const Point& p) {
+                                 return p.member == member;
+                               }),
+                points_.end());
+}
+
+int HashRing::Pick(std::uint64_t key) const {
+  if (points_.empty()) return -1;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.position < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->member;
+}
+
+bool HashRing::Contains(int member) const {
+  return std::binary_search(members_.begin(), members_.end(), member);
+}
+
+}  // namespace tdlib

@@ -1,0 +1,61 @@
+// Consistent-hash ring over worker slots.
+//
+// The router keys each job on its canonical-form fingerprint
+// (cache/canonical.h), so isomorphic jobs land on the same worker and its
+// result cache pays off across tenants. A plain `fingerprint % N` would
+// reshuffle almost every key when a worker dies; the classic fix is a ring
+// of virtual nodes — each worker owns kVirtualNodes pseudo-random points on
+// a 64-bit circle, and a key maps to the first point at or after it. Losing
+// a worker then only reassigns the keys that pointed at ITS points (about
+// 1/N of the keyspace), which keeps the surviving workers' caches warm
+// through a crash/restart cycle.
+//
+// Not thread-safe; the router's dispatcher thread owns the ring.
+#ifndef TDLIB_CLUSTER_RING_H_
+#define TDLIB_CLUSTER_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tdlib {
+
+class HashRing {
+ public:
+  /// Points each member contributes. 64 keeps the per-member keyspace share
+  /// within a few percent of uniform at single-digit member counts.
+  static constexpr int kVirtualNodes = 64;
+
+  /// Adds `member` (an opaque non-negative slot id). Adding an existing
+  /// member is a no-op.
+  void Add(int member);
+
+  /// Removes `member`; unknown members are a no-op.
+  void Remove(int member);
+
+  /// Maps `key` to a member: the owner of the first ring point at or after
+  /// `key`, wrapping around. Returns -1 when the ring is empty.
+  int Pick(std::uint64_t key) const;
+
+  bool Contains(int member) const;
+  int size() const { return static_cast<int>(members_.size()); }
+  bool empty() const { return members_.empty(); }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    int member;
+    bool operator<(const Point& other) const {
+      // Tie-break on member id so the ring order is deterministic even in
+      // the (astronomically unlikely) event of a position collision.
+      return position != other.position ? position < other.position
+                                        : member < other.member;
+    }
+  };
+
+  std::vector<Point> points_;   ///< sorted by position
+  std::vector<int> members_;    ///< sorted member ids
+};
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CLUSTER_RING_H_

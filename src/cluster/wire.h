@@ -1,0 +1,137 @@
+// The cluster wire protocol: length-prefixed frames over local sockets.
+//
+// The router and its worker processes exchange self-delimiting frames:
+//
+//   bytes 0..3   magic "TDF1"
+//   byte  4      frame type (FrameType)
+//   bytes 5..7   reserved, must be zero
+//   bytes 8..11  payload length, little-endian (capped at kMaxFramePayload)
+//   bytes 12..19 payload content hash, little-endian (HashBytes128 low lane)
+//   bytes 20..   payload
+//
+// Payloads are the library's existing portable-text formats: a job frame
+// carries a core/parser dependency program plus an explicit solver-config
+// line (the same fields cache/canonical.h fingerprints), and a parked chase
+// travels as ChaseSession text (chase/implication.h) — nothing on the wire
+// is a new serialization of solver state, so a checkpoint that migrates
+// between processes resumes byte-for-byte by the PR-4 contract.
+//
+// Every decoder treats its input as untrusted: bad magic, an oversized
+// length, a hash mismatch, a truncated stream or a malformed payload all
+// yield typed ErrorCode::kCorrupt results — never UB or an unchecked
+// allocation (tests/serialization_corrupt_test.cc sweeps this surface).
+// The socket read/write/corrupt paths are wired into util/fault.h
+// (cluster.socket-read, cluster.socket-write, cluster.frame-corrupt), so
+// the fault plane can force every failure mode deterministically.
+#ifndef TDLIB_CLUSTER_WIRE_H_
+#define TDLIB_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/job.h"
+#include "util/status.h"
+
+namespace tdlib {
+
+/// Frame vocabulary. Router -> worker: kJob, kPing, kShutdown.
+/// Worker -> router: kHello, kPong, kResult.
+enum class FrameType : std::uint8_t {
+  kHello = 1,   ///< worker is up: "tdhello" payload (pid, protocol version)
+  kPing = 2,    ///< heartbeat probe (seq)
+  kPong = 3,    ///< heartbeat answer (echoed seq)
+  kJob = 4,     ///< one job assignment (job id, program, config, session)
+  kResult = 5,  ///< terminal or parked outcome of an assigned job
+  kShutdown = 6 ///< drain and exit cleanly
+};
+
+/// Largest payload a frame may declare. Parked sessions dominate frame
+/// sizes; 64 MiB is far above any instance the solver budgets admit, and
+/// low enough that a corrupted length field cannot provoke a huge
+/// allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Header size in bytes (see the file comment for the layout).
+inline constexpr std::size_t kFrameHeaderSize = 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Renders header + payload. Pure; never fails.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Decodes one complete frame from `bytes`. On success *consumed is the
+/// total frame size (header + payload). Truncated input, bad magic, an
+/// unknown type, an over-cap length and a payload-hash mismatch are all
+/// ErrorCode::kCorrupt.
+Result<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed);
+
+// ---- Payload codecs --------------------------------------------------------
+
+/// A job assignment as it travels router -> worker.
+struct WireJob {
+  /// Job carries a builder-only Dependency, so a WireJob always starts
+  /// from a complete Job value.
+  explicit WireJob(Job j) : job(std::move(j)) {}
+
+  std::uint64_t job_id = 0;
+
+  /// When > 0 (and no session rides along): the worker runs a single-round
+  /// probe with this chase-step budget first, and if the probe parks a
+  /// resumable checkpoint it returns kParked instead of solving to the end
+  /// — the router then migrates the checkpoint to a less-loaded worker.
+  std::uint64_t probe_steps = 0;
+
+  /// ChaseSession text of a previously parked chase ("" = start fresh).
+  std::string session_text;
+
+  Job job;
+};
+
+/// The worker's answer to a kJob frame.
+struct WireResult {
+  std::uint64_t job_id = 0;
+
+  /// True: the run stopped at a resumable checkpoint under the probe budget
+  /// and `session_text` carries it; `result` is then the PROBE result and
+  /// must not be published (its counters describe the truncated run).
+  bool parked = false;
+
+  std::string session_text;
+  JobResult result;
+};
+
+/// Renders/parses a WireJob payload (for a FrameType::kJob frame). The
+/// dependency program section reuses the tdfuzz repro format — pure-renamed
+/// to grammar-safe names when needed, which leaves every deterministic
+/// result field unchanged (the renaming-invariance contract behind
+/// cache/canonical.h).
+std::string EncodeJobPayload(const WireJob& wire_job);
+Result<WireJob> DecodeJobPayload(std::string_view payload);
+
+/// Renders/parses a WireResult payload (for a FrameType::kResult frame).
+std::string EncodeResultPayload(const WireResult& wire_result);
+Result<WireResult> DecodeResultPayload(std::string_view payload);
+
+// ---- Socket I/O ------------------------------------------------------------
+
+/// Writes one frame to `fd`, retrying partial writes. Returns false on any
+/// write error (the peer is gone — EPIPE is masked per-call, not with a
+/// process-wide signal change) or when the cluster.socket-write fault site
+/// fires. When cluster.frame-corrupt fires, the payload is damaged with
+/// CorruptBytes before framing — the receiver must reject it as kCorrupt.
+bool WriteFrameToFd(int fd, FrameType type, std::string payload);
+
+/// Reads one complete frame from `fd`. EOF before the first header byte is
+/// ErrorCode::kUnavailable (clean peer shutdown); EOF or an error anywhere
+/// else — including a cluster.socket-read fault firing mid-read — is
+/// kCorrupt, as is any header/payload validation failure.
+Result<Frame> ReadFrameFromFd(int fd);
+
+}  // namespace tdlib
+
+#endif  // TDLIB_CLUSTER_WIRE_H_

@@ -28,6 +28,7 @@ constexpr std::string_view kSiteNames[kNumFaultSites] = {
     "chase-alloc",       "cancel-queue",  "cancel-match",
     "cancel-fire",       "cancel-checkpoint", "cancel-resume",
     "deadline",          "checkpoint-corrupt", "fire-order-flip",
+    "cluster.socket-read", "cluster.socket-write", "cluster.frame-corrupt",
 };
 
 // Injection counters are registered lazily (the registry allocates per

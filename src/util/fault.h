@@ -47,9 +47,15 @@ enum class FaultSite {
   kFireOrderFlip,      ///< canonical fire-order comparison reversed (a
                        ///  deliberate bug for testing the differential
                        ///  harness's detection/minimization pipeline)
+  kSocketRead,         ///< "cluster.socket-read": frame read cut short
+                       ///  (truncated stream, as if the peer died mid-send)
+  kSocketWrite,        ///< "cluster.socket-write": frame write fails
+                       ///  (connection dropped under the sender)
+  kFrameCorrupt,       ///< "cluster.frame-corrupt": outgoing cluster frame
+                       ///  payload run through CorruptBytes before the wire
 };
 inline constexpr int kNumFaultSites =
-    static_cast<int>(FaultSite::kFireOrderFlip) + 1;
+    static_cast<int>(FaultSite::kFrameCorrupt) + 1;
 
 /// Global gate. False until the first Arm*; DisarmAllFaults() restores it.
 bool FaultInjectionEnabled();

@@ -16,7 +16,9 @@
 #include "cache/store.h"
 #include "chase/chase.h"
 #include "chase/implication.h"
+#include "cluster/wire.h"
 #include "core/parser.h"
+#include "engine/job.h"
 #include "logic/instance.h"
 #include "logic/schema.h"
 #include "logic/tuple_store.h"
@@ -34,6 +36,10 @@ struct Corpus {
   std::string checkpoint_bytes;
   std::string session_bytes;
   std::string cache_bytes;
+  // The cluster wire protocol (framed router<->worker sockets).
+  std::string frame_bytes;
+  std::string job_payload_bytes;
+  std::string result_payload_bytes;
 };
 
 Corpus MakeCorpus() {
@@ -97,6 +103,26 @@ Corpus MakeCorpus() {
     std::ostringstream oss;
     SaveResultCache(oss, cache);
     corpus.cache_bytes = oss.str();
+  }
+  {
+    Job job{"corpus job", deps, dep.value(), DualSolverConfig{}, 3};
+    job.config.rounds = 2;
+    WireJob wire_job(std::move(job));
+    wire_job.job_id = 9;
+    wire_job.probe_steps = 100;
+    wire_job.session_text = corpus.session_bytes;
+    corpus.job_payload_bytes = EncodeJobPayload(wire_job);
+    corpus.frame_bytes = EncodeFrame(FrameType::kJob, corpus.job_payload_bytes);
+
+    WireResult wire_result;
+    wire_result.job_id = 9;
+    wire_result.parked = true;
+    wire_result.session_text = corpus.session_bytes;
+    wire_result.result.name = "corpus job";
+    wire_result.result.status = JobStatus::kCompleted;
+    wire_result.result.verdict = DualVerdict::kUnknown;
+    wire_result.result.chase_steps = 100;
+    corpus.result_payload_bytes = EncodeResultPayload(wire_result);
   }
   return corpus;
 }
@@ -203,6 +229,50 @@ TEST(SerializationCorruptTest, ResultCacheStoreSurvivesTheDamageSweep) {
   EXPECT_GT(rejected, 0);
 }
 
+TEST(SerializationCorruptTest, WireFrameSurvivesTheDamageSweep) {
+  // The framed socket protocol: a payload-hash header means nearly every
+  // damaged variant must be rejected (trailing garbage is legitimately
+  // fine — frames are length-delimited on a stream).
+  Corpus corpus = MakeCorpus();
+  int rejected = 0;
+  for (const std::string& damaged : DamagedVariants(corpus.frame_bytes)) {
+    Result<Frame> result = DecodeFrame(damaged, nullptr);
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_EQ(result.code(), ErrorCode::kCorrupt) << result.error();
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(SerializationCorruptTest, WireJobPayloadSurvivesTheDamageSweep) {
+  Corpus corpus = MakeCorpus();
+  int rejected = 0;
+  for (const std::string& damaged :
+       DamagedVariants(corpus.job_payload_bytes)) {
+    Result<WireJob> result = DecodeJobPayload(damaged);
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_EQ(result.code(), ErrorCode::kCorrupt) << result.error();
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(SerializationCorruptTest, WireResultPayloadSurvivesTheDamageSweep) {
+  Corpus corpus = MakeCorpus();
+  int rejected = 0;
+  for (const std::string& damaged :
+       DamagedVariants(corpus.result_payload_bytes)) {
+    Result<WireResult> result = DecodeResultPayload(damaged);
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_EQ(result.code(), ErrorCode::kCorrupt) << result.error();
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
 TEST(SerializationCorruptTest, HealthyBytesStillRoundTrip) {
   // The sweep is only meaningful if the undamaged corpus parses.
   Corpus corpus = MakeCorpus();
@@ -228,6 +298,17 @@ TEST(SerializationCorruptTest, HealthyBytesStillRoundTrip) {
     Result<int> loaded = LoadResultCache(in, &cache);
     EXPECT_TRUE(loaded.ok());
     EXPECT_EQ(cache.Stats().entries, 4);
+  }
+  {
+    std::size_t consumed = 0;
+    Result<Frame> frame = DecodeFrame(corpus.frame_bytes, &consumed);
+    EXPECT_TRUE(frame.ok());
+    EXPECT_EQ(consumed, corpus.frame_bytes.size());
+    Result<WireJob> job = DecodeJobPayload(corpus.job_payload_bytes);
+    EXPECT_TRUE(job.ok());
+    Result<WireResult> result =
+        DecodeResultPayload(corpus.result_payload_bytes);
+    EXPECT_TRUE(result.ok());
   }
 }
 
